@@ -1,0 +1,24 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one artefact of the paper's evaluation section
+(or one ablation listed in DESIGN.md) and asserts its qualitative shape, so a
+benchmark run doubles as a reproduction run.  Numbers are attached to the
+pytest-benchmark report via ``benchmark.extra_info`` so that
+``pytest benchmarks/ --benchmark-only --benchmark-json=...`` captures both the
+timings and the reproduced series.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def record_series():
+    """Helper that attaches a named data series to the benchmark report."""
+
+    def _record(benchmark, name, values):
+        benchmark.extra_info[name] = values
+        return values
+
+    return _record

@@ -1,0 +1,74 @@
+"""Ablation A2: cost and soundness of the conservative approximations.
+
+Algorithm 1 makes two conservative moves: the ``λ ≥ 1/β`` relaxation and the
+rounding of budgets (to granules) and capacities (to whole containers).  This
+benchmark measures how far the resulting integral mapping is from the exact
+continuous optimum (obtained independently by bisection against the dataflow
+feasibility test) and verifies that the mapping stays sound (a periodic
+admissible schedule exists and the self-timed simulation meets the period).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import bisect_uniform_budget
+from repro.core import AllocatorOptions, JointAllocator, ObjectiveWeights, verify_mapping
+from repro.taskgraph.generators import producer_consumer_configuration
+
+CAPACITY_POINTS = (2, 4, 6, 8)
+
+
+def _run_ablation():
+    config = producer_consumer_configuration()
+    allocator = JointAllocator(
+        weights=ObjectiveWeights.prefer_budgets(),
+        options=AllocatorOptions(run_simulation=False),
+    )
+    rows = []
+    for capacity in CAPACITY_POINTS:
+        mapped = allocator.allocate(config, capacity_limits={"bab": capacity})
+        exact = bisect_uniform_budget(config, {"bab": capacity})
+        rows.append(
+            {
+                "capacity": capacity,
+                "exact_budget": exact,
+                "relaxed_budget": mapped.relaxed_budgets["wa"],
+                "rounded_budget": mapped.budgets["wa"],
+                "mapping": mapped,
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation-rounding")
+def test_relaxation_and_rounding_overhead(benchmark, record_series):
+    rows = benchmark(_run_ablation)
+
+    record_series(benchmark, "buffer_capacity", [row["capacity"] for row in rows])
+    record_series(
+        benchmark, "exact_budget_mcycles", [round(row["exact_budget"], 4) for row in rows]
+    )
+    record_series(
+        benchmark,
+        "relaxed_budget_mcycles",
+        [round(row["relaxed_budget"], 4) for row in rows],
+    )
+    record_series(
+        benchmark,
+        "rounded_budget_mcycles",
+        [round(row["rounded_budget"], 4) for row in rows],
+    )
+
+    granularity = 1.0
+    for row in rows:
+        # The λ-relaxation is tight at the optimum: the relaxed SOCP budget
+        # matches the exact bisection value.
+        assert row["relaxed_budget"] == pytest.approx(row["exact_budget"], rel=2e-3)
+        # Rounding costs at most one granule and never goes below the optimum.
+        assert row["rounded_budget"] >= row["exact_budget"] - 1e-6
+        assert row["rounded_budget"] <= row["exact_budget"] + granularity + 1e-6
+        # Soundness: the integral mapping passes full verification, including
+        # the self-timed simulation.
+        report = verify_mapping(row["mapping"], run_simulation=True)
+        assert report.is_valid, report.summary()

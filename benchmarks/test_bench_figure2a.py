@@ -1,0 +1,39 @@
+"""Figure 2(a): budget vs. buffer capacity for the producer-consumer graph.
+
+Regenerates the trade-off curve of the paper's first experiment and asserts
+its shape: the minimal budget falls monotonically from ≈ 36 Mcycles at one
+container to the 4-Mcycle floor at ten containers, matching the closed-form
+solution of the instance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.budget_minimization import producer_consumer_minimum_budget
+from repro.experiments.figure2 import run_figure2
+
+
+@pytest.mark.benchmark(group="figure2a")
+def test_figure2a_budget_buffer_tradeoff(benchmark, record_series):
+    result = benchmark(run_figure2)
+
+    assert result.capacity_limits == list(range(1, 11))
+    budgets = result.relaxed_budget_wa
+    record_series(benchmark, "buffer_capacity", result.capacity_limits)
+    record_series(benchmark, "budget_mcycles", [round(b, 3) for b in budgets])
+    record_series(
+        benchmark, "rounded_budget_mcycles", [round(b, 3) for b in result.budget_wa]
+    )
+
+    # Shape: monotone non-increasing, matching the closed form at every point.
+    assert all(b1 >= b2 - 1e-9 for b1, b2 in zip(budgets, budgets[1:]))
+    for capacity, budget in zip(result.capacity_limits, budgets):
+        assert budget == pytest.approx(
+            producer_consumer_minimum_budget(capacity), rel=2e-3
+        )
+    # Paper endpoints: ≈ 36 Mcycles at d = 1, the 4-Mcycle floor at d = 10.
+    assert budgets[0] == pytest.approx(36.1, abs=0.2)
+    assert budgets[-1] == pytest.approx(4.0, abs=0.05)
+    # "A buffer capacity of 10 containers minimises the budgets."
+    assert budgets[-2] > budgets[-1] + 0.25

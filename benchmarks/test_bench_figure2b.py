@@ -1,0 +1,30 @@
+"""Figure 2(b): budget reduction per extra container (derivative of Fig. 2(a)).
+
+The paper's plot shows a positive, strictly diminishing gain: roughly
+4.8 Mcycles for the second container, falling below 1 Mcycle near ten
+containers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure2 import run_figure2
+
+
+@pytest.mark.benchmark(group="figure2b")
+def test_figure2b_budget_reduction_derivative(benchmark, record_series):
+    result = benchmark(run_figure2)
+
+    reductions = [step.reduction for step in result.reductions]
+    capacities = [step.capacity_limit for step in result.reductions]
+    record_series(benchmark, "buffer_capacity", capacities)
+    record_series(benchmark, "delta_budget_mcycles", [round(r, 3) for r in reductions])
+
+    assert capacities == list(range(2, 11))
+    # Positive gains with diminishing returns.
+    assert all(r > 0.0 for r in reductions)
+    assert all(r1 >= r2 - 1e-6 for r1, r2 in zip(reductions, reductions[1:]))
+    # Paper end points: ≈ 4.8 Mcycles at two containers, < 1 Mcycle at ten.
+    assert reductions[0] == pytest.approx(4.83, abs=0.1)
+    assert reductions[-1] < 1.0

@@ -1,0 +1,43 @@
+"""Figure 3: topology dependence of the trade-off on the three-task chain.
+
+Both buffer capacities are bounded by the swept value and the sum of budgets
+is minimised.  The middle task ``w_b`` interacts with two buffers, so the
+optimiser reduces the budgets of the outer tasks ``w_a`` / ``w_c`` first;
+``w_b`` keeps the larger budget at every point of the sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure3 import run_figure3
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_figure3_topology_dependence(benchmark, record_series):
+    result = benchmark(run_figure3)
+
+    assert result.capacity_limits == list(range(1, 11))
+    record_series(benchmark, "buffer_capacity", result.capacity_limits)
+    record_series(
+        benchmark, "budget_wa_mcycles", [round(b, 3) for b in result.relaxed_budget_wa]
+    )
+    record_series(
+        benchmark, "budget_wb_mcycles", [round(b, 3) for b in result.relaxed_budget_wb]
+    )
+    record_series(
+        benchmark, "budget_wc_mcycles", [round(b, 3) for b in result.relaxed_budget_wc]
+    )
+
+    for wa, wb, wc in zip(
+        result.relaxed_budget_wa, result.relaxed_budget_wb, result.relaxed_budget_wc
+    ):
+        # Outer tasks are symmetric; the middle task keeps the larger budget.
+        assert wa == pytest.approx(wc, rel=1e-2, abs=5e-2)
+        assert wb >= wa - 1e-6
+    # Budgets fall monotonically along the sweep and all reach the 4-Mcycle
+    # floor once ten containers are allowed.
+    for series in (result.relaxed_budget_wa, result.relaxed_budget_wb):
+        assert all(b1 >= b2 - 1e-9 for b1, b2 in zip(series, series[1:]))
+    assert result.budget_wa[-1] == pytest.approx(4.0)
+    assert result.budget_wb[-1] == pytest.approx(4.0)

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Experiment 1 of the paper: the producer-consumer budget/buffer trade-off.
+
+Reproduces Figures 2(a) and 2(b) of Wiggers et al. (DATE 2010): the minimal
+TDM budget of the producer-consumer job as a function of the maximum buffer
+capacity, and the budget reduction each extra container buys.  The closed-form
+solution of the instance is printed next to the SOCP result as a reference.
+
+Run with:  python examples/producer_consumer_tradeoff.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_table
+from repro.experiments.figure2 import run_figure2
+
+
+def main() -> None:
+    result = run_figure2()
+
+    print("Figure 2(a) — budget vs. buffer capacity (producer-consumer, T1)")
+    print("  two tasks, χ = 1 Mcycle, ̺ = 40 Mcycles, µ = 10 Mcycles")
+    print()
+    print(render_table(result.rows()))
+    print()
+
+    print("Figure 2(b) — budget reduction per extra container")
+    print(render_table(result.reduction_rows()))
+    print()
+
+    budgets = result.relaxed_budget_wa
+    print(
+        "The trade-off is non-linear: the first extra container saves "
+        f"{budgets[0] - budgets[1]:.2f} Mcycles of budget, the last one only "
+        f"{budgets[-2] - budgets[-1]:.2f} Mcycles; ten containers minimise the budgets "
+        f"at the {budgets[-1]:.0f}-Mcycle floor."
+    )
+
+
+if __name__ == "__main__":
+    main()

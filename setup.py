@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+editable installs (``pip install -e .``) work on environments whose
+setuptools/pip combination cannot build PEP 660 editable wheels offline
+(no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,122 @@
+"""repro — simultaneous budget and buffer-size computation for throughput-constrained task graphs.
+
+A from-scratch reproduction of Wiggers, Bekooij, Geilen and Basten,
+*"Simultaneous Budget and Buffer Size Computation for Throughput-Constrained
+Task Graphs"*, DATE 2010.
+
+The library is organised in layers:
+
+* :mod:`repro.taskgraph` — the application model (task graphs, FIFO buffers,
+  processors, memories, configurations).
+* :mod:`repro.dataflow` — the single-rate dataflow substrate (SRDF graphs,
+  periodic admissible schedules, maximum cycle ratio, self-timed simulation,
+  the two-actor-per-task construction for budget schedulers).
+* :mod:`repro.scheduling` — budget schedulers (TDM) and their latency-rate
+  characterisation.
+* :mod:`repro.solver` — the convex optimisation substrate (modelling layer,
+  log-barrier interior-point SOCP solver, LP and scipy backends).
+* :mod:`repro.core` — the paper's contribution: the joint SOCP (Algorithm 1),
+  the allocator with conservative rounding and verification, and trade-off
+  exploration.
+* :mod:`repro.baselines` — the classical two-phase flows and independent
+  oracles used for comparison and validation.
+* :mod:`repro.analysis` — throughput/feasibility/sensitivity analysis and
+  report rendering.
+* :mod:`repro.experiments` — drivers that regenerate the paper's figures.
+
+Quickstart
+----------
+
+>>> from repro import ConfigurationBuilder, allocate
+>>> config = (
+...     ConfigurationBuilder(name="demo")
+...     .processor("p1", replenishment_interval=40.0)
+...     .processor("p2", replenishment_interval=40.0)
+...     .memory("m1")
+...     .task_graph("job", period=10.0)
+...     .task("producer", wcet=1.0, processor="p1")
+...     .task("consumer", wcet=1.0, processor="p2")
+...     .buffer("stream", source="producer", target="consumer", memory="m1")
+...     .build()
+... )
+>>> mapping = allocate(config)
+>>> mapping.budget("producer") >= 4.0
+True
+"""
+
+from repro.core import (
+    AllocatorOptions,
+    JointAllocator,
+    ObjectiveWeights,
+    SocpFormulation,
+    TradeoffCurve,
+    TradeoffExplorer,
+    TradeoffPoint,
+    VerificationReport,
+    allocate,
+    verify_mapping,
+)
+from repro.exceptions import (
+    AllocationError,
+    AnalysisError,
+    BindingError,
+    FormulationError,
+    GraphStructureError,
+    InfeasibleProblemError,
+    ModelError,
+    NumericalError,
+    ReproError,
+    SimulationError,
+    SolverError,
+    UnboundedProblemError,
+)
+from repro.taskgraph import (
+    Buffer,
+    Configuration,
+    ConfigurationBuilder,
+    MappedConfiguration,
+    Memory,
+    Platform,
+    Processor,
+    Task,
+    TaskGraph,
+    homogeneous_platform,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AllocationError",
+    "AllocatorOptions",
+    "AnalysisError",
+    "BindingError",
+    "Buffer",
+    "Configuration",
+    "ConfigurationBuilder",
+    "FormulationError",
+    "GraphStructureError",
+    "InfeasibleProblemError",
+    "JointAllocator",
+    "MappedConfiguration",
+    "Memory",
+    "ModelError",
+    "NumericalError",
+    "ObjectiveWeights",
+    "Platform",
+    "Processor",
+    "ReproError",
+    "SimulationError",
+    "SocpFormulation",
+    "SolverError",
+    "Task",
+    "TaskGraph",
+    "TradeoffCurve",
+    "TradeoffExplorer",
+    "TradeoffPoint",
+    "UnboundedProblemError",
+    "VerificationReport",
+    "allocate",
+    "homogeneous_platform",
+    "verify_mapping",
+    "__version__",
+]

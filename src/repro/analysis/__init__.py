@@ -1,0 +1,36 @@
+"""Analysis and reporting: throughput, feasibility screening, sensitivity, tables."""
+
+from repro.analysis.feasibility import FeasibilityScreen, screen_configuration
+from repro.analysis.latency import LatencyReport, analyse_latency, latency_lower_bound
+from repro.analysis.report import render_markdown_table, render_series, render_table
+from repro.analysis.sensitivity import (
+    BudgetReductionStep,
+    MarginalCapacityValue,
+    budget_reduction_curve,
+    diminishing_returns,
+    marginal_capacity_values,
+)
+from repro.analysis.throughput import (
+    GraphThroughputReport,
+    analyse_throughput,
+    utilisation_summary,
+)
+
+__all__ = [
+    "BudgetReductionStep",
+    "FeasibilityScreen",
+    "GraphThroughputReport",
+    "LatencyReport",
+    "MarginalCapacityValue",
+    "analyse_latency",
+    "analyse_throughput",
+    "latency_lower_bound",
+    "budget_reduction_curve",
+    "diminishing_returns",
+    "marginal_capacity_values",
+    "render_markdown_table",
+    "render_series",
+    "render_table",
+    "screen_configuration",
+    "utilisation_summary",
+]

@@ -1,0 +1,81 @@
+"""Plain-text and Markdown rendering of experiment results.
+
+The experiment drivers and benchmarks print the same rows the paper plots;
+these helpers format them consistently for the console, for
+``EXPERIMENTS.md`` and for test assertions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def _format_value(value: object, precision: int = 4) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    precision: int = 4,
+) -> str:
+    """Render rows of dictionaries as an aligned plain-text table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    cells = [[_format_value(row.get(col), precision) for col in columns] for row in rows]
+    widths = [
+        max(len(str(col)), max(len(row[i]) for row in cells))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(str(col).ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = [
+        "  ".join(row[i].ljust(widths[i]) for i in range(len(columns))) for row in cells
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def render_markdown_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    precision: int = 4,
+) -> str:
+    """Render rows of dictionaries as a GitHub-flavoured Markdown table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    lines = [
+        "| " + " | ".join(str(col) for col in columns) + " |",
+        "| " + " | ".join("---" for _ in columns) + " |",
+    ]
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(_format_value(row.get(col), precision) for col in columns) + " |"
+        )
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    x_values: Iterable[object],
+    series: Mapping[str, Sequence[float]],
+    precision: int = 4,
+) -> str:
+    """Render one or more y-series against a common x-axis as a table."""
+    x_list = list(x_values)
+    rows: List[Dict[str, object]] = []
+    for i, x in enumerate(x_list):
+        row: Dict[str, object] = {x_label: x}
+        for name, values in series.items():
+            row[name] = values[i] if i < len(values) else None
+        rows.append(row)
+    return render_table(rows, precision=precision)

@@ -1,0 +1,95 @@
+"""Sensitivity of the required budgets to buffer capacities.
+
+Figure 2(b) of the paper plots the *derivative* of the budget reduction: how
+many Mcycles of budget one extra container buys.  This module computes that
+derivative from a trade-off curve and also provides per-buffer marginal-value
+analysis (which buffer is most worth enlarging next) for general graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.exceptions import InfeasibleProblemError
+from repro.core.allocator import AllocatorOptions, JointAllocator
+from repro.core.objective import ObjectiveWeights
+from repro.core.tradeoff import TradeoffCurve
+from repro.taskgraph.configuration import Configuration
+
+
+@dataclass
+class BudgetReductionStep:
+    """Budget saved by going from ``capacity_limit − 1`` to ``capacity_limit``."""
+
+    capacity_limit: int
+    reduction: float
+
+
+def budget_reduction_curve(
+    curve: TradeoffCurve, task_name: Optional[str] = None, relaxed: bool = True
+) -> List[BudgetReductionStep]:
+    """The per-container budget reduction along a capacity sweep (Fig. 2(b))."""
+    feasible = curve.feasible_points()
+    steps: List[BudgetReductionStep] = []
+    reductions = curve.budget_reductions(task_name=task_name, relaxed=relaxed)
+    for point, reduction in zip(feasible[1:], reductions):
+        steps.append(
+            BudgetReductionStep(capacity_limit=point.capacity_limit, reduction=reduction)
+        )
+    return steps
+
+
+def diminishing_returns(steps: Sequence[BudgetReductionStep], tolerance: float = 1e-6) -> bool:
+    """True when the budget reduction per container is non-increasing."""
+    values = [step.reduction for step in steps]
+    return all(earlier >= later - tolerance for earlier, later in zip(values, values[1:]))
+
+
+@dataclass
+class MarginalCapacityValue:
+    """Budget saved by adding one container to a single buffer."""
+
+    buffer_name: str
+    baseline_total_budget: float
+    enlarged_total_budget: float
+
+    @property
+    def saving(self) -> float:
+        return self.baseline_total_budget - self.enlarged_total_budget
+
+
+def marginal_capacity_values(
+    configuration: Configuration,
+    capacities: Dict[str, int],
+    weights: Optional[ObjectiveWeights] = None,
+) -> List[MarginalCapacityValue]:
+    """Budget saved by giving each buffer (one at a time) one extra container.
+
+    Useful for guiding manual design-space exploration on general graphs where
+    the uniform sweep of the paper's experiments is too coarse.
+    """
+    allocator = JointAllocator(
+        weights=weights or ObjectiveWeights.prefer_budgets(),
+        options=AllocatorOptions(run_simulation=False),
+    )
+    baseline = allocator.allocate(configuration, capacity_limits=capacities)
+    baseline_total = sum(baseline.relaxed_budgets.values())
+
+    results: List[MarginalCapacityValue] = []
+    for buffer_name in sorted(capacities):
+        enlarged = dict(capacities)
+        enlarged[buffer_name] = capacities[buffer_name] + 1
+        try:
+            mapped = allocator.allocate(configuration, capacity_limits=enlarged)
+            enlarged_total = sum(mapped.relaxed_budgets.values())
+        except InfeasibleProblemError:
+            enlarged_total = baseline_total
+        results.append(
+            MarginalCapacityValue(
+                buffer_name=buffer_name,
+                baseline_total_budget=baseline_total,
+                enlarged_total_budget=enlarged_total,
+            )
+        )
+    return results

@@ -1,0 +1,39 @@
+"""Baseline mapping flows and independent oracles.
+
+* :mod:`~repro.baselines.two_phase` — the classical two-phase flow (budget
+  first or buffer first) the paper improves upon.
+* :mod:`~repro.baselines.buffer_sizing` — LP buffer sizing for fixed budgets.
+* :mod:`~repro.baselines.budget_minimization` — budget minimisation for fixed
+  capacities, a solver-free bisection oracle and the closed-form solution of
+  the paper's producer-consumer experiment.
+"""
+
+from repro.baselines.budget_minimization import (
+    bisect_uniform_budget,
+    is_uniform_budget_feasible,
+    minimal_budgets_fixed_capacities,
+    producer_consumer_minimum_budget,
+)
+from repro.baselines.buffer_sizing import minimal_buffer_capacities
+from repro.baselines.two_phase import (
+    TwoPhaseOrder,
+    TwoPhaseResult,
+    compare_with_joint,
+    minimum_buffer_capacities,
+    minimum_throughput_budgets,
+    run_two_phase,
+)
+
+__all__ = [
+    "TwoPhaseOrder",
+    "TwoPhaseResult",
+    "bisect_uniform_budget",
+    "compare_with_joint",
+    "is_uniform_budget_feasible",
+    "minimal_budgets_fixed_capacities",
+    "minimal_buffer_capacities",
+    "minimum_buffer_capacities",
+    "minimum_throughput_budgets",
+    "producer_consumer_minimum_budget",
+    "run_two_phase",
+]

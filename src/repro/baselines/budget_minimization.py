@@ -1,0 +1,148 @@
+"""Budget minimisation for *fixed* buffer capacities.
+
+Two independent methods are provided:
+
+* :func:`minimal_budgets_fixed_capacities` — the other phase of the classical
+  two-phase flow: solve the cone program with the capacities locked, so only
+  budgets (and start times) remain free.
+* :func:`bisect_uniform_budget` — an oracle that does not use the cone solver
+  at all: assume every task receives the same budget, instantiate the SRDF
+  graph and bisect on the budget using the Bellman–Ford feasibility test.
+  For symmetric configurations (such as the paper's experiments) this gives
+  the exact minimum uniform budget and is used to cross-validate the SOCP.
+* :func:`producer_consumer_minimum_budget` — the closed-form solution of the
+  paper's first experiment, used as an analytic reference in tests and
+  benchmark shape checks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Optional
+
+from repro.exceptions import InfeasibleProblemError
+from repro.core.allocator import AllocatorOptions, JointAllocator
+from repro.core.objective import ObjectiveWeights
+from repro.dataflow.construction import build_srdf_specification, instantiate_srdf
+from repro.dataflow.mcr import is_period_feasible
+from repro.taskgraph.configuration import Configuration, MappedConfiguration
+
+
+def minimal_budgets_fixed_capacities(
+    configuration: Configuration,
+    capacities: Mapping[str, int],
+    weights: Optional[ObjectiveWeights] = None,
+    backend: str = "auto",
+) -> MappedConfiguration:
+    """Minimise the (weighted) budgets for fixed buffer capacities.
+
+    The capacities are enforced as upper bounds; because larger buffers never
+    increase the required budgets (monotonicity), the returned mapping uses at
+    most the given capacities and its budgets are minimal for them.
+    """
+    allocator = JointAllocator(
+        weights=weights or ObjectiveWeights.prefer_budgets(),
+        options=AllocatorOptions(backend=backend),
+    )
+    limits = {name: int(value) for name, value in capacities.items()}
+    return allocator.allocate(configuration, capacity_limits=limits)
+
+
+def is_uniform_budget_feasible(
+    configuration: Configuration,
+    budget: float,
+    capacities: Mapping[str, int],
+) -> bool:
+    """PAS feasibility of giving *every* task the same budget.
+
+    Uses only the dataflow substrate (graph instantiation + Bellman–Ford), not
+    the cone solver, so it is an independent oracle.
+    """
+    if budget <= 0.0:
+        return False
+    budgets = {task.name: budget for _, task in configuration.all_tasks()}
+    for graph in configuration.task_graphs:
+        for task in graph.tasks:
+            processor = configuration.platform.processor(task.processor)
+            if budget > processor.allocatable_capacity + 1e-12:
+                return False
+        spec = build_srdf_specification(graph)
+        srdf = instantiate_srdf(spec, graph, configuration.platform, budgets, capacities)
+        if not is_period_feasible(srdf, graph.period):
+            return False
+    # Per-processor capacity (Constraint (4) without the rounding slack, since
+    # the caller controls whether the budget is granularity-aligned).
+    for processor_name, processor in configuration.platform.processors.items():
+        tasks = configuration.tasks_on_processor(processor_name)
+        if tasks and len(tasks) * budget > processor.allocatable_capacity + 1e-12:
+            return False
+    return True
+
+
+def bisect_uniform_budget(
+    configuration: Configuration,
+    capacities: Mapping[str, int],
+    tolerance: float = 1e-6,
+) -> float:
+    """Smallest uniform budget for which a PAS with the required period exists.
+
+    Raises
+    ------
+    InfeasibleProblemError
+        When even the largest possible uniform budget is insufficient.
+    """
+    high = min(
+        processor.allocatable_capacity
+        for processor in configuration.platform.processors.values()
+    )
+    # Account for processors shared by several tasks.
+    for processor_name, processor in configuration.platform.processors.items():
+        tasks = configuration.tasks_on_processor(processor_name)
+        if tasks:
+            high = min(high, processor.allocatable_capacity / len(tasks))
+    if not is_uniform_budget_feasible(configuration, high, capacities):
+        raise InfeasibleProblemError(
+            f"even a uniform budget of {high:.6g} cannot satisfy the throughput "
+            f"requirements of {configuration.name!r} with the given capacities"
+        )
+    low = 0.0
+    while high - low > tolerance * max(1.0, high):
+        mid = 0.5 * (low + high)
+        if is_uniform_budget_feasible(configuration, mid, capacities):
+            high = mid
+        else:
+            low = mid
+    return high
+
+
+def producer_consumer_minimum_budget(
+    buffer_capacity: int,
+    replenishment_interval: float = 40.0,
+    wcet: float = 1.0,
+    period: float = 10.0,
+) -> float:
+    """Closed-form minimal (equal) budget of the paper's producer-consumer graph.
+
+    For the two-task graph of Figure 1 with both tasks on their own processor,
+    the binding cycles of the dataflow graph are the two self-loops
+    (``̺·χ/β ≤ µ``) and the producer-consumer cycle
+    (``2(̺ − β) + 2·̺·χ/β ≤ d·µ``), giving
+
+        β_min(d) = max( ̺·χ/µ ,  [ (2̺ − d·µ) + sqrt((2̺ − d·µ)² + 16·̺·χ) ] / 4 ).
+    """
+    if buffer_capacity < 1:
+        raise InfeasibleProblemError("the buffer needs at least one container")
+    rho = float(replenishment_interval)
+    chi = float(wcet)
+    mu = float(period)
+    d = float(buffer_capacity)
+    self_loop_bound = rho * chi / mu
+    a = 2.0 * rho - d * mu
+    cycle_bound = (a + math.sqrt(a * a + 16.0 * rho * chi)) / 4.0
+    beta = max(self_loop_bound, cycle_bound)
+    if beta > rho:
+        raise InfeasibleProblemError(
+            f"no budget ≤ the replenishment interval satisfies the period with "
+            f"{buffer_capacity} containers"
+        )
+    return beta

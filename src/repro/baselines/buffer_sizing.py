@@ -1,0 +1,153 @@
+"""Buffer sizing for *fixed* budgets (one phase of the classical two-phase flow).
+
+When the budgets are already decided, the actor firing durations of the
+dataflow model are constants and the throughput-constrained buffer-sizing
+problem becomes a linear program (the formulation the paper builds on, cf. its
+reference [9]): minimise the weighted capacities subject to the start-time
+constraints (1) and the memory capacity constraints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+import networkx as nx
+
+from repro.exceptions import (
+    AllocationError,
+    InfeasibleProblemError,
+    NumericalError,
+)
+from repro.core.objective import ObjectiveWeights
+from repro.core.rounding import round_capacities
+from repro.dataflow.construction import (
+    ActorRole,
+    QueueKind,
+    build_srdf_specification,
+)
+from repro.solver.expression import AffineExpression, Variable, linear_sum
+from repro.solver.problem import ConeProgram
+from repro.solver.result import SolverStatus
+from repro.taskgraph.configuration import Configuration
+
+
+def minimal_buffer_capacities(
+    configuration: Configuration,
+    budgets: Mapping[str, float],
+    weights: Optional[ObjectiveWeights] = None,
+    capacity_limits: Optional[Mapping[str, int]] = None,
+    backend: str = "auto",
+) -> Dict[str, int]:
+    """Smallest (weighted) buffer capacities that meet the throughput requirements.
+
+    Parameters
+    ----------
+    configuration:
+        The configuration whose buffers are to be sized.
+    budgets:
+        Fixed budget per task (time units per replenishment interval).
+    capacity_limits:
+        Optional per-buffer upper bounds (containers).
+
+    Returns
+    -------
+    dict
+        Conservatively rounded capacity per buffer name.
+
+    Raises
+    ------
+    InfeasibleProblemError
+        When no finite capacities satisfy the throughput requirement with the
+        given budgets (or the memory / capacity bounds are too tight).
+    """
+    weights = weights or ObjectiveWeights()
+    capacity_limits = dict(capacity_limits or {})
+    program = ConeProgram(name=f"buffer-sizing[{configuration.name}]")
+
+    capacity_vars: Dict[str, Variable] = {}
+    start_exprs: Dict[str, AffineExpression] = {}
+    objective_terms = []
+
+    for graph in configuration.task_graphs:
+        spec = build_srdf_specification(graph)
+
+        # Start-time variables, pinning one actor per weakly connected component.
+        component_graph = nx.Graph()
+        component_graph.add_nodes_from(spec.actor_names())
+        for queue in spec.queues:
+            component_graph.add_edge(queue.source, queue.target)
+        for component in nx.connected_components(component_graph):
+            reference = sorted(component)[0]
+            start_exprs[reference] = AffineExpression({}, 0.0)
+            for actor_name in sorted(component):
+                if actor_name != reference:
+                    var = program.add_variable(f"s[{actor_name}]")
+                    start_exprs[actor_name] = AffineExpression({var: 1.0})
+
+        for buffer in graph.buffers:
+            lower = float(buffer.smallest_feasible_capacity)
+            upper: Optional[float] = None
+            if buffer.max_capacity is not None:
+                upper = float(buffer.max_capacity)
+            if buffer.name in capacity_limits:
+                limit = float(capacity_limits[buffer.name])
+                upper = limit if upper is None else min(upper, limit)
+            var = program.add_variable(f"capacity[{buffer.name}]", lower=lower, upper=upper)
+            capacity_vars[buffer.name] = var
+            coefficient = weights.capacity_coefficient(buffer)
+            objective_terms.append(var * (coefficient if coefficient else 1.0))
+
+        for queue in spec.queues:
+            task = graph.task(queue.source_task)
+            processor = configuration.platform.processor(task.processor)
+            if task.name not in budgets:
+                raise AllocationError(f"no budget provided for task {task.name!r}")
+            budget = float(budgets[task.name])
+            if budget <= 0.0 or budget > processor.replenishment_interval + 1e-9:
+                raise AllocationError(
+                    f"budget {budget} of task {task.name!r} is outside "
+                    f"(0, {processor.replenishment_interval}]"
+                )
+            if queue.source_role is ActorRole.START:
+                duration = processor.replenishment_interval - budget
+            else:
+                duration = processor.replenishment_interval * task.wcet / budget
+            if queue.fixed_tokens is not None:
+                tokens: AffineExpression = AffineExpression({}, float(queue.fixed_tokens))
+            else:
+                buffer = graph.buffer(queue.buffer)  # type: ignore[arg-type]
+                tokens = AffineExpression(
+                    {capacity_vars[buffer.name]: 1.0}, -float(buffer.initial_tokens)
+                )
+            lhs = start_exprs[queue.target]
+            rhs = start_exprs[queue.source] + duration - tokens * graph.period
+            program.add_greater_equal(lhs, rhs, name=f"pas[{queue.name}]")
+
+    # Memory constraints (Constraint (10) with fixed +1 rounding slack).
+    for memory_name, memory in configuration.platform.memories.items():
+        if not memory.is_bounded:
+            continue
+        buffers = configuration.buffers_in_memory(memory_name)
+        if not buffers:
+            continue
+        usage = linear_sum(
+            [
+                (capacity_vars[buffer.name] + 1.0) * buffer.container_size
+                for buffer in buffers
+            ]
+        )
+        program.add_less_equal(usage, memory.capacity, name=f"memory[{memory_name}]")
+
+    program.minimize(linear_sum(objective_terms))
+    solution = program.solve(backend=backend)
+    if solution.status is SolverStatus.INFEASIBLE:
+        raise InfeasibleProblemError(
+            f"no buffer capacities satisfy the throughput requirements of "
+            f"{configuration.name!r} for the given budgets"
+        )
+    if not solution.is_optimal:
+        raise NumericalError(
+            f"buffer sizing failed: {solution.status.value} ({solution.message})"
+        )
+    relaxed = {name: solution.value(var) for name, var in capacity_vars.items()}
+    return round_capacities(relaxed)

@@ -1,0 +1,5 @@
+"""Task-to-processor and buffer-to-memory binding (the paper's named future work)."""
+
+from repro.binding.greedy import BindingResult, bind_and_allocate, bind_greedy
+
+__all__ = ["BindingResult", "bind_and_allocate", "bind_greedy"]

@@ -1,0 +1,196 @@
+"""Greedy task-to-processor and buffer-to-memory binding.
+
+The paper's conclusion names the computation of bindings (which processor
+runs which task, which memory holds which buffer) as the next step of an
+automated mapping flow.  This module implements that step with the standard
+greedy heuristics used by practical flows:
+
+* tasks are bound longest-processing-time-first to the processor with the
+  lowest accumulated *minimum-budget* load, where the minimum budget of a
+  task is the throughput-implied lower bound ``̺(p)·χ(w)/µ(T)`` (plus one
+  allocation granule of rounding slack, mirroring Constraint (9));
+* buffers are bound largest-first to the memory with the most remaining
+  capacity (bounded memories) or the least accumulated storage (unbounded
+  memories), using the smallest feasible capacity plus one container as the
+  storage estimate (mirroring Constraint (10)).
+
+The result is a new :class:`~repro.taskgraph.configuration.Configuration`
+with every task and buffer re-bound; the joint budget/buffer computation of
+:mod:`repro.core` then runs on it unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.exceptions import BindingError, ModelError
+from repro.taskgraph.buffer import Buffer
+from repro.taskgraph.configuration import Configuration
+from repro.taskgraph.graph import TaskGraph
+from repro.taskgraph.platform import Platform
+from repro.taskgraph.task import Task
+
+
+@dataclass
+class BindingResult:
+    """Outcome of a greedy binding pass."""
+
+    configuration: Configuration
+    task_bindings: Dict[str, str] = field(default_factory=dict)
+    buffer_bindings: Dict[str, str] = field(default_factory=dict)
+    processor_load: Dict[str, float] = field(default_factory=dict)
+    memory_load: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def max_processor_load(self) -> float:
+        return max(self.processor_load.values(), default=0.0)
+
+    @property
+    def load_imbalance(self) -> float:
+        """Difference between the most and least loaded processor (fractions)."""
+        if not self.processor_load:
+            return 0.0
+        return self.max_processor_load - min(self.processor_load.values())
+
+
+def _minimum_budget_demand(
+    task: Task, graph: TaskGraph, platform: Platform, processor_name: str, granularity: float
+) -> float:
+    processor = platform.processor(processor_name)
+    minimum = processor.replenishment_interval * task.wcet / graph.period
+    if task.min_budget is not None:
+        minimum = max(minimum, task.min_budget)
+    return minimum + granularity
+
+
+def bind_greedy(configuration: Configuration) -> BindingResult:
+    """Re-bind every task and buffer of a configuration with greedy heuristics.
+
+    The input configuration's existing bindings are ignored (they only serve
+    as the source of the task and buffer parameters).  Raises
+    :class:`~repro.exceptions.BindingError` when even the greedy heuristic
+    cannot fit the minimum demands, which is a sound early "no" because the
+    greedy load bound is a lower bound on any binding's load only per choice —
+    callers wanting certainty should run the joint allocator afterwards.
+    """
+    platform = configuration.platform
+    if not len(platform):
+        raise BindingError("the platform has no processors to bind tasks to")
+    if not platform.memories:
+        raise BindingError("the platform has no memories to bind buffers to")
+
+    granularity = configuration.granularity
+    # Accumulated minimum-budget demand per processor, as a fraction of its
+    # replenishment interval.
+    demand: Dict[str, float] = {name: p.scheduling_overhead for name, p in platform.processors.items()}
+    storage: Dict[str, float] = {name: 0.0 for name in platform.memories}
+
+    task_bindings: Dict[str, str] = {}
+    buffer_bindings: Dict[str, str] = {}
+    new_graphs: List[TaskGraph] = []
+
+    # Bind tasks: largest minimum demand first, to the least-loaded processor.
+    all_tasks = sorted(
+        configuration.all_tasks(),
+        key=lambda pair: pair[1].wcet / pair[0].period,
+        reverse=True,
+    )
+    for graph, task in all_tasks:
+        best_name: Optional[str] = None
+        best_load = float("inf")
+        for processor_name, processor in platform.processors.items():
+            needed = _minimum_budget_demand(task, graph, platform, processor_name, granularity)
+            load = (demand[processor_name] + needed) / processor.replenishment_interval
+            if load < best_load - 1e-12:
+                best_load = load
+                best_name = processor_name
+        assert best_name is not None
+        if best_load > 1.0 + 1e-9:
+            raise BindingError(
+                f"task {task.name!r} cannot be bound anywhere: every processor would "
+                f"exceed its replenishment interval with the minimum budgets alone"
+            )
+        demand[best_name] += _minimum_budget_demand(task, graph, platform, best_name, granularity)
+        task_bindings[task.name] = best_name
+
+    # Bind buffers: largest minimal storage first, to the memory with the most
+    # remaining room (bounded) or the least usage (unbounded).
+    all_buffers = sorted(
+        configuration.all_buffers(),
+        key=lambda pair: pair[1].storage_for(pair[1].smallest_feasible_capacity + 1),
+        reverse=True,
+    )
+    for _, buffer in all_buffers:
+        needed = buffer.storage_for(buffer.smallest_feasible_capacity + 1)
+        best_name = None
+        best_metric = float("-inf")
+        for memory_name, memory in platform.memories.items():
+            if memory.is_bounded:
+                remaining = memory.capacity - storage[memory_name] - needed
+                if remaining < -1e-9:
+                    continue
+                metric = remaining
+            else:
+                metric = -storage[memory_name]
+            if metric > best_metric:
+                best_metric = metric
+                best_name = memory_name
+        if best_name is None:
+            raise BindingError(
+                f"buffer {buffer.name!r} does not fit in any memory even at its "
+                f"smallest feasible capacity"
+            )
+        storage[best_name] += needed
+        buffer_bindings[buffer.name] = best_name
+
+    # Materialise the re-bound configuration.
+    for graph in configuration.task_graphs:
+        new_graph = TaskGraph(name=graph.name, period=graph.period)
+        for task in graph.tasks:
+            new_graph.add_task(task.with_processor(task_bindings[task.name]))
+        for buffer in graph.buffers:
+            new_graph.add_buffer(
+                Buffer(
+                    name=buffer.name,
+                    source=buffer.source,
+                    target=buffer.target,
+                    memory=buffer_bindings[buffer.name],
+                    container_size=buffer.container_size,
+                    initial_tokens=buffer.initial_tokens,
+                    capacity_weight=buffer.capacity_weight,
+                    min_capacity=buffer.min_capacity,
+                    max_capacity=buffer.max_capacity,
+                )
+            )
+        new_graphs.append(new_graph)
+
+    bound = Configuration(
+        platform=platform,
+        task_graphs=new_graphs,
+        granularity=granularity,
+        name=f"{configuration.name}-bound",
+    )
+    result = BindingResult(
+        configuration=bound,
+        task_bindings=task_bindings,
+        buffer_bindings=buffer_bindings,
+        processor_load={
+            name: demand[name] / platform.processor(name).replenishment_interval
+            for name in platform.processors
+        },
+        memory_load={
+            name: (storage[name] / memory.capacity if memory.is_bounded else storage[name])
+            for name, memory in platform.memories.items()
+        },
+    )
+    return result
+
+
+def bind_and_allocate(configuration: Configuration, **allocator_kwargs):
+    """Convenience: greedy binding followed by the joint budget/buffer computation."""
+    from repro.core.allocator import allocate
+
+    result = bind_greedy(configuration)
+    mapped = allocate(result.configuration, **allocator_kwargs)
+    return result, mapped

@@ -1,0 +1,208 @@
+"""Command-line interface.
+
+The CLI makes the library usable from a shell or a build system without
+writing Python:
+
+* ``repro-map allocate <config.json>`` — run the joint budget/buffer
+  computation on a configuration stored as JSON and print (or write) the
+  mapped configuration.
+* ``repro-map sweep <config.json> --capacities 1:10`` — reproduce a
+  budget-vs-buffer trade-off sweep for an arbitrary configuration.
+* ``repro-map experiments`` — regenerate the paper's figures.
+* ``repro-map validate <config.json>`` — structural validation plus the
+  closed-form feasibility screen, without invoking the solver.
+
+All sub-commands exit with status 0 on success, 1 on infeasibility or
+validation failure, and 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis import render_table, screen_configuration
+from repro.core import AllocatorOptions, JointAllocator, ObjectiveWeights, TradeoffExplorer
+from repro.exceptions import InfeasibleProblemError, ReproError
+from repro.taskgraph import serialization
+
+#: Exit codes used by every sub-command.
+EXIT_OK = 0
+EXIT_INFEASIBLE = 1
+EXIT_USAGE = 2
+
+
+def _load_configuration(path: str):
+    return serialization.load_configuration(path)
+
+
+def _weights(name: str) -> ObjectiveWeights:
+    presets = {
+        "balanced": ObjectiveWeights.balanced,
+        "prefer-budgets": ObjectiveWeights.prefer_budgets,
+        "prefer-buffers": ObjectiveWeights.prefer_buffers,
+    }
+    return presets[name]()
+
+
+def _parse_capacity_range(text: str) -> List[int]:
+    """Parse ``"1:10"`` or ``"2,4,8"`` into a list of capacities."""
+    if ":" in text:
+        low, high = text.split(":", 1)
+        return list(range(int(low), int(high) + 1))
+    return [int(part) for part in text.split(",") if part]
+
+
+# -- sub-commands ----------------------------------------------------------------
+def _cmd_allocate(arguments: argparse.Namespace) -> int:
+    configuration = _load_configuration(arguments.configuration)
+    allocator = JointAllocator(
+        weights=_weights(arguments.weights),
+        options=AllocatorOptions(backend=arguments.backend),
+    )
+    try:
+        mapped = allocator.allocate(configuration)
+    except InfeasibleProblemError as error:
+        print(f"infeasible: {error}", file=sys.stderr)
+        return EXIT_INFEASIBLE
+
+    payload = serialization.mapped_configuration_to_dict(mapped)
+    if arguments.output:
+        Path(arguments.output).write_text(json.dumps(payload, indent=2, sort_keys=True))
+        print(f"mapped configuration written to {arguments.output}")
+    else:
+        print(render_table(
+            [{"task": name, "budget": budget} for name, budget in sorted(mapped.budgets.items())]
+        ))
+        print()
+        print(render_table(
+            [
+                {"buffer": name, "capacity": capacity}
+                for name, capacity in sorted(mapped.buffer_capacities.items())
+            ]
+        ))
+    return EXIT_OK
+
+
+def _cmd_validate(arguments: argparse.Namespace) -> int:
+    try:
+        configuration = _load_configuration(arguments.configuration)
+        configuration.validate()
+    except ReproError as error:
+        print(f"invalid configuration: {error}", file=sys.stderr)
+        return EXIT_INFEASIBLE
+    screen = screen_configuration(configuration)
+    rows = [
+        {"resource": name, "minimum load": round(load, 4)}
+        for name, load in {**screen.processor_load, **screen.memory_load}.items()
+    ]
+    print(render_table(rows))
+    if not screen.may_be_feasible:
+        for violation in screen.violations:
+            print(f"violation: {violation}", file=sys.stderr)
+        return EXIT_INFEASIBLE
+    print("configuration is structurally valid and passes the feasibility screen")
+    return EXIT_OK
+
+
+def _cmd_sweep(arguments: argparse.Namespace) -> int:
+    configuration = _load_configuration(arguments.configuration)
+    capacities = _parse_capacity_range(arguments.capacities)
+    if not capacities:
+        print("empty capacity range", file=sys.stderr)
+        return EXIT_USAGE
+    explorer = TradeoffExplorer(
+        weights=_weights(arguments.weights),
+        allocator_options=AllocatorOptions(backend=arguments.backend, run_simulation=False),
+    )
+    curve = explorer.sweep_capacity_limit(configuration, capacities)
+    print(render_table(curve.as_table()))
+    return EXIT_OK if curve.feasible_points() else EXIT_INFEASIBLE
+
+
+def _cmd_experiments(arguments: argparse.Namespace) -> int:
+    from repro.experiments.runner import run_all
+
+    run_all(backend=arguments.backend)
+    return EXIT_OK
+
+
+# -- entry point -------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-map",
+        description="Simultaneous budget and buffer-size computation for "
+        "throughput-constrained task graphs (Wiggers et al., DATE 2010).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--backend",
+            default="auto",
+            choices=["auto", "barrier", "scipy"],
+            help="cone-solver backend (default: auto)",
+        )
+        sub.add_argument(
+            "--weights",
+            default="prefer-budgets",
+            choices=["balanced", "prefer-budgets", "prefer-buffers"],
+            help="objective weighting preset (default: prefer-budgets)",
+        )
+
+    allocate_parser = subparsers.add_parser(
+        "allocate", help="compute budgets and buffer capacities for a configuration"
+    )
+    allocate_parser.add_argument("configuration", help="path to a configuration JSON file")
+    allocate_parser.add_argument("--output", help="write the mapped configuration JSON here")
+    add_common(allocate_parser)
+    allocate_parser.set_defaults(handler=_cmd_allocate)
+
+    validate_parser = subparsers.add_parser(
+        "validate", help="validate a configuration and run the feasibility screen"
+    )
+    validate_parser.add_argument("configuration", help="path to a configuration JSON file")
+    validate_parser.set_defaults(handler=_cmd_validate)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="sweep the maximum buffer capacity and report the budget trade-off"
+    )
+    sweep_parser.add_argument("configuration", help="path to a configuration JSON file")
+    sweep_parser.add_argument(
+        "--capacities",
+        default="1:10",
+        help="capacity bounds to sweep, as 'low:high' or a comma-separated list (default 1:10)",
+    )
+    add_common(sweep_parser)
+    sweep_parser.set_defaults(handler=_cmd_sweep)
+
+    experiments_parser = subparsers.add_parser(
+        "experiments", help="regenerate the figures of the paper's evaluation"
+    )
+    add_common(experiments_parser)
+    experiments_parser.set_defaults(handler=_cmd_experiments)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    try:
+        arguments = parser.parse_args(argv)
+    except SystemExit as exit_error:
+        return EXIT_USAGE if exit_error.code not in (0, None) else EXIT_OK
+    try:
+        return int(arguments.handler(arguments))
+    except FileNotFoundError as error:
+        print(f"file not found: {error.filename}", file=sys.stderr)
+        return EXIT_USAGE
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_INFEASIBLE
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised through tests via main()
+    raise SystemExit(main())

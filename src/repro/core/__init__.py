@@ -1,0 +1,42 @@
+"""Core contribution of the paper: simultaneous budget and buffer-size computation.
+
+* :class:`~repro.core.formulation.SocpFormulation` — Algorithm 1 as a cone program.
+* :class:`~repro.core.allocator.JointAllocator` / :func:`~repro.core.allocator.allocate`
+  — solve, round conservatively, verify, and return a mapped configuration.
+* :class:`~repro.core.tradeoff.TradeoffExplorer` — budget/buffer trade-off sweeps.
+* :class:`~repro.core.objective.ObjectiveWeights` — objective weighting presets.
+* :mod:`~repro.core.rounding` — conservative rounding rules.
+* :mod:`~repro.core.validation` — independent verification of mappings.
+"""
+
+from repro.core.allocator import AllocatorOptions, JointAllocator, allocate
+from repro.core.formulation import FormulationVariables, SocpFormulation
+from repro.core.objective import ObjectiveWeights
+from repro.core.rounding import (
+    round_budget,
+    round_budgets,
+    round_capacities,
+    round_capacity,
+    rounding_overhead,
+)
+from repro.core.tradeoff import TradeoffCurve, TradeoffExplorer, TradeoffPoint
+from repro.core.validation import VerificationReport, verify_mapping
+
+__all__ = [
+    "AllocatorOptions",
+    "FormulationVariables",
+    "JointAllocator",
+    "ObjectiveWeights",
+    "SocpFormulation",
+    "TradeoffCurve",
+    "TradeoffExplorer",
+    "TradeoffPoint",
+    "VerificationReport",
+    "allocate",
+    "round_budget",
+    "round_budgets",
+    "round_capacities",
+    "round_capacity",
+    "rounding_overhead",
+    "verify_mapping",
+]

@@ -1,0 +1,154 @@
+"""Joint budget and buffer-size allocation.
+
+:class:`JointAllocator` is the top-level entry point of the library: it takes
+a :class:`~repro.taskgraph.configuration.Configuration`, builds and solves the
+SOCP of Algorithm 1, rounds the relaxed solution conservatively, verifies the
+result with independent dataflow analyses, and returns a
+:class:`~repro.taskgraph.configuration.MappedConfiguration`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro.exceptions import (
+    AllocationError,
+    InfeasibleProblemError,
+    NumericalError,
+    UnboundedProblemError,
+)
+from repro.core.formulation import SocpFormulation
+from repro.core.objective import ObjectiveWeights
+from repro.core.rounding import round_budgets, round_capacities
+from repro.core.validation import VerificationReport, verify_mapping
+from repro.solver.result import Solution, SolverStatus
+from repro.taskgraph.configuration import Configuration, MappedConfiguration
+
+
+@dataclass
+class AllocatorOptions:
+    """Options of the joint allocator."""
+
+    backend: str = "auto"              #: solver backend passed to the cone program
+    verify: bool = True                #: run independent verification after rounding
+    run_simulation: bool = True        #: include self-timed simulation in verification
+    simulate_iterations: int = 60      #: iterations of the validation simulation
+    raise_on_verification_failure: bool = True
+
+
+class JointAllocator:
+    """Simultaneous computation of budgets and buffer capacities."""
+
+    def __init__(
+        self,
+        weights: Optional[ObjectiveWeights] = None,
+        options: Optional[AllocatorOptions] = None,
+    ) -> None:
+        self.weights = weights or ObjectiveWeights.prefer_budgets()
+        self.options = options or AllocatorOptions()
+
+    def allocate(
+        self,
+        configuration: Configuration,
+        capacity_limits: Optional[Mapping[str, int]] = None,
+        budget_limits: Optional[Mapping[str, float]] = None,
+        weights: Optional[ObjectiveWeights] = None,
+    ) -> MappedConfiguration:
+        """Compute a mapped configuration that satisfies every throughput constraint.
+
+        Parameters
+        ----------
+        configuration:
+            The input configuration (validated before solving).
+        capacity_limits, budget_limits:
+            Optional additional upper bounds (per buffer / per task) used by
+            trade-off sweeps.
+        weights:
+            Objective weighting; overrides the allocator-level default.
+
+        Raises
+        ------
+        InfeasibleProblemError
+            When no budgets/capacities satisfy the constraints.
+        AllocationError
+            When the rounded mapping unexpectedly fails verification.
+        """
+        configuration.validate()
+        formulation = SocpFormulation(
+            configuration,
+            weights=weights or self.weights,
+            capacity_limits=capacity_limits,
+            budget_limits=budget_limits,
+        )
+        solution = formulation.solve(backend=self.options.backend)
+        self._check_status(solution, configuration)
+
+        relaxed_budgets = formulation.extract_budgets(solution)
+        relaxed_capacities = formulation.extract_capacities(solution)
+        budgets = round_budgets(relaxed_budgets, configuration.granularity)
+        capacities = round_capacities(relaxed_capacities)
+
+        mapped = MappedConfiguration(
+            configuration=configuration,
+            budgets=budgets,
+            buffer_capacities=capacities,
+            relaxed_budgets=relaxed_budgets,
+            relaxed_capacities=relaxed_capacities,
+            objective_value=solution.objective,
+            solver_info={
+                "backend": solution.backend,
+                "status": solution.status.value,
+                "iterations": solution.iterations,
+                "solve_time": solution.solve_time,
+            },
+        )
+
+        if self.options.verify:
+            report = self.verify(mapped)
+            mapped.solver_info["verification"] = report.summary()
+            if not report.is_valid and self.options.raise_on_verification_failure:
+                raise AllocationError(
+                    "the rounded mapping failed verification:\n" + report.summary()
+                )
+        return mapped
+
+    def verify(self, mapped: MappedConfiguration) -> VerificationReport:
+        """Verify a mapped configuration with independent dataflow analyses."""
+        return verify_mapping(
+            mapped,
+            simulate_iterations=self.options.simulate_iterations,
+            run_simulation=self.options.run_simulation,
+        )
+
+    @staticmethod
+    def _check_status(solution: Solution, configuration: Configuration) -> None:
+        if solution.status is SolverStatus.OPTIMAL:
+            return
+        if solution.status is SolverStatus.INFEASIBLE:
+            raise InfeasibleProblemError(
+                f"no budgets and buffer capacities satisfy the throughput "
+                f"requirements of configuration {configuration.name!r} within its "
+                f"processor and memory capacities"
+            )
+        if solution.status is SolverStatus.UNBOUNDED:
+            raise UnboundedProblemError(
+                f"the optimisation problem for configuration {configuration.name!r} "
+                f"is unbounded; check the objective weights"
+            )
+        raise NumericalError(
+            f"the solver failed on configuration {configuration.name!r}: "
+            f"{solution.status.value} ({solution.message})"
+        )
+
+
+def allocate(
+    configuration: Configuration,
+    weights: Optional[ObjectiveWeights] = None,
+    backend: str = "auto",
+    verify: bool = True,
+) -> MappedConfiguration:
+    """Functional convenience wrapper around :class:`JointAllocator`."""
+    options = AllocatorOptions(backend=backend, verify=verify)
+    allocator = JointAllocator(weights=weights, options=options)
+    return allocator.allocate(configuration)

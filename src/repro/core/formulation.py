@@ -1,0 +1,353 @@
+"""The SOCP formulation of Algorithm 1.
+
+Given a configuration, :class:`SocpFormulation` builds the second-order cone
+program of the paper:
+
+* **Variables** — per task ``w``: the relaxed budget ``β'(w)`` and the
+  reciprocal-budget variable ``λ(w)``; per buffer ``b``: the relaxed capacity
+  ``γ'(b)`` (the paper's ``δ'`` of the space queue is ``γ'(b) − ι(b)``); per
+  SRDF actor ``v``: a start time ``s(v)`` (one reference actor per weakly
+  connected component is pinned to 0 to remove the translation symmetry).
+* **Constraint (6)** for every queue in E1 (the task-internal queues):
+  ``s(v_i2) ≥ s(v_i1) + ̺(π(w_i)) − β'(w_i)``.
+* **Constraint (7)** for every queue in E2 (self-loops, data and space
+  queues): ``s(v_j) ≥ s(v_i) + ̺(π(w_i))·χ(w_i)·λ(w_i) − δ(e_ij)·µ``.
+* **Constraint (8)**: ``λ(w_i)·β'(w_i) ≥ 1`` — the only non-affine (rotated
+  second-order cone) constraint.
+* **Constraint (9)** per processor: budgets, one granule of rounding slack per
+  task, and the scheduling overhead fit in the replenishment interval.
+* **Constraint (10)** per bounded memory: the relaxed capacities plus one
+  container of rounding slack per buffer fit in the memory.
+* **Objective (5)**: minimise the weighted sum of budgets and capacities.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import networkx as nx
+
+from repro.exceptions import FormulationError, InfeasibleProblemError
+from repro.core.objective import ObjectiveWeights
+from repro.dataflow.construction import (
+    QueueKind,
+    SrdfSpecification,
+    build_srdf_specification,
+)
+from repro.solver.expression import AffineExpression, Variable, linear_sum
+from repro.solver.problem import ConeProgram
+from repro.solver.result import Solution
+from repro.taskgraph.configuration import Configuration
+
+
+@dataclass
+class FormulationVariables:
+    """Handles to the decision variables of the SOCP, keyed by model names."""
+
+    budgets: Dict[str, Variable] = field(default_factory=dict)
+    reciprocals: Dict[str, Variable] = field(default_factory=dict)
+    capacities: Dict[str, Variable] = field(default_factory=dict)
+    start_times: Dict[str, AffineExpression] = field(default_factory=dict)
+
+
+class SocpFormulation:
+    """Builder of the joint budget / buffer-size cone program (Algorithm 1)."""
+
+    def __init__(
+        self,
+        configuration: Configuration,
+        weights: Optional[ObjectiveWeights] = None,
+        capacity_limits: Optional[Mapping[str, int]] = None,
+        budget_limits: Optional[Mapping[str, float]] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        """Create the formulation.
+
+        Parameters
+        ----------
+        configuration:
+            The validated input configuration.
+        weights:
+            Objective weighting; defaults to the weights stored on the tasks
+            and buffers themselves.
+        capacity_limits:
+            Optional per-buffer upper bounds on the capacity (containers),
+            *in addition to* the bounds stored on the buffers.  Used by the
+            trade-off sweeps of the paper's experiments.
+        budget_limits:
+            Optional per-task upper bounds on the budget, in addition to the
+            bounds stored on the tasks.
+        """
+        self.configuration = configuration
+        self.weights = weights or ObjectiveWeights()
+        self.capacity_limits = dict(capacity_limits or {})
+        self.budget_limits = dict(budget_limits or {})
+        self.name = name or f"socp[{configuration.name}]"
+        self.specifications: Dict[str, SrdfSpecification] = {
+            graph.name: build_srdf_specification(graph)
+            for graph in configuration.task_graphs
+        }
+        self.program = ConeProgram(name=self.name)
+        self.variables = FormulationVariables()
+        self._built = False
+
+    # -- public API ------------------------------------------------------------
+    def build(self) -> ConeProgram:
+        """Construct the cone program; idempotent."""
+        if self._built:
+            return self.program
+        self._add_task_variables()
+        self._add_capacity_variables()
+        self._add_start_time_variables()
+        self._add_precedence_constraints()
+        self._add_reciprocal_constraints()
+        self._add_processor_constraints()
+        self._add_memory_constraints()
+        self._set_objective()
+        self._built = True
+        return self.program
+
+    def initial_point(self) -> Dict[Variable, float]:
+        """A heuristic warm-start point.
+
+        The point strictly satisfies every hyperbolic constraint (``λ·β > 1``)
+        and the simple bound constraints; phase I of the barrier solver
+        repairs any remaining linear infeasibility.
+        """
+        if not self._built:
+            self.build()
+        values: Dict[Variable, float] = {}
+        configuration = self.configuration
+        for graph in configuration.task_graphs:
+            for task in graph.tasks:
+                processor = configuration.platform.processor(task.processor)
+                beta_var = self.variables.budgets[task.name]
+                lower = beta_var.lower if beta_var.lower is not None else 1e-3
+                upper = beta_var.upper if beta_var.upper is not None else processor.replenishment_interval
+                beta0 = min(max(0.5 * (lower + upper), lower * 1.01), upper * 0.999)
+                values[beta_var] = beta0
+                values[self.variables.reciprocals[task.name]] = 1.05 / beta0
+            for buffer in graph.buffers:
+                cap_var = self.variables.capacities[buffer.name]
+                lower = cap_var.lower if cap_var.lower is not None else 1.0
+                upper = cap_var.upper if cap_var.upper is not None else lower + 8.0
+                values[cap_var] = 0.5 * (lower + upper)
+        return values
+
+    def solve(self, backend: str = "auto", **options: object) -> Solution:
+        """Build (if necessary) and solve the cone program."""
+        program = self.build()
+        return program.solve(
+            backend=backend, initial_point=self.initial_point(), **options
+        )
+
+    # -- solution extraction ------------------------------------------------------
+    def extract_budgets(self, solution: Solution) -> Dict[str, float]:
+        """Relaxed budgets ``β'(w)`` at a solution."""
+        return {name: solution.value(var) for name, var in self.variables.budgets.items()}
+
+    def extract_capacities(self, solution: Solution) -> Dict[str, float]:
+        """Relaxed capacities ``γ'(b)`` at a solution."""
+        return {
+            name: solution.value(var) for name, var in self.variables.capacities.items()
+        }
+
+    def extract_start_times(self, solution: Solution) -> Dict[str, float]:
+        """Start times ``s(v)`` of all SRDF actors at a solution."""
+        return {
+            name: solution.value(expr)
+            for name, expr in self.variables.start_times.items()
+        }
+
+    # -- variable creation -------------------------------------------------------
+    def _add_task_variables(self) -> None:
+        configuration = self.configuration
+        for graph in configuration.task_graphs:
+            for task in graph.tasks:
+                processor = configuration.platform.processor(task.processor)
+                rho = processor.replenishment_interval
+
+                # β'(w) ≥ ̺·χ/µ is implied by Constraints (7)+(8) on the
+                # self-loop; stating it as a bound tightens the relaxation the
+                # solver works with without changing the optimum.
+                lower = rho * task.wcet / graph.period
+                if task.min_budget is not None:
+                    lower = max(lower, task.min_budget)
+
+                upper = processor.allocatable_capacity - configuration.granularity
+                if task.max_budget is not None:
+                    upper = min(upper, task.max_budget)
+                if task.name in self.budget_limits:
+                    upper = min(upper, float(self.budget_limits[task.name]))
+                if upper < lower - 1e-12:
+                    raise InfeasibleProblemError(
+                        f"task {task.name!r}: the budget upper bound {upper:.6g} is "
+                        f"below the lower bound {lower:.6g} implied by the throughput "
+                        f"requirement"
+                    )
+
+                beta = self.program.add_variable(f"beta[{task.name}]", lower=lower, upper=upper)
+                lam = self.program.add_variable(
+                    f"lambda[{task.name}]",
+                    lower=1.0 / max(upper, 1e-12),
+                    upper=graph.period / (rho * task.wcet),
+                )
+                self.variables.budgets[task.name] = beta
+                self.variables.reciprocals[task.name] = lam
+
+    def _sufficient_capacity_bound(self, graph) -> float:
+        """A buffer capacity that is always enough for this task graph.
+
+        Any simple cycle of the constructed SRDF graph visits each task's
+        actor pair at most once, and each pair contributes at most
+        ``̺(p) + ̺(p)·χ(w)/β_min(w) = ̺(p) + µ`` to the cycle's duration
+        (using the throughput-implied budget lower bound).  A space queue
+        carrying ``⌈Σ(̺(p) + µ)/µ⌉`` tokens therefore satisfies Constraint (1)
+        on every cycle through it regardless of the other variables, so
+        capping capacities at this value (plus the initial tokens) never cuts
+        off the optimum while keeping the feasible region bounded.
+        """
+        total = 0.0
+        for task in graph.tasks:
+            processor = self.configuration.platform.processor(task.processor)
+            total += processor.replenishment_interval + graph.period
+        return math.ceil(total / graph.period) + 1.0
+
+    def _add_capacity_variables(self) -> None:
+        for graph in self.configuration.task_graphs:
+            default_bound = self._sufficient_capacity_bound(graph)
+            for buffer in graph.buffers:
+                lower = float(buffer.smallest_feasible_capacity)
+                upper = default_bound + buffer.initial_tokens
+                if buffer.max_capacity is not None:
+                    upper = min(upper, float(buffer.max_capacity))
+                if buffer.name in self.capacity_limits:
+                    upper = min(upper, float(self.capacity_limits[buffer.name]))
+                if upper is not None and upper < lower - 1e-12:
+                    raise InfeasibleProblemError(
+                        f"buffer {buffer.name!r}: the capacity upper bound {upper:.6g} "
+                        f"is below the smallest feasible capacity {lower:.6g}"
+                    )
+                capacity = self.program.add_variable(
+                    f"capacity[{buffer.name}]", lower=lower, upper=upper
+                )
+                self.variables.capacities[buffer.name] = capacity
+
+    def _add_start_time_variables(self) -> None:
+        """One start-time variable per actor, pinning one per weak component.
+
+        Start times only appear in difference constraints, so each weakly
+        connected component of the SRDF graph has a translation symmetry;
+        pinning one actor per component to 0 removes it (the objective does
+        not involve start times, so no optimality is lost).
+        """
+        for spec in self.specifications.values():
+            component_graph = nx.Graph()
+            component_graph.add_nodes_from(spec.actor_names())
+            for queue in spec.queues:
+                component_graph.add_edge(queue.source, queue.target)
+            for component in nx.connected_components(component_graph):
+                reference = sorted(component)[0]
+                self.variables.start_times[reference] = AffineExpression({}, 0.0)
+                for actor_name in sorted(component):
+                    if actor_name == reference:
+                        continue
+                    var = self.program.add_variable(f"s[{actor_name}]")
+                    self.variables.start_times[actor_name] = AffineExpression({var: 1.0})
+
+    # -- constraints -----------------------------------------------------------------
+    def _queue_token_expression(self, graph_name: str, queue) -> AffineExpression:
+        """The token count ``δ(e)`` of a queue as an affine expression."""
+        if queue.fixed_tokens is not None:
+            return AffineExpression({}, float(queue.fixed_tokens))
+        graph = self.configuration.task_graph(graph_name)
+        buffer = graph.buffer(queue.buffer)
+        capacity = self.variables.capacities[buffer.name]
+        return AffineExpression({capacity: 1.0}, -float(buffer.initial_tokens))
+
+    def _add_precedence_constraints(self) -> None:
+        configuration = self.configuration
+        for graph_name, spec in self.specifications.items():
+            graph = configuration.task_graph(graph_name)
+            period = graph.period
+            for queue in spec.queues:
+                task = graph.task(queue.source_task)
+                processor = configuration.platform.processor(task.processor)
+                rho = processor.replenishment_interval
+                s_source = self.variables.start_times[queue.source]
+                s_target = self.variables.start_times[queue.target]
+
+                if queue.in_queue_set_e1:
+                    # Constraint (6): s_j ≥ s_i + ̺ − β'
+                    beta = self.variables.budgets[task.name]
+                    rhs = s_source + rho - beta
+                    self.program.add_greater_equal(
+                        s_target, rhs, name=f"e1[{queue.name}]"
+                    )
+                else:
+                    # Constraint (7): s_j ≥ s_i + ̺·χ·λ − δ(e)·µ
+                    lam = self.variables.reciprocals[task.name]
+                    tokens = self._queue_token_expression(graph_name, queue)
+                    rhs = s_source + lam * (rho * task.wcet) - tokens * period
+                    self.program.add_greater_equal(
+                        s_target, rhs, name=f"e2[{queue.name}]"
+                    )
+
+    def _add_reciprocal_constraints(self) -> None:
+        for task_name, beta in self.variables.budgets.items():
+            lam = self.variables.reciprocals[task_name]
+            # Constraint (8): λ·β' ≥ 1
+            self.program.add_hyperbolic(lam, beta, 1.0, name=f"recip[{task_name}]")
+
+    def _add_processor_constraints(self) -> None:
+        configuration = self.configuration
+        g = configuration.granularity
+        for processor_name, processor in configuration.platform.processors.items():
+            tasks = configuration.tasks_on_processor(processor_name)
+            if not tasks:
+                continue
+            # Constraint (9): ̺ ≥ o + Σ (β' + g)
+            total = linear_sum(
+                [self.variables.budgets[task.name] for task in tasks]
+            ) + g * len(tasks) + processor.scheduling_overhead
+            self.program.add_less_equal(
+                total,
+                processor.replenishment_interval,
+                name=f"processor[{processor_name}]",
+            )
+
+    def _add_memory_constraints(self) -> None:
+        configuration = self.configuration
+        for memory_name, memory in configuration.platform.memories.items():
+            if not memory.is_bounded:
+                continue
+            buffers = configuration.buffers_in_memory(memory_name)
+            if not buffers:
+                continue
+            # Constraint (10): ς ≥ Σ (γ' + 1)·ζ, the +1 pre-charging the
+            # conservative rounding of the capacity.
+            usage = linear_sum(
+                [
+                    (self.variables.capacities[buffer.name] + 1.0) * buffer.container_size
+                    for buffer in buffers
+                ]
+            )
+            self.program.add_less_equal(
+                usage, memory.capacity, name=f"memory[{memory_name}]"
+            )
+
+    def _set_objective(self) -> None:
+        configuration = self.configuration
+        terms = []
+        for graph in configuration.task_graphs:
+            for task in graph.tasks:
+                coefficient = self.weights.budget_coefficient(task)
+                if coefficient:
+                    terms.append(self.variables.budgets[task.name] * coefficient)
+            for buffer in graph.buffers:
+                coefficient = self.weights.capacity_coefficient(buffer)
+                if coefficient:
+                    terms.append(self.variables.capacities[buffer.name] * coefficient)
+        self.program.minimize(linear_sum(terms))

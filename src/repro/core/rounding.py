@@ -1,0 +1,74 @@
+"""Conservative rounding of the relaxed optimiser outputs.
+
+The SOCP of Algorithm 1 works with real-valued budgets ``β'`` and capacities
+``γ'``; the implementable quantities are an integral number of budget granules
+and an integral number of containers.  Rounding is done *conservatively*
+(Section IV of the paper):
+
+* budgets are rounded **up** to the next multiple of the granularity ``g`` —
+  a larger budget shortens both actor firing durations, so the schedule
+  remains admissible; the extra ``≤ g`` per task was pre-charged in the
+  processor-capacity constraint (Constraint (9));
+* capacities are rounded **up** to the next integer — more space tokens can
+  only make token arrivals earlier (monotonicity); the extra ``≤ 1`` container
+  per buffer was pre-charged in the memory constraint (Constraint (10)).
+
+A tiny snapping tolerance absorbs solver round-off (e.g. a relaxed capacity of
+``3.0000000004`` becomes 3 containers, not 4); the allocator verifies the
+rounded mapping afterwards, so the tolerance cannot silently produce an
+infeasible result.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping
+
+from repro.exceptions import AllocationError
+
+#: Relative slack absorbed when snapping nearly-integral relaxed values.
+SNAP_TOLERANCE = 1e-6
+
+
+def round_budget(relaxed_budget: float, granularity: float, tolerance: float = SNAP_TOLERANCE) -> float:
+    """Round a relaxed budget up to the next multiple of the granularity."""
+    if relaxed_budget <= 0.0:
+        raise AllocationError(f"relaxed budget must be positive, got {relaxed_budget!r}")
+    if granularity <= 0.0:
+        raise AllocationError(f"granularity must be positive, got {granularity!r}")
+    granules = relaxed_budget / granularity
+    snapped = math.ceil(granules - tolerance)
+    return max(1, snapped) * granularity
+
+
+def round_capacity(relaxed_capacity: float, tolerance: float = SNAP_TOLERANCE) -> int:
+    """Round a relaxed capacity up to the next whole number of containers."""
+    if relaxed_capacity <= 0.0:
+        raise AllocationError(
+            f"relaxed capacity must be positive, got {relaxed_capacity!r}"
+        )
+    return max(1, math.ceil(relaxed_capacity - tolerance))
+
+
+def round_budgets(
+    relaxed_budgets: Mapping[str, float], granularity: float
+) -> Dict[str, float]:
+    """Apply :func:`round_budget` to every task."""
+    return {
+        task: round_budget(value, granularity) for task, value in relaxed_budgets.items()
+    }
+
+
+def round_capacities(relaxed_capacities: Mapping[str, float]) -> Dict[str, int]:
+    """Apply :func:`round_capacity` to every buffer."""
+    return {name: round_capacity(value) for name, value in relaxed_capacities.items()}
+
+
+def rounding_overhead(
+    relaxed_budgets: Mapping[str, float],
+    rounded_budgets: Mapping[str, float],
+) -> Dict[str, float]:
+    """Per-task budget added by rounding (always in ``[0, g]``)."""
+    return {
+        task: rounded_budgets[task] - relaxed_budgets[task] for task in relaxed_budgets
+    }

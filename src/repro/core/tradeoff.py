@@ -1,0 +1,188 @@
+"""Budget / buffer-size trade-off exploration.
+
+The experiments of the paper explore the non-linear trade-off between budgets
+and buffer capacities by constraining the maximum buffer capacity and
+recording the minimal budgets the SOCP returns (Figures 2(a), 2(b), 3).
+:class:`TradeoffExplorer` automates that sweep for arbitrary configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.exceptions import InfeasibleProblemError
+from repro.core.allocator import AllocatorOptions, JointAllocator
+from repro.core.objective import ObjectiveWeights
+from repro.taskgraph.configuration import Configuration, MappedConfiguration
+
+
+@dataclass
+class TradeoffPoint:
+    """One point of the trade-off curve: a capacity bound and the resulting mapping."""
+
+    capacity_limit: int
+    feasible: bool
+    budgets: Dict[str, float] = field(default_factory=dict)
+    relaxed_budgets: Dict[str, float] = field(default_factory=dict)
+    capacities: Dict[str, int] = field(default_factory=dict)
+    objective_value: Optional[float] = None
+
+    @property
+    def total_budget(self) -> float:
+        return sum(self.budgets.values())
+
+    @property
+    def total_relaxed_budget(self) -> float:
+        return sum(self.relaxed_budgets.values())
+
+    def budget(self, task_name: str) -> float:
+        return self.budgets[task_name]
+
+
+@dataclass
+class TradeoffCurve:
+    """A sequence of trade-off points indexed by the capacity limit."""
+
+    configuration_name: str
+    points: List[TradeoffPoint] = field(default_factory=list)
+
+    def feasible_points(self) -> List[TradeoffPoint]:
+        return [point for point in self.points if point.feasible]
+
+    def capacity_limits(self) -> List[int]:
+        return [point.capacity_limit for point in self.points]
+
+    def budgets_of(self, task_name: str, relaxed: bool = False) -> List[float]:
+        """Budget of one task along the sweep (feasible points only)."""
+        source = "relaxed_budgets" if relaxed else "budgets"
+        return [getattr(point, source)[task_name] for point in self.feasible_points()]
+
+    def total_budgets(self, relaxed: bool = False) -> List[float]:
+        if relaxed:
+            return [point.total_relaxed_budget for point in self.feasible_points()]
+        return [point.total_budget for point in self.feasible_points()]
+
+    def budget_reductions(self, task_name: Optional[str] = None, relaxed: bool = True) -> List[float]:
+        """Per-step budget reduction (Figure 2(b) of the paper).
+
+        Element ``i`` is the budget required at capacity limit ``d_i`` minus
+        the budget required at ``d_{i+1}`` — the gain of adding one container.
+        Relaxed budgets are used by default because the paper's plot is the
+        continuous (pre-rounding) trade-off.
+        """
+        feasible = self.feasible_points()
+        values: List[float] = []
+        for before, after in zip(feasible, feasible[1:]):
+            if task_name is None:
+                values.append(
+                    (before.total_relaxed_budget if relaxed else before.total_budget)
+                    - (after.total_relaxed_budget if relaxed else after.total_budget)
+                )
+            else:
+                source = "relaxed_budgets" if relaxed else "budgets"
+                values.append(
+                    getattr(before, source)[task_name] - getattr(after, source)[task_name]
+                )
+        return values
+
+    def as_table(self) -> List[Dict[str, object]]:
+        """Plain-dict rows used by the reporting helpers and benchmarks."""
+        rows: List[Dict[str, object]] = []
+        for point in self.points:
+            row: Dict[str, object] = {
+                "capacity_limit": point.capacity_limit,
+                "feasible": point.feasible,
+                "objective": point.objective_value,
+                "total_budget": point.total_budget if point.feasible else None,
+            }
+            for task_name, budget in sorted(point.budgets.items()):
+                row[f"budget[{task_name}]"] = budget
+            for buffer_name, capacity in sorted(point.capacities.items()):
+                row[f"capacity[{buffer_name}]"] = capacity
+            rows.append(row)
+        return rows
+
+
+class TradeoffExplorer:
+    """Sweep the maximum buffer capacity and record the minimal budgets."""
+
+    def __init__(
+        self,
+        weights: Optional[ObjectiveWeights] = None,
+        allocator_options: Optional[AllocatorOptions] = None,
+    ) -> None:
+        # The paper's sweeps minimise budgets first; buffer capacities enter
+        # the objective only as a tie-breaker.
+        self.weights = weights or ObjectiveWeights.prefer_budgets()
+        self.allocator = JointAllocator(
+            weights=self.weights, options=allocator_options or AllocatorOptions()
+        )
+
+    def sweep_capacity_limit(
+        self,
+        configuration: Configuration,
+        capacity_limits: Sequence[int],
+        buffers: Optional[Iterable[str]] = None,
+    ) -> TradeoffCurve:
+        """Solve the joint problem for each maximum capacity in ``capacity_limits``.
+
+        Parameters
+        ----------
+        configuration:
+            The configuration to sweep.
+        capacity_limits:
+            The capacity bounds to apply (in containers); each bound is applied
+            to every buffer in ``buffers`` (default: all buffers).
+        """
+        buffer_names = list(buffers) if buffers is not None else [
+            buffer.name for _, buffer in configuration.all_buffers()
+        ]
+        curve = TradeoffCurve(configuration_name=configuration.name)
+        for limit in capacity_limits:
+            limits = {name: int(limit) for name in buffer_names}
+            try:
+                mapped = self.allocator.allocate(configuration, capacity_limits=limits)
+            except InfeasibleProblemError:
+                curve.points.append(TradeoffPoint(capacity_limit=int(limit), feasible=False))
+                continue
+            curve.points.append(
+                TradeoffPoint(
+                    capacity_limit=int(limit),
+                    feasible=True,
+                    budgets=dict(mapped.budgets),
+                    relaxed_budgets=dict(mapped.relaxed_budgets),
+                    capacities=dict(mapped.buffer_capacities),
+                    objective_value=mapped.objective_value,
+                )
+            )
+        return curve
+
+    def minimal_capacity_for_budget(
+        self,
+        configuration: Configuration,
+        budget_limit: float,
+        capacity_limits: Sequence[int],
+    ) -> Optional[MappedConfiguration]:
+        """Smallest capacity bound under which every task budget fits ``budget_limit``.
+
+        Returns the mapped configuration at the first (smallest) feasible
+        capacity bound, or ``None`` when even the largest bound is infeasible.
+        This explores the trade-off from the other side: given scarce
+        processor budget, how much buffering is needed?
+        """
+        budget_limits = {
+            task.name: float(budget_limit)
+            for _, task in configuration.all_tasks()
+        }
+        for limit in sorted(int(v) for v in capacity_limits):
+            limits = {
+                buffer.name: limit for _, buffer in configuration.all_buffers()
+            }
+            try:
+                return self.allocator.allocate(
+                    configuration, capacity_limits=limits, budget_limits=budget_limits
+                )
+            except InfeasibleProblemError:
+                continue
+        return None

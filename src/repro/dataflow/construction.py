@@ -1,0 +1,297 @@
+"""Construction of SRDF graphs from task graphs (Section II-C of the paper).
+
+Every task ``w_a`` bound to processor ``p = π(w_a)`` with budget ``β(w_a)`` is
+modelled by a two-actor dataflow component:
+
+* ``v_a1`` with firing duration ``̺(p) − β(w_a)`` — the worst-case time a task
+  waits before its budget becomes available again, and
+* ``v_a2`` with firing duration ``̺(p)·χ(w_a)/β(w_a)`` — the worst-case time
+  to execute ``χ(w_a)`` cycles when the task only receives ``β(w_a)`` cycles
+  per replenishment interval,
+
+connected by a queue ``v_a1 → v_a2`` without tokens and a self-loop on
+``v_a2`` with one token.  Every FIFO buffer ``b_ab`` becomes a pair of opposed
+queues: a *data* queue ``v_a2 → v_b1`` with ``ι(b)`` tokens and a *space*
+queue ``v_b2 → v_a1`` with ``γ(b) − ι(b)`` tokens.
+
+Because the budgets and capacities are precisely what the joint optimisation
+computes, the construction is split into a *specification* (the topology and
+the classification of queues, independent of the unknowns) and an
+*instantiation* (a concrete :class:`~repro.dataflow.graph.SRDFGraph` for given
+budgets and capacities).  The SOCP formulation iterates over the specification
+to emit constraints, and the validators instantiate it to check the result.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.exceptions import AllocationError, ModelError
+from repro.dataflow.graph import Actor, Queue, SRDFGraph
+from repro.taskgraph.configuration import Configuration
+from repro.taskgraph.graph import TaskGraph
+from repro.taskgraph.platform import Platform
+
+
+class QueueKind(enum.Enum):
+    """Role of a queue in the two-actor-per-task construction."""
+
+    TASK_INTERNAL = "task_internal"  #: v_i1 → v_i2, no tokens (queue set E1)
+    SELF_LOOP = "self_loop"          #: v_i2 → v_i2, one token (queue set E2)
+    DATA = "data"                    #: v_a2 → v_b1, ι(b) tokens (queue set E2)
+    SPACE = "space"                  #: v_b2 → v_a1, γ(b) − ι(b) tokens (queue set E2)
+
+
+class ActorRole(enum.Enum):
+    """Which half of the two-actor component an actor is."""
+
+    START = "v1"   #: models waiting for the budget replenishment
+    FINISH = "v2"  #: models the budget-limited execution
+
+
+@dataclass(frozen=True)
+class ActorSpec:
+    """One actor of the constructed SRDF graph, tied to its task."""
+
+    name: str
+    task: str
+    role: ActorRole
+
+
+@dataclass(frozen=True)
+class QueueSpec:
+    """One queue of the constructed SRDF graph.
+
+    ``source_task`` identifies the task whose (budget-dependent) firing
+    duration appears on the right-hand side of Constraint (1) for this queue.
+    ``buffer`` is set for DATA/SPACE queues.  ``fixed_tokens`` carries the
+    token count when it does not depend on the computed buffer capacity
+    (internal queues: 0, self-loops: 1, data queues: ι(b)); it is ``None`` for
+    SPACE queues, whose token count is ``γ(b) − ι(b)``.
+    """
+
+    name: str
+    source: str
+    target: str
+    kind: QueueKind
+    source_task: str
+    source_role: ActorRole
+    buffer: Optional[str] = None
+    fixed_tokens: Optional[int] = None
+
+    @property
+    def in_queue_set_e1(self) -> bool:
+        """True for output queues of v_i1 actors (Constraint (2)/(6))."""
+        return self.source_role is ActorRole.START
+
+    @property
+    def in_queue_set_e2(self) -> bool:
+        """True for output queues of v_i2 actors (Constraint (3)/(7))."""
+        return self.source_role is ActorRole.FINISH
+
+
+def start_actor_name(task_name: str) -> str:
+    """Name of the ``v_i1`` actor of a task."""
+    return f"{task_name}.v1"
+
+
+def finish_actor_name(task_name: str) -> str:
+    """Name of the ``v_i2`` actor of a task."""
+    return f"{task_name}.v2"
+
+
+@dataclass
+class SrdfSpecification:
+    """Topology of the SRDF graph derived from one task graph."""
+
+    graph_name: str
+    period: float
+    actors: List[ActorSpec]
+    queues: List[QueueSpec]
+
+    def actor_names(self) -> Tuple[str, ...]:
+        return tuple(actor.name for actor in self.actors)
+
+    def queues_of_kind(self, kind: QueueKind) -> List[QueueSpec]:
+        return [queue for queue in self.queues if queue.kind is kind]
+
+    def queue_for_buffer(self, buffer_name: str, kind: QueueKind) -> QueueSpec:
+        for queue in self.queues:
+            if queue.buffer == buffer_name and queue.kind is kind:
+                return queue
+        raise ModelError(
+            f"no {kind.value} queue for buffer {buffer_name!r} in the specification"
+        )
+
+
+def build_srdf_specification(graph: TaskGraph) -> SrdfSpecification:
+    """Derive the SRDF topology of a task graph (Section II-C)."""
+    actors: List[ActorSpec] = []
+    queues: List[QueueSpec] = []
+
+    for task in graph.tasks:
+        v1 = start_actor_name(task.name)
+        v2 = finish_actor_name(task.name)
+        actors.append(ActorSpec(name=v1, task=task.name, role=ActorRole.START))
+        actors.append(ActorSpec(name=v2, task=task.name, role=ActorRole.FINISH))
+        queues.append(
+            QueueSpec(
+                name=f"{task.name}.internal",
+                source=v1,
+                target=v2,
+                kind=QueueKind.TASK_INTERNAL,
+                source_task=task.name,
+                source_role=ActorRole.START,
+                fixed_tokens=0,
+            )
+        )
+        queues.append(
+            QueueSpec(
+                name=f"{task.name}.self",
+                source=v2,
+                target=v2,
+                kind=QueueKind.SELF_LOOP,
+                source_task=task.name,
+                source_role=ActorRole.FINISH,
+                fixed_tokens=1,
+            )
+        )
+
+    for buffer in graph.buffers:
+        producer_finish = finish_actor_name(buffer.source)
+        consumer_start = start_actor_name(buffer.target)
+        consumer_finish = finish_actor_name(buffer.target)
+        producer_start = start_actor_name(buffer.source)
+        queues.append(
+            QueueSpec(
+                name=f"{buffer.name}.data",
+                source=producer_finish,
+                target=consumer_start,
+                kind=QueueKind.DATA,
+                source_task=buffer.source,
+                source_role=ActorRole.FINISH,
+                buffer=buffer.name,
+                fixed_tokens=buffer.initial_tokens,
+            )
+        )
+        queues.append(
+            QueueSpec(
+                name=f"{buffer.name}.space",
+                source=consumer_finish,
+                target=producer_start,
+                kind=QueueKind.SPACE,
+                source_task=buffer.target,
+                source_role=ActorRole.FINISH,
+                buffer=buffer.name,
+                fixed_tokens=None,
+            )
+        )
+
+    return SrdfSpecification(
+        graph_name=graph.name, period=graph.period, actors=actors, queues=queues
+    )
+
+
+def build_configuration_specifications(
+    configuration: Configuration,
+) -> Dict[str, SrdfSpecification]:
+    """Build one SRDF specification per task graph of a configuration."""
+    return {
+        graph.name: build_srdf_specification(graph)
+        for graph in configuration.task_graphs
+    }
+
+
+def actor_firing_duration(
+    role: ActorRole,
+    replenishment_interval: float,
+    wcet: float,
+    budget: float,
+) -> float:
+    """Firing duration of a task's actor for a concrete budget.
+
+    ``ρ(v_i1) = ̺(p) − β(w)`` and ``ρ(v_i2) = ̺(p)·χ(w)/β(w)`` (Section II-C).
+    """
+    if budget <= 0.0:
+        raise AllocationError(f"budget must be positive, got {budget!r}")
+    if budget > replenishment_interval + 1e-9:
+        raise AllocationError(
+            f"budget {budget} exceeds the replenishment interval {replenishment_interval}"
+        )
+    if role is ActorRole.START:
+        return max(0.0, replenishment_interval - budget)
+    return replenishment_interval * wcet / budget
+
+
+def instantiate_srdf(
+    specification: SrdfSpecification,
+    graph: TaskGraph,
+    platform: Platform,
+    budgets: Mapping[str, float],
+    capacities: Mapping[str, int],
+) -> SRDFGraph:
+    """Instantiate the SRDF graph for concrete budgets and buffer capacities.
+
+    Parameters
+    ----------
+    budgets:
+        Budget per task name (time units per replenishment interval).
+    capacities:
+        Capacity per buffer name (containers).
+    """
+    actors: List[Actor] = []
+    for actor_spec in specification.actors:
+        task = graph.task(actor_spec.task)
+        processor = platform.processor(task.processor)
+        if task.name not in budgets:
+            raise AllocationError(f"no budget provided for task {task.name!r}")
+        duration = actor_firing_duration(
+            actor_spec.role,
+            processor.replenishment_interval,
+            task.wcet,
+            float(budgets[task.name]),
+        )
+        actors.append(Actor(name=actor_spec.name, firing_duration=duration))
+
+    queues: List[Queue] = []
+    for queue_spec in specification.queues:
+        if queue_spec.fixed_tokens is not None:
+            tokens = queue_spec.fixed_tokens
+        else:
+            buffer = graph.buffer(queue_spec.buffer)  # type: ignore[arg-type]
+            if buffer.name not in capacities:
+                raise AllocationError(f"no capacity provided for buffer {buffer.name!r}")
+            capacity = int(capacities[buffer.name])
+            if capacity < buffer.initial_tokens:
+                raise AllocationError(
+                    f"capacity {capacity} of buffer {buffer.name!r} is smaller than "
+                    f"its number of initially filled containers {buffer.initial_tokens}"
+                )
+            tokens = capacity - buffer.initial_tokens
+        queues.append(
+            Queue(
+                name=queue_spec.name,
+                source=queue_spec.source,
+                target=queue_spec.target,
+                tokens=tokens,
+            )
+        )
+
+    return SRDFGraph(name=f"{specification.graph_name}.srdf", actors=actors, queues=queues)
+
+
+def instantiate_from_configuration(
+    configuration: Configuration,
+    budgets: Mapping[str, float],
+    capacities: Mapping[str, int],
+) -> Dict[str, SRDFGraph]:
+    """Instantiate the SRDF graph of every task graph in a configuration."""
+    graphs: Dict[str, SRDFGraph] = {}
+    for graph in configuration.task_graphs:
+        specification = build_srdf_specification(graph)
+        graphs[graph.name] = instantiate_srdf(
+            specification, graph, configuration.platform, budgets, capacities
+        )
+    return graphs

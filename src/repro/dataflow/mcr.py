@@ -1,0 +1,192 @@
+"""Maximum cycle ratio (MCR) analysis of SRDF graphs.
+
+The smallest period for which a periodic admissible schedule exists equals the
+*maximum cycle ratio*
+
+    MCR(G) = max over directed cycles c of  Σ_{v ∈ c} ρ(v) / Σ_{e ∈ c} δ(e)
+
+(Reiter 1968).  A cycle without initial tokens has an infinite ratio: the
+graph deadlocks and no finite period exists.
+
+Two algorithms are provided:
+
+* :func:`maximum_cycle_ratio` with ``method="lawler"`` — binary search on the
+  period combined with a Bellman–Ford positive-cycle test
+  (:func:`is_period_feasible`), which is robust and polynomial.
+* ``method="enumerate"`` — exact enumeration of simple cycles, exponential in
+  the worst case but convenient for the small graphs of the paper and as an
+  independent oracle in tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.exceptions import AnalysisError
+from repro.dataflow.graph import Queue, SRDFGraph
+
+#: Default relative tolerance of the binary search.
+DEFAULT_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class CycleRatio:
+    """Ratio of one directed cycle: total firing duration over total tokens."""
+
+    duration: float
+    tokens: int
+    queues: Tuple[Queue, ...]
+
+    @property
+    def ratio(self) -> float:
+        if self.tokens == 0:
+            return math.inf
+        return self.duration / self.tokens
+
+
+def cycle_ratios(graph: SRDFGraph) -> List[CycleRatio]:
+    """Compute the ratio of every simple cycle (small graphs only)."""
+    ratios: List[CycleRatio] = []
+    for cycle in graph.simple_cycles():
+        duration = sum(graph.firing_duration(queue.source) for queue in cycle)
+        tokens = sum(queue.tokens for queue in cycle)
+        ratios.append(CycleRatio(duration=duration, tokens=tokens, queues=tuple(cycle)))
+    return ratios
+
+
+def _constraint_edges(graph: SRDFGraph, period: float) -> List[Tuple[str, str, float]]:
+    """Edges of the start-time constraint graph for a candidate period.
+
+    Constraint (1) of the paper, ``s(v_j) ≥ s(v_i) + ρ(v_i) − δ(e_ij)·period``,
+    is a system of difference constraints; it is feasible iff the graph with
+    edge weights ``ρ(v_i) − δ(e_ij)·period`` has no positive-weight cycle.
+    """
+    return [
+        (
+            queue.source,
+            queue.target,
+            graph.firing_duration(queue.source) - queue.tokens * period,
+        )
+        for queue in graph.queues
+    ]
+
+
+def longest_path_potentials(
+    graph: SRDFGraph, period: float
+) -> Optional[Dict[str, float]]:
+    """Bellman–Ford longest-path potentials, or ``None`` if a positive cycle exists.
+
+    When feasible, the returned potentials are valid periodic start times
+    ``s(v)`` for the given period (shifted so that the smallest is 0).
+    """
+    nodes = list(graph.actor_names)
+    if not nodes:
+        return {}
+    edges = _constraint_edges(graph, period)
+    # Longest-path Bellman-Ford from a virtual source connected to all nodes
+    # with weight 0 (equivalently: initialise all potentials to 0).
+    potential = {node: 0.0 for node in nodes}
+    for _ in range(len(nodes) + 1):
+        changed = False
+        for source, target, weight in edges:
+            candidate = potential[source] + weight
+            if candidate > potential[target] + 1e-12:
+                potential[target] = candidate
+                changed = True
+        if not changed:
+            shift = min(potential.values())
+            return {node: value - shift for node, value in potential.items()}
+    return None
+
+
+def is_period_feasible(graph: SRDFGraph, period: float) -> bool:
+    """True when a periodic admissible schedule with the given period exists."""
+    if period <= 0.0:
+        return False
+    return longest_path_potentials(graph, period) is not None
+
+
+def _upper_bound_period(graph: SRDFGraph) -> float:
+    """A period that is always feasible for a deadlock-free graph.
+
+    The sum of all firing durations is an upper bound on the MCR because every
+    simple cycle carries at least one token and its duration is at most the
+    total duration.
+    """
+    total = sum(actor.firing_duration for actor in graph.actors)
+    return max(total, 1e-12)
+
+
+def maximum_cycle_ratio(
+    graph: SRDFGraph,
+    method: str = "lawler",
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> float:
+    """Return the maximum cycle ratio (minimum feasible period) of the graph.
+
+    Returns ``0.0`` for acyclic graphs (any positive period is feasible) and
+    ``math.inf`` when the graph deadlocks (a cycle without tokens).
+    """
+    if not graph.queues:
+        return 0.0
+    if not graph.is_deadlock_free():
+        return math.inf
+
+    if method == "enumerate":
+        ratios = cycle_ratios(graph)
+        if not ratios:
+            return 0.0
+        return max(ratio.ratio for ratio in ratios)
+    if method != "lawler":
+        raise AnalysisError(f"unknown MCR method {method!r}")
+
+    high = _upper_bound_period(graph)
+    if is_period_feasible(graph, tolerance):
+        # Only trivial cycles; any positive period works.
+        return 0.0
+    low = 0.0
+    if not is_period_feasible(graph, high):
+        raise AnalysisError(
+            "no feasible period found below the total-duration upper bound; "
+            "the graph structure is inconsistent"
+        )
+    # Binary search for the smallest feasible period.
+    scale = max(high, 1.0)
+    while high - low > tolerance * scale:
+        mid = 0.5 * (low + high)
+        if is_period_feasible(graph, mid):
+            high = mid
+        else:
+            low = mid
+    return high
+
+
+def minimum_feasible_period(graph: SRDFGraph, tolerance: float = DEFAULT_TOLERANCE) -> float:
+    """Alias of :func:`maximum_cycle_ratio` with the Lawler method."""
+    return maximum_cycle_ratio(graph, method="lawler", tolerance=tolerance)
+
+
+def critical_cycles(graph: SRDFGraph, tolerance: float = 1e-6) -> List[CycleRatio]:
+    """Cycles whose ratio is within ``tolerance`` (relative) of the MCR.
+
+    Uses cycle enumeration, so it is intended for small graphs and reporting.
+    """
+    ratios = cycle_ratios(graph)
+    if not ratios:
+        return []
+    best = max(r.ratio for r in ratios)
+    if math.isinf(best):
+        return [r for r in ratios if math.isinf(r.ratio)]
+    return [r for r in ratios if r.ratio >= best * (1.0 - tolerance)]
+
+
+def throughput(graph: SRDFGraph) -> float:
+    """Maximum sustainable throughput in iterations per time unit (1 / MCR)."""
+    mcr = maximum_cycle_ratio(graph)
+    if mcr == 0.0:
+        return math.inf
+    if math.isinf(mcr):
+        return 0.0
+    return 1.0 / mcr

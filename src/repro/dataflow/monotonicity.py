@@ -1,0 +1,108 @@
+"""Temporal monotonicity utilities.
+
+SRDF graphs are temporally monotonic (Section II-B.2 of the paper): reducing a
+firing duration, or adding initial tokens, can never make any token arrive
+later in the self-timed execution.  This property is what makes the paper's
+conservative approximations sound:
+
+* replacing ``1/β`` by ``λ ≥ 1/β`` only *increases* firing durations, so a
+  schedule for the approximated graph is valid for the real one;
+* rounding budgets up only *decreases* firing durations;
+* rounding token counts (buffer capacities) up only *adds* tokens.
+
+The functions here make these comparisons executable so that the test-suite
+can verify the property on arbitrary graphs (property-based tests) and so that
+the allocator can assert it on the graphs it produces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.exceptions import AnalysisError
+from repro.dataflow.graph import SRDFGraph
+from repro.dataflow.simulation import SimulationTrace, simulate
+
+
+def speedup_graph(
+    graph: SRDFGraph,
+    duration_scale: float = 1.0,
+    extra_tokens: Optional[Mapping[str, int]] = None,
+    duration_overrides: Optional[Mapping[str, float]] = None,
+) -> SRDFGraph:
+    """Return a graph that is element-wise "at least as fast" as the input.
+
+    ``duration_scale`` must be in ``(0, 1]`` and scales every firing duration;
+    ``extra_tokens`` adds tokens to selected queues; ``duration_overrides``
+    replaces individual durations (each must not exceed the original).
+    """
+    if not 0.0 < duration_scale <= 1.0:
+        raise AnalysisError("duration_scale must be in (0, 1]")
+    durations: Dict[str, float] = {
+        actor.name: actor.firing_duration * duration_scale for actor in graph.actors
+    }
+    if duration_overrides:
+        for name, value in duration_overrides.items():
+            if value > graph.firing_duration(name) + 1e-12:
+                raise AnalysisError(
+                    f"override for actor {name!r} increases its firing duration; "
+                    f"the result would not be a speed-up"
+                )
+            durations[name] = float(value)
+    tokens: Dict[str, int] = {}
+    if extra_tokens:
+        for queue_name, extra in extra_tokens.items():
+            if extra < 0:
+                raise AnalysisError("extra_tokens must be non-negative")
+            tokens[queue_name] = graph.tokens(queue_name) + int(extra)
+    return graph.with_updates(firing_durations=durations, tokens=tokens, name=f"{graph.name}-faster")
+
+
+def check_monotonicity(
+    slower: SRDFGraph,
+    faster: SRDFGraph,
+    iterations: int = 30,
+    tolerance: float = 1e-9,
+) -> bool:
+    """Verify that ``faster`` never starts any firing later than ``slower``.
+
+    ``faster`` must have the same actors as ``slower`` with firing durations
+    that are no larger, and queues with token counts that are no smaller.
+    Returns ``True`` when the self-timed traces confirm monotonicity.
+    """
+    _check_dominance(slower, faster)
+    slow_trace = simulate(slower, iterations=iterations)
+    fast_trace = simulate(faster, iterations=iterations)
+    return fast_trace.is_no_later_than(slow_trace, tolerance=tolerance)
+
+
+def _check_dominance(slower: SRDFGraph, faster: SRDFGraph) -> None:
+    slower_actors = {actor.name: actor for actor in slower.actors}
+    faster_actors = {actor.name: actor for actor in faster.actors}
+    if set(slower_actors) != set(faster_actors):
+        raise AnalysisError("graphs must have identical actor sets")
+    for name, actor in faster_actors.items():
+        if actor.firing_duration > slower_actors[name].firing_duration + 1e-12:
+            raise AnalysisError(
+                f"actor {name!r} is slower in the supposedly faster graph"
+            )
+    slower_queues = {queue.name: queue for queue in slower.queues}
+    faster_queues = {queue.name: queue for queue in faster.queues}
+    if set(slower_queues) != set(faster_queues):
+        raise AnalysisError("graphs must have identical queue sets")
+    for name, queue in faster_queues.items():
+        if queue.tokens < slower_queues[name].tokens:
+            raise AnalysisError(
+                f"queue {name!r} has fewer tokens in the supposedly faster graph"
+            )
+
+
+def compare_traces(trace_fast: SimulationTrace, trace_slow: SimulationTrace) -> Dict[str, float]:
+    """Per-actor maximum start-time advance of the fast trace over the slow one."""
+    result: Dict[str, float] = {}
+    iterations = min(trace_fast.iterations, trace_slow.iterations)
+    for name in trace_fast.actor_names():
+        fast = trace_fast.start_times[name]
+        slow = trace_slow.start_times[name]
+        result[name] = max(slow[k] - fast[k] for k in range(iterations))
+    return result

@@ -1,0 +1,61 @@
+"""Library-wide exception hierarchy.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish modelling errors from solver failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ModelError(ReproError):
+    """An application model (task graph, platform, configuration) is invalid."""
+
+
+class GraphStructureError(ModelError):
+    """A task graph or dataflow graph violates a structural requirement."""
+
+
+class BindingError(ModelError):
+    """A task or buffer refers to a processor or memory that does not exist."""
+
+
+class SolverError(ReproError):
+    """Base class for optimisation-related failures."""
+
+
+class FormulationError(SolverError):
+    """A mathematical program is malformed (unknown variable, bad sense, ...)."""
+
+
+class InfeasibleProblemError(SolverError):
+    """The optimisation problem admits no feasible point.
+
+    For the joint budget/buffer problem this typically means the throughput
+    requirement cannot be met within the given processor capacities, memory
+    capacities or buffer-size bounds.
+    """
+
+
+class UnboundedProblemError(SolverError):
+    """The optimisation problem is unbounded below."""
+
+
+class NumericalError(SolverError):
+    """The solver failed to converge to the requested tolerance."""
+
+
+class AnalysisError(ReproError):
+    """A dataflow analysis could not be carried out."""
+
+
+class SimulationError(ReproError):
+    """A self-timed or TDM simulation detected an inconsistent state."""
+
+
+class AllocationError(ReproError):
+    """A mapped configuration could not be produced or failed verification."""

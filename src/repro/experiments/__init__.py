@@ -1,0 +1,13 @@
+"""Drivers that regenerate the paper's figures (Section V)."""
+
+from repro.experiments.figure2 import Figure2Result, run_figure2
+from repro.experiments.figure3 import Figure3Result, run_figure3
+from repro.experiments.runner import run_all
+
+__all__ = [
+    "Figure2Result",
+    "Figure3Result",
+    "run_all",
+    "run_figure2",
+    "run_figure3",
+]

@@ -1,0 +1,116 @@
+"""Experiment 1 of the paper: the producer-consumer budget/buffer trade-off.
+
+Reproduces Figures 2(a) and 2(b):
+
+* a producer-consumer task graph (two tasks on two processors, replenishment
+  interval 40 Mcycles, worst-case execution time 1 Mcycle, required period
+  10 Mcycles, unit containers);
+* the objective prefers budget minimisation over buffer minimisation;
+* the trade-off is explored by sweeping the maximum buffer capacity from 1 to
+  10 containers and recording the minimal budget (Figure 2(a)) and the budget
+  reduction per extra container (Figure 2(b)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.sensitivity import BudgetReductionStep, budget_reduction_curve
+from repro.baselines.budget_minimization import producer_consumer_minimum_budget
+from repro.core.allocator import AllocatorOptions
+from repro.core.objective import ObjectiveWeights
+from repro.core.tradeoff import TradeoffCurve, TradeoffExplorer
+from repro.taskgraph.configuration import Configuration
+from repro.taskgraph.generators import (
+    PAPER_PERIOD,
+    PAPER_REPLENISHMENT_INTERVAL,
+    PAPER_WCET,
+    producer_consumer_configuration,
+)
+
+#: Capacity sweep of the paper's Figure 2 (containers).
+DEFAULT_CAPACITY_SWEEP = tuple(range(1, 11))
+
+
+@dataclass
+class Figure2Result:
+    """Data behind Figures 2(a) and 2(b)."""
+
+    capacity_limits: List[int] = field(default_factory=list)
+    budget_wa: List[float] = field(default_factory=list)
+    budget_wb: List[float] = field(default_factory=list)
+    relaxed_budget_wa: List[float] = field(default_factory=list)
+    analytic_budget: List[float] = field(default_factory=list)
+    reductions: List[BudgetReductionStep] = field(default_factory=list)
+    curve: Optional[TradeoffCurve] = None
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Figure 2(a) as table rows (one per buffer capacity)."""
+        rows: List[Dict[str, object]] = []
+        for i, limit in enumerate(self.capacity_limits):
+            rows.append(
+                {
+                    "buffer_capacity": limit,
+                    "budget_wa_mcycles": self.budget_wa[i],
+                    "budget_wb_mcycles": self.budget_wb[i],
+                    "relaxed_budget_mcycles": self.relaxed_budget_wa[i],
+                    "analytic_budget_mcycles": self.analytic_budget[i],
+                }
+            )
+        return rows
+
+    def reduction_rows(self) -> List[Dict[str, object]]:
+        """Figure 2(b) as table rows (one per additional container)."""
+        return [
+            {
+                "buffer_capacity": step.capacity_limit,
+                "delta_budget_mcycles": step.reduction,
+            }
+            for step in self.reductions
+        ]
+
+
+def build_configuration(max_capacity: Optional[int] = None) -> Configuration:
+    """The producer-consumer configuration with the paper's parameters."""
+    return producer_consumer_configuration(
+        replenishment_interval=PAPER_REPLENISHMENT_INTERVAL,
+        wcet=PAPER_WCET,
+        period=PAPER_PERIOD,
+        max_capacity=max_capacity,
+    )
+
+
+def run_figure2(
+    capacity_sweep: Sequence[int] = DEFAULT_CAPACITY_SWEEP,
+    backend: str = "auto",
+    run_simulation: bool = False,
+) -> Figure2Result:
+    """Run the full sweep and return the data of Figures 2(a) and 2(b)."""
+    configuration = build_configuration()
+    explorer = TradeoffExplorer(
+        weights=ObjectiveWeights.prefer_budgets(),
+        allocator_options=AllocatorOptions(
+            backend=backend, run_simulation=run_simulation
+        ),
+    )
+    curve = explorer.sweep_capacity_limit(configuration, capacity_sweep)
+
+    result = Figure2Result(curve=curve)
+    for point in curve.feasible_points():
+        result.capacity_limits.append(point.capacity_limit)
+        result.budget_wa.append(point.budgets["wa"])
+        result.budget_wb.append(point.budgets["wb"])
+        result.relaxed_budget_wa.append(point.relaxed_budgets["wa"])
+        result.analytic_budget.append(
+            producer_consumer_minimum_budget(
+                point.capacity_limit,
+                replenishment_interval=PAPER_REPLENISHMENT_INTERVAL,
+                wcet=PAPER_WCET,
+                period=PAPER_PERIOD,
+            )
+        )
+    # Figure 2(b): reduction of the per-task budget per extra container,
+    # computed from the relaxed (continuous) budgets as in the paper's plot.
+    result.reductions = budget_reduction_curve(curve, task_name="wa", relaxed=True)
+    return result

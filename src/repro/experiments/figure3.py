@@ -1,0 +1,94 @@
+"""Experiment 2 of the paper: topology dependence of the trade-off (Figure 3).
+
+The task graph ``T2`` extends the producer-consumer graph with a third task
+``wc`` and a second buffer ``bbc`` (a three-stage chain on three processors,
+same parameters as experiment 1).  Both buffer capacities are bounded by the
+swept value and the sum of budgets is minimised.  Because the budget of the
+middle task ``wb`` interacts with *two* buffers, the optimiser reduces the
+budgets of ``wa`` and ``wc`` first: for every capacity bound,
+``β(wb) ≥ β(wa) = β(wc)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.allocator import AllocatorOptions
+from repro.core.objective import ObjectiveWeights
+from repro.core.tradeoff import TradeoffCurve, TradeoffExplorer
+from repro.taskgraph.configuration import Configuration
+from repro.taskgraph.generators import (
+    PAPER_PERIOD,
+    PAPER_REPLENISHMENT_INTERVAL,
+    PAPER_WCET,
+    chain_configuration,
+)
+
+#: Capacity sweep of the paper's Figure 3 (containers).
+DEFAULT_CAPACITY_SWEEP = tuple(range(1, 11))
+
+
+@dataclass
+class Figure3Result:
+    """Data behind Figure 3: per-task budgets against the common capacity bound."""
+
+    capacity_limits: List[int] = field(default_factory=list)
+    budget_wa: List[float] = field(default_factory=list)
+    budget_wb: List[float] = field(default_factory=list)
+    budget_wc: List[float] = field(default_factory=list)
+    relaxed_budget_wa: List[float] = field(default_factory=list)
+    relaxed_budget_wb: List[float] = field(default_factory=list)
+    relaxed_budget_wc: List[float] = field(default_factory=list)
+    curve: Optional[TradeoffCurve] = None
+
+    def rows(self) -> List[Dict[str, object]]:
+        rows: List[Dict[str, object]] = []
+        for i, limit in enumerate(self.capacity_limits):
+            rows.append(
+                {
+                    "buffer_capacity": limit,
+                    "budget_wa_mcycles": self.budget_wa[i],
+                    "budget_wb_mcycles": self.budget_wb[i],
+                    "budget_wc_mcycles": self.budget_wc[i],
+                }
+            )
+        return rows
+
+
+def build_configuration(max_capacity: Optional[int] = None) -> Configuration:
+    """The three-task chain ``T2`` with the paper's parameters."""
+    return chain_configuration(
+        stages=3,
+        replenishment_interval=PAPER_REPLENISHMENT_INTERVAL,
+        wcet=PAPER_WCET,
+        period=PAPER_PERIOD,
+        max_capacity=max_capacity,
+    )
+
+
+def run_figure3(
+    capacity_sweep: Sequence[int] = DEFAULT_CAPACITY_SWEEP,
+    backend: str = "auto",
+    run_simulation: bool = False,
+) -> Figure3Result:
+    """Run the sweep over the common maximum buffer capacity (Figure 3)."""
+    configuration = build_configuration()
+    explorer = TradeoffExplorer(
+        weights=ObjectiveWeights.prefer_budgets(),
+        allocator_options=AllocatorOptions(
+            backend=backend, run_simulation=run_simulation
+        ),
+    )
+    curve = explorer.sweep_capacity_limit(configuration, capacity_sweep)
+
+    result = Figure3Result(curve=curve)
+    for point in curve.feasible_points():
+        result.capacity_limits.append(point.capacity_limit)
+        result.budget_wa.append(point.budgets["wa"])
+        result.budget_wb.append(point.budgets["wb"])
+        result.budget_wc.append(point.budgets["wc"])
+        result.relaxed_budget_wa.append(point.relaxed_budgets["wa"])
+        result.relaxed_budget_wb.append(point.relaxed_budgets["wb"])
+        result.relaxed_budget_wc.append(point.relaxed_budgets["wc"])
+    return result

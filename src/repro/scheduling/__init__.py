@@ -1,0 +1,26 @@
+"""Budget schedulers: latency-rate characterisation, TDM model and allocations."""
+
+from repro.scheduling.budget import (
+    BudgetAllocation,
+    allocations_from_mapping,
+    validate_budget_feasibility,
+)
+from repro.scheduling.latency_rate import LatencyRateServer, required_budget_for_completion
+from repro.scheduling.tdm import (
+    TdmScheduler,
+    TdmSimulationResult,
+    TdmSlotTable,
+    build_slot_table,
+)
+
+__all__ = [
+    "BudgetAllocation",
+    "LatencyRateServer",
+    "TdmScheduler",
+    "TdmSimulationResult",
+    "TdmSlotTable",
+    "allocations_from_mapping",
+    "build_slot_table",
+    "required_budget_for_completion",
+    "validate_budget_feasibility",
+]

@@ -1,0 +1,92 @@
+"""Latency-rate characterisation of budget schedulers.
+
+A budget scheduler guarantees a task a budget of ``β`` cycles in every
+replenishment interval of ``̺`` cycles, independent of other tasks.  Such a
+guarantee makes the scheduler a *latency-rate server* with
+
+* latency ``Θ = ̺ − β`` — the longest interval in which the task may receive
+  no service at all, and
+* rate ``r = β / ̺`` — the guaranteed long-term fraction of the processor.
+
+The worst-case time to serve ``χ`` cycles of work is then ``Θ + χ / r =
+(̺ − β) + ̺·χ / β``, which is exactly the sum of the firing durations of the
+two actors that model a task in the paper's dataflow construction
+(Section II-C).  This module makes that correspondence explicit and provides
+the bound as a reusable object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ModelError
+
+
+@dataclass(frozen=True)
+class LatencyRateServer:
+    """A latency-rate service guarantee ``(Θ, r)``."""
+
+    latency: float
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.latency < 0.0:
+            raise ModelError(f"latency must be non-negative, got {self.latency!r}")
+        if not 0.0 < self.rate <= 1.0:
+            raise ModelError(f"rate must be in (0, 1], got {self.rate!r}")
+
+    @classmethod
+    def from_budget(cls, budget: float, replenishment_interval: float) -> "LatencyRateServer":
+        """Latency-rate guarantee of a budget scheduler allocation."""
+        if replenishment_interval <= 0.0:
+            raise ModelError("replenishment interval must be positive")
+        if not 0.0 < budget <= replenishment_interval:
+            raise ModelError(
+                f"budget must lie in (0, {replenishment_interval}], got {budget!r}"
+            )
+        return cls(
+            latency=replenishment_interval - budget,
+            rate=budget / replenishment_interval,
+        )
+
+    def worst_case_completion(self, work: float) -> float:
+        """Worst-case time to complete ``work`` cycles of execution."""
+        if work < 0.0:
+            raise ModelError("work must be non-negative")
+        return self.latency + work / self.rate
+
+    def busy_period_service(self, interval: float) -> float:
+        """Guaranteed service (cycles) within a busy interval of the given length."""
+        if interval < 0.0:
+            raise ModelError("interval must be non-negative")
+        return max(0.0, (interval - self.latency) * self.rate)
+
+
+def required_budget_for_completion(
+    work: float, deadline: float, replenishment_interval: float
+) -> float:
+    """Smallest budget whose latency-rate bound meets a completion deadline.
+
+    Solves ``(̺ − β) + ̺·work/β ≤ deadline`` for ``β``; raises
+    :class:`~repro.exceptions.ModelError` when even a full budget
+    (``β = ̺``) cannot meet the deadline.
+    """
+    if work <= 0.0:
+        raise ModelError("work must be positive")
+    if deadline <= 0.0:
+        raise ModelError("deadline must be positive")
+    if replenishment_interval <= 0.0:
+        raise ModelError("replenishment interval must be positive")
+    # Full budget gives completion time exactly `work`.
+    if work > deadline:
+        raise ModelError(
+            f"work {work} exceeds the deadline {deadline}; no budget suffices"
+        )
+    # (̺ − β) + ̺·work/β ≤ deadline  ⇔  β² − (̺ − deadline)·β − ̺·work ≥ 0 ... solve
+    # β ≥ [ (̺ − deadline) + sqrt((̺ − deadline)² + 4·̺·work) ] / 2
+    import math
+
+    rho = replenishment_interval
+    discriminant = (rho - deadline) ** 2 + 4.0 * rho * work
+    beta = 0.5 * ((rho - deadline) + math.sqrt(discriminant))
+    return min(max(beta, 0.0), rho)

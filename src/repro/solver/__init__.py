@@ -1,0 +1,48 @@
+"""Convex optimisation substrate.
+
+This package replaces the commercial cone solver used in the paper (CPLEX)
+with a self-contained modelling layer and solvers:
+
+* :class:`~repro.solver.problem.ConeProgram` — the modelling entry point.
+* :class:`~repro.solver.expression.Variable` /
+  :class:`~repro.solver.expression.AffineExpression` — expression algebra.
+* :class:`~repro.solver.constraints.LinearConstraint`,
+  :class:`~repro.solver.constraints.HyperbolicConstraint`,
+  :class:`~repro.solver.constraints.SecondOrderConeConstraint` — constraint
+  families.
+* :class:`~repro.solver.barrier.BarrierSolver` — from-scratch log-barrier
+  interior-point method (the default backend for cone programs).
+* scipy-based LP (:mod:`~repro.solver.linprog_backend`) and NLP
+  (:mod:`~repro.solver.scipy_backend`) backends.
+"""
+
+from repro.solver.constraints import (
+    EQUAL,
+    GREATER_EQUAL,
+    LESS_EQUAL,
+    HyperbolicConstraint,
+    LinearConstraint,
+    SecondOrderConeConstraint,
+)
+from repro.solver.expression import AffineExpression, Variable, linear_sum
+from repro.solver.barrier import BarrierOptions, BarrierSolver
+from repro.solver.problem import CompiledProblem, ConeProgram
+from repro.solver.result import Solution, SolverStatus
+
+__all__ = [
+    "AffineExpression",
+    "BarrierOptions",
+    "BarrierSolver",
+    "CompiledProblem",
+    "ConeProgram",
+    "EQUAL",
+    "GREATER_EQUAL",
+    "LESS_EQUAL",
+    "HyperbolicConstraint",
+    "LinearConstraint",
+    "SecondOrderConeConstraint",
+    "Solution",
+    "SolverStatus",
+    "Variable",
+    "linear_sum",
+]

@@ -1,0 +1,83 @@
+"""Backend dispatcher for :meth:`repro.solver.problem.ConeProgram.solve`."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.exceptions import FormulationError
+from repro.solver.barrier import BarrierOptions, solve_with_barrier
+from repro.solver.linprog_backend import solve_with_linprog
+from repro.solver.problem import CompiledProblem
+from repro.solver.result import Solution, SolverStatus
+from repro.solver.expression import Variable
+
+#: Names accepted by the ``backend`` argument of :meth:`ConeProgram.solve`.
+BACKENDS = ("auto", "barrier", "linprog", "scipy")
+
+
+def _initial_vector(
+    problem: CompiledProblem, initial_point: Optional[Mapping[Variable, float]]
+) -> Optional[np.ndarray]:
+    if initial_point is None:
+        return None
+    return problem.vector_from_mapping(initial_point)
+
+
+def solve_compiled(
+    problem: CompiledProblem,
+    backend: str = "auto",
+    initial_point: Optional[Mapping[Variable, float]] = None,
+    options: Optional[Dict[str, object]] = None,
+) -> Solution:
+    """Solve a compiled problem with the requested backend.
+
+    With ``backend="auto"`` the dispatcher uses the LP backend for pure
+    linear programs, the barrier interior-point method otherwise, and falls
+    back to the scipy backend when the barrier method does not reach an
+    optimal status.
+    """
+    if backend not in BACKENDS:
+        raise FormulationError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    options = dict(options or {})
+    x0 = _initial_vector(problem, initial_point)
+
+    if backend == "linprog":
+        return solve_with_linprog(problem)
+    if backend == "scipy":
+        from repro.solver.scipy_backend import solve_with_scipy
+
+        return solve_with_scipy(problem, initial_point=x0)
+    if backend == "barrier":
+        return solve_with_barrier(problem, initial_point=x0, options=_barrier_options(options))
+
+    # backend == "auto"
+    if not problem.hyperbolic and not problem.cones:
+        solution = solve_with_linprog(problem)
+        if solution.status in (SolverStatus.OPTIMAL, SolverStatus.INFEASIBLE, SolverStatus.UNBOUNDED):
+            return solution
+
+    solution = solve_with_barrier(problem, initial_point=x0, options=_barrier_options(options))
+    if solution.status in (SolverStatus.OPTIMAL, SolverStatus.UNBOUNDED):
+        return solution
+
+    from repro.solver.scipy_backend import solve_with_scipy
+
+    fallback = solve_with_scipy(problem, initial_point=x0)
+    if fallback.is_optimal:
+        return fallback
+    # Prefer a definitive infeasibility verdict over a numerical failure.
+    if solution.status is SolverStatus.INFEASIBLE or fallback.status is SolverStatus.INFEASIBLE:
+        return solution if solution.status is SolverStatus.INFEASIBLE else fallback
+    return fallback
+
+
+def _barrier_options(options: Dict[str, object]) -> BarrierOptions:
+    barrier_options = BarrierOptions()
+    for key, value in options.items():
+        if hasattr(barrier_options, key):
+            setattr(barrier_options, key, value)
+    return barrier_options

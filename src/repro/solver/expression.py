@@ -1,0 +1,235 @@
+"""Affine expression algebra for the modelling layer.
+
+The modelling layer mirrors the structure of small algebraic modelling
+front-ends (PuLP, cvxpy): decision variables are combined with Python
+arithmetic into :class:`AffineExpression` objects, which constraints and
+objectives are built from.  Only *affine* expressions are representable here;
+the single non-affine construct needed by Algorithm 1 of the paper —
+``λ(w)·β'(w) ≥ 1`` — is expressed through a dedicated constraint type
+(:class:`repro.solver.constraints.HyperbolicConstraint`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, Iterable, Mapping, Optional, Tuple, Union
+
+from repro.exceptions import FormulationError
+
+Number = Union[int, float]
+
+_variable_counter = itertools.count()
+
+
+class Variable:
+    """A scalar decision variable.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier.  Names must be unique within a
+        :class:`~repro.solver.problem.ConeProgram`.
+    lower, upper:
+        Optional bounds.  ``None`` means unbounded in that direction.
+    """
+
+    __slots__ = ("name", "lower", "upper", "_uid")
+
+    def __init__(
+        self,
+        name: str,
+        lower: Optional[Number] = None,
+        upper: Optional[Number] = None,
+    ) -> None:
+        if not name:
+            raise FormulationError("variable name must be a non-empty string")
+        if lower is not None and upper is not None and float(lower) > float(upper):
+            raise FormulationError(
+                f"variable {name!r} has contradictory bounds [{lower}, {upper}]"
+            )
+        self.name = str(name)
+        self.lower = None if lower is None else float(lower)
+        self.upper = None if upper is None else float(upper)
+        self._uid = next(_variable_counter)
+
+    # -- arithmetic -------------------------------------------------------
+    def _as_expression(self) -> "AffineExpression":
+        return AffineExpression({self: 1.0}, 0.0)
+
+    def __add__(self, other: "ExpressionLike") -> "AffineExpression":
+        return self._as_expression() + other
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "ExpressionLike") -> "AffineExpression":
+        return self._as_expression() - other
+
+    def __rsub__(self, other: "ExpressionLike") -> "AffineExpression":
+        return (-self._as_expression()) + other
+
+    def __mul__(self, other: Number) -> "AffineExpression":
+        return self._as_expression() * other
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Number) -> "AffineExpression":
+        return self._as_expression() / other
+
+    def __neg__(self) -> "AffineExpression":
+        return self._as_expression() * -1.0
+
+    def __pos__(self) -> "AffineExpression":
+        return self._as_expression()
+
+    # -- identity ---------------------------------------------------------
+    def __hash__(self) -> int:
+        return self._uid
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        bounds = ""
+        if self.lower is not None or self.upper is not None:
+            bounds = f" in [{self.lower}, {self.upper}]"
+        return f"Variable({self.name!r}{bounds})"
+
+
+ExpressionLike = Union[Variable, "AffineExpression", Number]
+
+
+class AffineExpression:
+    """A linear combination of variables plus a constant offset."""
+
+    __slots__ = ("terms", "constant")
+
+    def __init__(
+        self,
+        terms: Optional[Mapping[Variable, Number]] = None,
+        constant: Number = 0.0,
+    ) -> None:
+        self.terms: Dict[Variable, float] = {}
+        if terms:
+            for var, coeff in terms.items():
+                coeff = float(coeff)
+                if coeff != 0.0:
+                    self.terms[var] = coeff
+        self.constant = float(constant)
+
+    # -- construction helpers --------------------------------------------
+    @staticmethod
+    def coerce(value: ExpressionLike) -> "AffineExpression":
+        """Convert a variable or number into an :class:`AffineExpression`."""
+        if isinstance(value, AffineExpression):
+            return value
+        if isinstance(value, Variable):
+            return value._as_expression()
+        if isinstance(value, (int, float)):
+            if not math.isfinite(float(value)):
+                raise FormulationError(f"non-finite constant {value!r} in expression")
+            return AffineExpression({}, float(value))
+        raise FormulationError(
+            f"cannot interpret {value!r} as an affine expression"
+        )
+
+    def copy(self) -> "AffineExpression":
+        return AffineExpression(dict(self.terms), self.constant)
+
+    # -- algebra ----------------------------------------------------------
+    def __add__(self, other: ExpressionLike) -> "AffineExpression":
+        other = AffineExpression.coerce(other)
+        result = dict(self.terms)
+        for var, coeff in other.terms.items():
+            result[var] = result.get(var, 0.0) + coeff
+        return AffineExpression(result, self.constant + other.constant)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: ExpressionLike) -> "AffineExpression":
+        return self + (AffineExpression.coerce(other) * -1.0)
+
+    def __rsub__(self, other: ExpressionLike) -> "AffineExpression":
+        return (self * -1.0) + other
+
+    def __mul__(self, factor: Number) -> "AffineExpression":
+        if isinstance(factor, (Variable, AffineExpression)):
+            raise FormulationError(
+                "products of expressions are not affine; use a "
+                "HyperbolicConstraint for bilinear constraints"
+            )
+        factor = float(factor)
+        return AffineExpression(
+            {var: coeff * factor for var, coeff in self.terms.items()},
+            self.constant * factor,
+        )
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, divisor: Number) -> "AffineExpression":
+        divisor = float(divisor)
+        if divisor == 0.0:
+            raise FormulationError("division of an expression by zero")
+        return self * (1.0 / divisor)
+
+    def __neg__(self) -> "AffineExpression":
+        return self * -1.0
+
+    def __pos__(self) -> "AffineExpression":
+        return self.copy()
+
+    # -- inspection --------------------------------------------------------
+    def variables(self) -> Iterable[Variable]:
+        """Iterate over the variables with a non-zero coefficient."""
+        return self.terms.keys()
+
+    def coefficient(self, variable: Variable) -> float:
+        """Return the coefficient of ``variable`` (0.0 if absent)."""
+        return self.terms.get(variable, 0.0)
+
+    def is_constant(self) -> bool:
+        """True when the expression contains no variables."""
+        return not self.terms
+
+    def evaluate(self, values: Mapping[Variable, Number]) -> float:
+        """Evaluate the expression at a variable assignment.
+
+        Raises
+        ------
+        FormulationError
+            If a variable of the expression is missing from ``values``.
+        """
+        total = self.constant
+        for var, coeff in self.terms.items():
+            if var not in values:
+                raise FormulationError(
+                    f"missing value for variable {var.name!r} during evaluation"
+                )
+            total += coeff * float(values[var])
+        return total
+
+    def as_pairs(self) -> Tuple[Tuple[Variable, float], ...]:
+        """Return the (variable, coefficient) pairs in deterministic order."""
+        return tuple(sorted(self.terms.items(), key=lambda item: item[0]._uid))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [f"{coeff:+g}*{var.name}" for var, coeff in self.as_pairs()]
+        if self.constant or not parts:
+            parts.append(f"{self.constant:+g}")
+        return " ".join(parts)
+
+
+def linear_sum(values: Iterable[ExpressionLike]) -> AffineExpression:
+    """Sum an iterable of expressions/variables/constants into one expression.
+
+    This is the analogue of ``pulp.lpSum`` and avoids the quadratic behaviour
+    of repeatedly calling ``__add__`` on growing dictionaries for long sums.
+    """
+    terms: Dict[Variable, float] = {}
+    constant = 0.0
+    for value in values:
+        expr = AffineExpression.coerce(value)
+        constant += expr.constant
+        for var, coeff in expr.terms.items():
+            terms[var] = terms.get(var, 0.0) + coeff
+    return AffineExpression(terms, constant)

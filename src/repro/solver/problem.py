@@ -1,0 +1,427 @@
+"""Problem container and compilation to numerical form.
+
+:class:`ConeProgram` is the modelling entry point of the optimisation
+substrate: variables and constraints are registered on it, an affine
+objective is chosen, and :meth:`ConeProgram.solve` dispatches to one of the
+backends (:mod:`repro.solver.barrier`, :mod:`repro.solver.linprog_backend`,
+:mod:`repro.solver.scipy_backend`).
+
+The numerical backends do not operate on the symbolic objects directly;
+:meth:`ConeProgram.compile` lowers the program into a
+:class:`CompiledProblem` made of dense numpy arrays:
+
+* objective vector ``c`` and offset ``c0``,
+* inequalities ``G·x ≤ h`` (variable bounds folded in),
+* equalities ``A·x = b``,
+* hyperbolic constraints as coefficient-vector tuples,
+* second-order cone constraints as matrix/vector tuples.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import FormulationError, SolverError
+from repro.solver.constraints import (
+    EQUAL,
+    GREATER_EQUAL,
+    LESS_EQUAL,
+    HyperbolicConstraint,
+    LinearConstraint,
+    SecondOrderConeConstraint,
+)
+from repro.solver.expression import (
+    AffineExpression,
+    ExpressionLike,
+    Variable,
+    linear_sum,
+)
+from repro.solver.result import Solution, SolverStatus
+
+Constraint = Union[LinearConstraint, HyperbolicConstraint, SecondOrderConeConstraint]
+
+
+@dataclass
+class CompiledHyperbolic:
+    """Numerical form of ``(p·x + p0)·(q·x + q0) ≥ bound``."""
+
+    p: np.ndarray
+    p0: float
+    q: np.ndarray
+    q0: float
+    bound: float
+    name: str = ""
+
+
+@dataclass
+class CompiledCone:
+    """Numerical form of ``‖A·x + b‖₂ ≤ c·x + d``."""
+
+    A: np.ndarray
+    b: np.ndarray
+    c: np.ndarray
+    d: float
+    name: str = ""
+
+
+@dataclass
+class CompiledProblem:
+    """Dense numerical representation of a :class:`ConeProgram`."""
+
+    variables: List[Variable]
+    c: np.ndarray
+    c0: float
+    G: np.ndarray
+    h: np.ndarray
+    A: np.ndarray
+    b: np.ndarray
+    hyperbolic: List[CompiledHyperbolic]
+    cones: List[CompiledCone]
+    inequality_names: List[str] = field(default_factory=list)
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.variables)
+
+    def index_of(self, variable: Variable) -> int:
+        try:
+            return self._index[variable]
+        except AttributeError:
+            self._index = {var: i for i, var in enumerate(self.variables)}
+            return self._index[variable]
+
+    def objective_value(self, x: np.ndarray) -> float:
+        return float(self.c @ x + self.c0)
+
+    def point_as_mapping(self, x: np.ndarray) -> Dict[Variable, float]:
+        return {var: float(x[i]) for i, var in enumerate(self.variables)}
+
+    def vector_from_mapping(
+        self, values: Mapping[Variable, float], default: float = 0.0
+    ) -> np.ndarray:
+        x = np.full(self.num_variables, float(default))
+        for i, var in enumerate(self.variables):
+            if var in values:
+                x[i] = float(values[var])
+        return x
+
+    # -- feasibility inspection -------------------------------------------
+    def max_linear_violation(self, x: np.ndarray) -> float:
+        violation = 0.0
+        if self.G.size:
+            violation = max(violation, float(np.max(self.G @ x - self.h)))
+        if self.A.size:
+            violation = max(violation, float(np.max(np.abs(self.A @ x - self.b))))
+        return violation
+
+    def min_cone_margin(self, x: np.ndarray) -> float:
+        margin = np.inf
+        for hyp in self.hyperbolic:
+            p = float(hyp.p @ x + hyp.p0)
+            q = float(hyp.q @ x + hyp.q0)
+            margin = min(margin, p * q - hyp.bound, p, q)
+        for cone in self.cones:
+            u = cone.A @ x + cone.b
+            v = float(cone.c @ x + cone.d)
+            margin = min(margin, v - float(np.linalg.norm(u)))
+        return margin
+
+
+class ConeProgram:
+    """A convex optimisation problem with linear and second-order cone constraints."""
+
+    def __init__(self, name: str = "program") -> None:
+        self.name = name
+        self._variables: List[Variable] = []
+        self._names: Dict[str, Variable] = {}
+        self._linear: List[LinearConstraint] = []
+        self._hyperbolic: List[HyperbolicConstraint] = []
+        self._cones: List[SecondOrderConeConstraint] = []
+        self._objective: AffineExpression = AffineExpression()
+        self._sense: str = "min"
+
+    # -- variables ---------------------------------------------------------
+    def add_variable(
+        self,
+        name: str,
+        lower: Optional[float] = None,
+        upper: Optional[float] = None,
+    ) -> Variable:
+        """Create and register a decision variable with optional bounds."""
+        if name in self._names:
+            raise FormulationError(f"duplicate variable name {name!r}")
+        variable = Variable(name, lower, upper)
+        self._variables.append(variable)
+        self._names[name] = variable
+        return variable
+
+    def variable(self, name: str) -> Variable:
+        """Look up a registered variable by name."""
+        try:
+            return self._names[name]
+        except KeyError:
+            raise FormulationError(f"unknown variable {name!r}") from None
+
+    @property
+    def variables(self) -> Tuple[Variable, ...]:
+        return tuple(self._variables)
+
+    # -- constraints --------------------------------------------------------
+    def add_constraint(self, constraint: Constraint) -> Constraint:
+        """Register an already-constructed constraint object."""
+        if isinstance(constraint, LinearConstraint):
+            self._check_known_variables(constraint.expression)
+            self._linear.append(constraint)
+        elif isinstance(constraint, HyperbolicConstraint):
+            self._check_known_variables(constraint.x)
+            self._check_known_variables(constraint.y)
+            self._hyperbolic.append(constraint)
+        elif isinstance(constraint, SecondOrderConeConstraint):
+            for row in constraint.rows:
+                self._check_known_variables(row)
+            self._check_known_variables(constraint.rhs)
+            self._cones.append(constraint)
+        else:
+            raise FormulationError(
+                f"unsupported constraint type {type(constraint).__name__}"
+            )
+        return constraint
+
+    def add_linear(
+        self,
+        lhs: ExpressionLike,
+        sense: str,
+        rhs: ExpressionLike,
+        name: Optional[str] = None,
+    ) -> LinearConstraint:
+        """Add an affine constraint ``lhs <sense> rhs``."""
+        constraint = LinearConstraint(lhs, sense, rhs, name=name)
+        return self.add_constraint(constraint)  # type: ignore[return-value]
+
+    def add_less_equal(
+        self, lhs: ExpressionLike, rhs: ExpressionLike, name: Optional[str] = None
+    ) -> LinearConstraint:
+        return self.add_linear(lhs, LESS_EQUAL, rhs, name=name)
+
+    def add_greater_equal(
+        self, lhs: ExpressionLike, rhs: ExpressionLike, name: Optional[str] = None
+    ) -> LinearConstraint:
+        return self.add_linear(lhs, GREATER_EQUAL, rhs, name=name)
+
+    def add_equality(
+        self, lhs: ExpressionLike, rhs: ExpressionLike, name: Optional[str] = None
+    ) -> LinearConstraint:
+        return self.add_linear(lhs, EQUAL, rhs, name=name)
+
+    def add_hyperbolic(
+        self,
+        x: ExpressionLike,
+        y: ExpressionLike,
+        bound: float = 1.0,
+        name: Optional[str] = None,
+    ) -> HyperbolicConstraint:
+        """Add the convex constraint ``x·y ≥ bound`` (``x, y > 0``)."""
+        constraint = HyperbolicConstraint(x, y, bound, name=name)
+        return self.add_constraint(constraint)  # type: ignore[return-value]
+
+    def add_second_order_cone(
+        self,
+        rows: Sequence[ExpressionLike],
+        rhs: ExpressionLike,
+        name: Optional[str] = None,
+    ) -> SecondOrderConeConstraint:
+        """Add the constraint ``‖rows‖₂ ≤ rhs``."""
+        constraint = SecondOrderConeConstraint(rows, rhs, name=name)
+        return self.add_constraint(constraint)  # type: ignore[return-value]
+
+    @property
+    def linear_constraints(self) -> Tuple[LinearConstraint, ...]:
+        return tuple(self._linear)
+
+    @property
+    def hyperbolic_constraints(self) -> Tuple[HyperbolicConstraint, ...]:
+        return tuple(self._hyperbolic)
+
+    @property
+    def cone_constraints(self) -> Tuple[SecondOrderConeConstraint, ...]:
+        return tuple(self._cones)
+
+    @property
+    def is_linear(self) -> bool:
+        """True when the program contains no cone constraints (pure LP)."""
+        return not self._hyperbolic and not self._cones
+
+    # -- objective -----------------------------------------------------------
+    def minimize(self, expression: ExpressionLike) -> None:
+        """Set the objective to minimise the given affine expression."""
+        expr = AffineExpression.coerce(expression)
+        self._check_known_variables(expr)
+        self._objective = expr
+        self._sense = "min"
+
+    def maximize(self, expression: ExpressionLike) -> None:
+        """Set the objective to maximise the given affine expression."""
+        expr = AffineExpression.coerce(expression)
+        self._check_known_variables(expr)
+        self._objective = expr
+        self._sense = "max"
+
+    @property
+    def objective(self) -> AffineExpression:
+        return self._objective
+
+    @property
+    def sense(self) -> str:
+        return self._sense
+
+    def _check_known_variables(self, expression: AffineExpression) -> None:
+        for var in expression.variables():
+            if self._names.get(var.name) is not var:
+                raise FormulationError(
+                    f"expression references variable {var.name!r} that is not "
+                    f"registered with program {self.name!r}"
+                )
+
+    # -- compilation -----------------------------------------------------------
+    def _vectorise(self, expression: AffineExpression, index: Dict[Variable, int]) -> Tuple[np.ndarray, float]:
+        row = np.zeros(len(self._variables))
+        for var, coeff in expression.terms.items():
+            row[index[var]] = coeff
+        return row, expression.constant
+
+    def compile(self) -> CompiledProblem:
+        """Lower the symbolic program into dense numpy arrays."""
+        index = {var: i for i, var in enumerate(self._variables)}
+        n = len(self._variables)
+
+        # Objective (always converted to minimisation form).
+        c, c0 = self._vectorise(self._objective, index)
+        if self._sense == "max":
+            c, c0 = -c, -c0
+
+        g_rows: List[np.ndarray] = []
+        h_vals: List[float] = []
+        ineq_names: List[str] = []
+        a_rows: List[np.ndarray] = []
+        b_vals: List[float] = []
+
+        # Variable bounds become inequality rows.  A variable whose bounds
+        # coincide is emitted as an equality instead: two opposing
+        # inequalities would leave the feasible region without an interior,
+        # which the barrier method cannot handle.
+        for var, i in index.items():
+            if (
+                var.lower is not None
+                and var.upper is not None
+                and abs(var.upper - var.lower) <= 1e-12 * max(1.0, abs(var.lower))
+            ):
+                row = np.zeros(n)
+                row[i] = 1.0
+                a_rows.append(row)
+                b_vals.append(var.lower)
+                continue
+            if var.lower is not None:
+                row = np.zeros(n)
+                row[i] = -1.0
+                g_rows.append(row)
+                h_vals.append(-var.lower)
+                ineq_names.append(f"lb[{var.name}]")
+            if var.upper is not None:
+                row = np.zeros(n)
+                row[i] = 1.0
+                g_rows.append(row)
+                h_vals.append(var.upper)
+                ineq_names.append(f"ub[{var.name}]")
+
+        for constraint in self._linear:
+            row, const = self._vectorise(constraint.expression, index)
+            if constraint.is_equality:
+                a_rows.append(row)
+                b_vals.append(-const)
+            else:
+                # expression <= 0  ->  row @ x <= -const
+                g_rows.append(row)
+                h_vals.append(-const)
+                ineq_names.append(constraint.name)
+
+        hyperbolic = []
+        for constraint in self._hyperbolic:
+            p, p0 = self._vectorise(constraint.x, index)
+            q, q0 = self._vectorise(constraint.y, index)
+            hyperbolic.append(
+                CompiledHyperbolic(p=p, p0=p0, q=q, q0=q0, bound=constraint.bound,
+                                   name=constraint.name)
+            )
+
+        cones = []
+        for constraint in self._cones:
+            rows = [self._vectorise(row, index) for row in constraint.rows]
+            A = np.vstack([r for r, _ in rows]) if rows else np.zeros((0, n))
+            b = np.array([const for _, const in rows])
+            cvec, d = self._vectorise(constraint.rhs, index)
+            cones.append(CompiledCone(A=A, b=b, c=cvec, d=d, name=constraint.name))
+
+        G = np.vstack(g_rows) if g_rows else np.zeros((0, n))
+        h = np.array(h_vals)
+        A = np.vstack(a_rows) if a_rows else np.zeros((0, n))
+        b = np.array(b_vals)
+
+        return CompiledProblem(
+            variables=list(self._variables),
+            c=c,
+            c0=c0,
+            G=G,
+            h=h,
+            A=A,
+            b=b,
+            hyperbolic=hyperbolic,
+            cones=cones,
+            inequality_names=ineq_names,
+        )
+
+    # -- solving -----------------------------------------------------------------
+    def solve(
+        self,
+        backend: str = "auto",
+        initial_point: Optional[Mapping[Variable, float]] = None,
+        **options: object,
+    ) -> Solution:
+        """Solve the program and return a :class:`Solution`.
+
+        Parameters
+        ----------
+        backend:
+            ``"auto"`` (default) picks the LP backend for pure linear programs
+            and the barrier interior-point method otherwise, falling back to
+            the scipy backend if the barrier method fails to converge.
+            ``"barrier"``, ``"linprog"`` and ``"scipy"`` force a backend.
+        initial_point:
+            Optional warm-start / strictly feasible hint keyed by variable.
+        """
+        from repro.solver import backends
+
+        compiled = self.compile()
+        start = time.perf_counter()
+        solution = backends.solve_compiled(
+            compiled, backend=backend, initial_point=initial_point, options=dict(options)
+        )
+        solution.solve_time = time.perf_counter() - start
+        if self._sense == "max" and solution.objective is not None:
+            solution.objective = -solution.objective
+        return solution
+
+    # -- convenience -------------------------------------------------------------
+    def sum(self, values: Sequence[ExpressionLike]) -> AffineExpression:
+        """Alias for :func:`repro.solver.expression.linear_sum`."""
+        return linear_sum(values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ConeProgram({self.name!r}, variables={len(self._variables)}, "
+            f"linear={len(self._linear)}, hyperbolic={len(self._hyperbolic)}, "
+            f"cones={len(self._cones)})"
+        )

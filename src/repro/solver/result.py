@@ -1,0 +1,78 @@
+"""Solver status codes and solution objects."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.exceptions import FormulationError
+from repro.solver.expression import AffineExpression, ExpressionLike, Variable
+
+
+class SolverStatus(enum.Enum):
+    """Termination status of an optimisation run."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    MAX_ITERATIONS = "max_iterations"
+    NUMERICAL_ERROR = "numerical_error"
+
+    @property
+    def is_success(self) -> bool:
+        return self is SolverStatus.OPTIMAL
+
+
+@dataclass
+class Solution:
+    """Result of solving a :class:`~repro.solver.problem.ConeProgram`.
+
+    Attributes
+    ----------
+    status:
+        Termination status.
+    objective:
+        Objective value at the returned point (``None`` when no point is
+        available, e.g. for infeasible problems).
+    values:
+        Mapping from :class:`Variable` to its value at the returned point.
+    backend:
+        Name of the backend that produced the solution.
+    iterations:
+        Iteration count reported by the backend (outer iterations for the
+        barrier method).
+    solve_time:
+        Wall-clock time spent inside the backend, in seconds.
+    message:
+        Free-form diagnostic message from the backend.
+    """
+
+    status: SolverStatus
+    objective: Optional[float] = None
+    values: Dict[Variable, float] = field(default_factory=dict)
+    backend: str = ""
+    iterations: int = 0
+    solve_time: float = 0.0
+    message: str = ""
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status.is_success
+
+    def value(self, item: ExpressionLike) -> float:
+        """Evaluate a variable or affine expression at the solution point."""
+        if not self.values:
+            raise FormulationError(
+                f"solution with status {self.status.value!r} carries no point"
+            )
+        expr = AffineExpression.coerce(item)
+        return expr.evaluate(self.values)
+
+    def by_name(self) -> Dict[str, float]:
+        """Return the solution point keyed by variable name."""
+        return {var.name: val for var, val in self.values.items()}
+
+    def restrict(self, names: Mapping[str, Variable]) -> Dict[str, float]:
+        """Extract values for a named subset of variables."""
+        return {name: self.value(var) for name, var in names.items()}

@@ -1,0 +1,134 @@
+"""General non-linear programming backend built on :func:`scipy.optimize.minimize`.
+
+This backend exists for two reasons:
+
+* as an independent cross-check of the from-scratch barrier interior-point
+  method (the test-suite solves the same programs with both backends and
+  compares optima), and
+* as a fallback when the barrier method fails to converge on an unusually
+  ill-conditioned instance.
+
+It handles exactly the same constraint families as the barrier solver:
+linear (in)equalities, hyperbolic constraints ``p(x)·q(x) ≥ w`` and general
+second-order cone constraints ``‖A·x + b‖ ≤ c·x + d``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+from scipy.optimize import minimize
+
+from repro.solver.problem import CompiledProblem
+from repro.solver.result import Solution, SolverStatus
+
+_FEASIBILITY_TOLERANCE = 1e-6
+
+
+def _initial_guess(problem: CompiledProblem, initial_point: Optional[np.ndarray]) -> np.ndarray:
+    if initial_point is not None:
+        return np.asarray(initial_point, dtype=float).copy()
+    guess = np.ones(problem.num_variables)
+    for i, var in enumerate(problem.variables):
+        lower = var.lower if var.lower is not None else None
+        upper = var.upper if var.upper is not None else None
+        if lower is not None and upper is not None:
+            guess[i] = 0.5 * (lower + upper)
+        elif lower is not None:
+            guess[i] = lower + 1.0
+        elif upper is not None:
+            guess[i] = upper - 1.0
+    return guess
+
+
+def _build_constraints(problem: CompiledProblem) -> List[dict]:
+    constraints: List[dict] = []
+
+    if problem.G.size:
+        G, h = problem.G, problem.h
+        constraints.append(
+            {
+                "type": "ineq",
+                "fun": lambda x, G=G, h=h: h - G @ x,
+                "jac": lambda x, G=G: -G,
+            }
+        )
+    if problem.A.size:
+        A, b = problem.A, problem.b
+        constraints.append(
+            {
+                "type": "eq",
+                "fun": lambda x, A=A, b=b: A @ x - b,
+                "jac": lambda x, A=A: A,
+            }
+        )
+    for hyp in problem.hyperbolic:
+        p, p0, q, q0, w = hyp.p, hyp.p0, hyp.q, hyp.q0, hyp.bound
+
+        def fun(x, p=p, p0=p0, q=q, q0=q0, w=w):
+            return np.array([(p @ x + p0) * (q @ x + q0) - w])
+
+        def jac(x, p=p, p0=p0, q=q, q0=q0):
+            return ((q @ x + q0) * p + (p @ x + p0) * q).reshape(1, -1)
+
+        constraints.append({"type": "ineq", "fun": fun, "jac": jac})
+    for cone in problem.cones:
+        A, b, c, d = cone.A, cone.b, cone.c, cone.d
+
+        def fun(x, A=A, b=b, c=c, d=d):
+            u = A @ x + b
+            return np.array([float(c @ x + d) - np.sqrt(float(u @ u) + 1e-16)])
+
+        constraints.append({"type": "ineq", "fun": fun})
+    return constraints
+
+
+def solve_with_scipy(
+    problem: CompiledProblem,
+    initial_point: Optional[np.ndarray] = None,
+    method: str = "SLSQP",
+    max_iterations: int = 500,
+) -> Solution:
+    """Solve a compiled problem with a scipy general-purpose NLP method."""
+    n = problem.num_variables
+    if n == 0:
+        return Solution(
+            status=SolverStatus.OPTIMAL,
+            objective=problem.c0,
+            values={},
+            backend="scipy",
+        )
+
+    x0 = _initial_guess(problem, initial_point)
+    constraints = _build_constraints(problem)
+
+    result = minimize(
+        fun=lambda x: problem.objective_value(x),
+        x0=x0,
+        jac=lambda x: problem.c,
+        constraints=constraints,
+        method=method,
+        options={"maxiter": max_iterations, "ftol": 1e-10},
+    )
+
+    x = np.asarray(result.x, dtype=float)
+    linear_violation = problem.max_linear_violation(x)
+    cone_margin = problem.min_cone_margin(x)
+    feasible = linear_violation <= _FEASIBILITY_TOLERANCE and cone_margin >= -_FEASIBILITY_TOLERANCE
+
+    if result.success and feasible:
+        status = SolverStatus.OPTIMAL
+    elif not feasible:
+        status = SolverStatus.INFEASIBLE
+    else:
+        status = SolverStatus.NUMERICAL_ERROR
+
+    return Solution(
+        status=status,
+        objective=problem.objective_value(x) if feasible else None,
+        values=problem.point_as_mapping(x) if feasible else {},
+        backend="scipy",
+        iterations=int(getattr(result, "nit", 0) or 0),
+        message=str(result.message),
+    )

@@ -1,0 +1,31 @@
+"""Application model: task graphs, FIFO buffers, platforms and configurations.
+
+This package implements Section II-A of the paper: the configuration tuple
+``C = (Q, P, M, µ, ̺, o, ς, g)`` and the task graphs
+``T = (W, B, π, χ, ν, ζ, ι)`` it contains, plus builders, validation,
+serialisation and synthetic workload generators.
+"""
+
+from repro.taskgraph.buffer import Buffer
+from repro.taskgraph.builder import ConfigurationBuilder
+from repro.taskgraph.configuration import Configuration, MappedConfiguration
+from repro.taskgraph.graph import TaskGraph
+from repro.taskgraph.platform import Memory, Platform, Processor, homogeneous_platform
+from repro.taskgraph.task import Task
+from repro.taskgraph import generators, serialization, validate
+
+__all__ = [
+    "Buffer",
+    "Configuration",
+    "ConfigurationBuilder",
+    "MappedConfiguration",
+    "Memory",
+    "Platform",
+    "Processor",
+    "Task",
+    "TaskGraph",
+    "generators",
+    "homogeneous_platform",
+    "serialization",
+    "validate",
+]

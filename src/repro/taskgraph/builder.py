@@ -1,0 +1,147 @@
+"""Fluent builders for configurations and task graphs.
+
+The dataclass-based model in :mod:`repro.taskgraph` is deliberately explicit;
+these builders provide the compact construction style used throughout the
+examples and experiments:
+
+>>> from repro.taskgraph import ConfigurationBuilder
+>>> config = (
+...     ConfigurationBuilder(name="demo", granularity=1.0)
+...     .processor("p1", replenishment_interval=40.0)
+...     .processor("p2", replenishment_interval=40.0)
+...     .memory("m1")
+...     .task_graph("job", period=10.0)
+...     .task("wa", wcet=1.0, processor="p1")
+...     .task("wb", wcet=1.0, processor="p2")
+...     .buffer("bab", source="wa", target="wb", memory="m1")
+...     .build()
+... )
+>>> [g.name for g in config.task_graphs]
+['job']
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.exceptions import ModelError
+from repro.taskgraph.buffer import Buffer
+from repro.taskgraph.configuration import Configuration
+from repro.taskgraph.graph import TaskGraph
+from repro.taskgraph.platform import Memory, Platform, Processor
+from repro.taskgraph.task import Task
+
+
+class ConfigurationBuilder:
+    """Incrementally assemble a :class:`~repro.taskgraph.configuration.Configuration`."""
+
+    def __init__(self, name: str = "configuration", granularity: float = 1.0) -> None:
+        self._name = name
+        self._granularity = granularity
+        self._processors: List[Processor] = []
+        self._memories: List[Memory] = []
+        self._graphs: List[TaskGraph] = []
+        self._current_graph: Optional[TaskGraph] = None
+
+    # -- platform ------------------------------------------------------------
+    def processor(
+        self,
+        name: str,
+        replenishment_interval: float,
+        scheduling_overhead: float = 0.0,
+    ) -> "ConfigurationBuilder":
+        """Add a processor to the platform."""
+        self._processors.append(
+            Processor(
+                name=name,
+                replenishment_interval=replenishment_interval,
+                scheduling_overhead=scheduling_overhead,
+            )
+        )
+        return self
+
+    def memory(self, name: str, capacity: Optional[float] = None) -> "ConfigurationBuilder":
+        """Add a memory to the platform."""
+        self._memories.append(Memory(name=name, capacity=capacity))
+        return self
+
+    # -- task graphs ------------------------------------------------------------
+    def task_graph(self, name: str, period: float) -> "ConfigurationBuilder":
+        """Start a new task graph; subsequent tasks/buffers are added to it."""
+        graph = TaskGraph(name=name, period=period)
+        self._graphs.append(graph)
+        self._current_graph = graph
+        return self
+
+    def _require_graph(self) -> TaskGraph:
+        if self._current_graph is None:
+            raise ModelError(
+                "call task_graph(...) before adding tasks or buffers"
+            )
+        return self._current_graph
+
+    def task(
+        self,
+        name: str,
+        wcet: float,
+        processor: str,
+        budget_weight: float = 1.0,
+        min_budget: Optional[float] = None,
+        max_budget: Optional[float] = None,
+    ) -> "ConfigurationBuilder":
+        """Add a task to the current task graph."""
+        self._require_graph().add_task(
+            Task(
+                name=name,
+                wcet=wcet,
+                processor=processor,
+                budget_weight=budget_weight,
+                min_budget=min_budget,
+                max_budget=max_budget,
+            )
+        )
+        return self
+
+    def buffer(
+        self,
+        name: str,
+        source: str,
+        target: str,
+        memory: str,
+        container_size: float = 1.0,
+        initial_tokens: int = 0,
+        capacity_weight: float = 1.0,
+        min_capacity: Optional[int] = None,
+        max_capacity: Optional[int] = None,
+    ) -> "ConfigurationBuilder":
+        """Add a FIFO buffer to the current task graph."""
+        self._require_graph().add_buffer(
+            Buffer(
+                name=name,
+                source=source,
+                target=target,
+                memory=memory,
+                container_size=container_size,
+                initial_tokens=initial_tokens,
+                capacity_weight=capacity_weight,
+                min_capacity=min_capacity,
+                max_capacity=max_capacity,
+            )
+        )
+        return self
+
+    # -- finalisation ---------------------------------------------------------------
+    def build(self, validate: bool = True) -> Configuration:
+        """Assemble the configuration; validates it unless ``validate=False``."""
+        platform = Platform(
+            processors=self._processors, memories=self._memories, name=f"{self._name}-platform"
+        )
+        configuration = Configuration(
+            platform=platform,
+            task_graphs=self._graphs,
+            granularity=self._granularity,
+            name=self._name,
+        )
+        if validate:
+            configuration.validate()
+        return configuration

@@ -1,0 +1,360 @@
+"""Synthetic configuration generators.
+
+These generators produce the workloads used by the examples, the test-suite
+and the scalability benchmarks:
+
+* :func:`producer_consumer_configuration` — the two-task graph of the paper's
+  first experiment (Figure 1 / Figure 2).
+* :func:`chain_configuration` — an ``n``-stage pipeline; ``n = 3`` is the
+  paper's second experiment (Figure 3).
+* :func:`fork_join_configuration` — a split/merge graph exercising tasks whose
+  budget interacts with several buffers at once.
+* :func:`ring_configuration` — a cyclic graph with initial tokens (functional
+  pipelining / feedback loops).
+* :func:`random_dag_configuration` — pseudo-random layered DAGs for
+  scalability studies (seeded, deterministic).
+* :func:`multi_job_configuration` — several independent jobs sharing the same
+  processors, the multi-job scenario motivating the paper's introduction.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.exceptions import ModelError
+from repro.taskgraph.buffer import Buffer
+from repro.taskgraph.configuration import Configuration
+from repro.taskgraph.graph import TaskGraph
+from repro.taskgraph.platform import Memory, Platform, Processor, homogeneous_platform
+from repro.taskgraph.task import Task
+
+#: Parameter values of the paper's experiments (all in Mcycles).
+PAPER_REPLENISHMENT_INTERVAL = 40.0
+PAPER_WCET = 1.0
+PAPER_PERIOD = 10.0
+
+
+def producer_consumer_configuration(
+    replenishment_interval: float = PAPER_REPLENISHMENT_INTERVAL,
+    wcet: float = PAPER_WCET,
+    period: float = PAPER_PERIOD,
+    max_capacity: Optional[int] = None,
+    memory_capacity: Optional[float] = None,
+    granularity: float = 1.0,
+    budget_weight: float = 1.0,
+    capacity_weight: float = 1e-3,
+) -> Configuration:
+    """The producer-consumer task graph ``T1`` of the paper (Figure 1).
+
+    Two tasks ``wa`` and ``wb`` on separate processors, connected by a single
+    buffer ``bab`` whose containers are all initially empty.  The default
+    weights prefer budget minimisation over buffer minimisation, as in the
+    paper's first experiment.
+    """
+    platform = homogeneous_platform(
+        processor_count=2,
+        replenishment_interval=replenishment_interval,
+        memory_capacity=memory_capacity,
+    )
+    graph = TaskGraph(name="T1", period=period)
+    graph.add_task(Task(name="wa", wcet=wcet, processor="p1", budget_weight=budget_weight))
+    graph.add_task(Task(name="wb", wcet=wcet, processor="p2", budget_weight=budget_weight))
+    graph.add_buffer(
+        Buffer(
+            name="bab",
+            source="wa",
+            target="wb",
+            memory="m1",
+            container_size=1.0,
+            initial_tokens=0,
+            capacity_weight=capacity_weight,
+            max_capacity=max_capacity,
+        )
+    )
+    return Configuration(
+        platform=platform,
+        task_graphs=[graph],
+        granularity=granularity,
+        name="producer-consumer",
+    )
+
+
+def chain_configuration(
+    stages: int = 3,
+    replenishment_interval: float = PAPER_REPLENISHMENT_INTERVAL,
+    wcet: float = PAPER_WCET,
+    period: float = PAPER_PERIOD,
+    max_capacity: Optional[int] = None,
+    memory_capacity: Optional[float] = None,
+    granularity: float = 1.0,
+    budget_weight: float = 1.0,
+    capacity_weight: float = 1e-3,
+) -> Configuration:
+    """An ``n``-stage pipeline; ``stages=3`` reproduces the paper's graph ``T2``.
+
+    Every stage runs on its own processor, so budgets only interact through
+    the throughput constraint and the buffer capacities.
+    """
+    if stages < 2:
+        raise ModelError("a chain needs at least two stages")
+    platform = homogeneous_platform(
+        processor_count=stages,
+        replenishment_interval=replenishment_interval,
+        memory_capacity=memory_capacity,
+    )
+    graph = TaskGraph(name=f"chain{stages}", period=period)
+    names = [f"w{chr(ord('a') + i)}" if i < 26 else f"w{i}" for i in range(stages)]
+    for i, task_name in enumerate(names):
+        graph.add_task(
+            Task(
+                name=task_name,
+                wcet=wcet,
+                processor=f"p{i + 1}",
+                budget_weight=budget_weight,
+            )
+        )
+    for i in range(stages - 1):
+        graph.add_buffer(
+            Buffer(
+                name=f"b{names[i][1:]}{names[i + 1][1:]}",
+                source=names[i],
+                target=names[i + 1],
+                memory="m1",
+                capacity_weight=capacity_weight,
+                max_capacity=max_capacity,
+            )
+        )
+    return Configuration(
+        platform=platform,
+        task_graphs=[graph],
+        granularity=granularity,
+        name=f"chain-{stages}",
+    )
+
+
+def fork_join_configuration(
+    branches: int = 2,
+    replenishment_interval: float = PAPER_REPLENISHMENT_INTERVAL,
+    wcet: float = PAPER_WCET,
+    period: float = PAPER_PERIOD,
+    max_capacity: Optional[int] = None,
+    granularity: float = 1.0,
+    capacity_weight: float = 1e-3,
+) -> Configuration:
+    """A fork-join (split/merge) graph: source → ``branches`` workers → sink."""
+    if branches < 1:
+        raise ModelError("a fork-join graph needs at least one branch")
+    processor_count = branches + 2
+    platform = homogeneous_platform(
+        processor_count=processor_count,
+        replenishment_interval=replenishment_interval,
+    )
+    graph = TaskGraph(name=f"forkjoin{branches}", period=period)
+    graph.add_task(Task(name="split", wcet=wcet, processor="p1"))
+    graph.add_task(Task(name="merge", wcet=wcet, processor=f"p{processor_count}"))
+    for i in range(branches):
+        worker = f"worker{i + 1}"
+        graph.add_task(Task(name=worker, wcet=wcet, processor=f"p{i + 2}"))
+        graph.add_buffer(
+            Buffer(
+                name=f"b_split_{worker}",
+                source="split",
+                target=worker,
+                memory="m1",
+                capacity_weight=capacity_weight,
+                max_capacity=max_capacity,
+            )
+        )
+        graph.add_buffer(
+            Buffer(
+                name=f"b_{worker}_merge",
+                source=worker,
+                target="merge",
+                memory="m1",
+                capacity_weight=capacity_weight,
+                max_capacity=max_capacity,
+            )
+        )
+    return Configuration(
+        platform=platform,
+        task_graphs=[graph],
+        granularity=granularity,
+        name=f"fork-join-{branches}",
+    )
+
+
+def ring_configuration(
+    stages: int = 3,
+    initial_tokens: int = 2,
+    replenishment_interval: float = PAPER_REPLENISHMENT_INTERVAL,
+    wcet: float = PAPER_WCET,
+    period: float = PAPER_PERIOD,
+    max_capacity: Optional[int] = None,
+    granularity: float = 1.0,
+    capacity_weight: float = 1e-3,
+) -> Configuration:
+    """A cyclic pipeline with a feedback buffer carrying initial tokens.
+
+    The feedback edge makes the task graph itself cyclic (not just the derived
+    dataflow graph), which exercises the handling of initially filled
+    containers ``ι(b) > 0``.
+    """
+    if stages < 2:
+        raise ModelError("a ring needs at least two stages")
+    if initial_tokens < 1:
+        raise ModelError("a ring needs at least one initial token to be deadlock-free")
+    platform = homogeneous_platform(
+        processor_count=stages, replenishment_interval=replenishment_interval
+    )
+    graph = TaskGraph(name=f"ring{stages}", period=period)
+    names = [f"t{i}" for i in range(stages)]
+    for i, task_name in enumerate(names):
+        graph.add_task(Task(name=task_name, wcet=wcet, processor=f"p{i + 1}"))
+    for i in range(stages):
+        source = names[i]
+        target = names[(i + 1) % stages]
+        is_feedback = i == stages - 1
+        graph.add_buffer(
+            Buffer(
+                name=f"b{i}",
+                source=source,
+                target=target,
+                memory="m1",
+                initial_tokens=initial_tokens if is_feedback else 0,
+                capacity_weight=capacity_weight,
+                max_capacity=max_capacity,
+            )
+        )
+    return Configuration(
+        platform=platform,
+        task_graphs=[graph],
+        granularity=granularity,
+        name=f"ring-{stages}",
+    )
+
+
+def random_dag_configuration(
+    task_count: int,
+    processor_count: int,
+    seed: int = 0,
+    edge_probability: float = 0.3,
+    replenishment_interval: float = PAPER_REPLENISHMENT_INTERVAL,
+    period: float = PAPER_PERIOD,
+    wcet_range: Sequence[float] = (0.5, 2.0),
+    max_capacity: Optional[int] = None,
+    granularity: float = 1.0,
+    capacity_weight: float = 1e-3,
+) -> Configuration:
+    """A seeded pseudo-random layered DAG used for scalability benchmarks.
+
+    Tasks are ordered ``t0 .. t{n-1}``; an edge can only go from a lower to a
+    higher index, which guarantees acyclicity.  A spine of edges
+    ``t_i → t_{i+1}`` guarantees weak connectivity.  Task WCETs are drawn
+    uniformly from ``wcet_range`` but capped so that the configuration remains
+    feasible for the given period.
+    """
+    if task_count < 2:
+        raise ModelError("random DAGs need at least two tasks")
+    if processor_count < 1:
+        raise ModelError("random DAGs need at least one processor")
+    rng = random.Random(seed)
+    platform = homogeneous_platform(
+        processor_count=processor_count, replenishment_interval=replenishment_interval
+    )
+    graph = TaskGraph(name=f"random{task_count}", period=period)
+
+    # Keep per-processor load feasible: the minimum budget of a task is
+    # replenishment_interval * wcet / period, and per processor the budgets
+    # (plus one granule each) must fit in the replenishment interval.
+    per_processor = -(-task_count // processor_count)  # ceil division
+    max_total_wcet = period * (1.0 - 0.05) - per_processor * granularity * period / replenishment_interval
+    wcet_cap = max(1e-3, max_total_wcet / per_processor)
+
+    low, high = float(wcet_range[0]), float(wcet_range[1])
+    for i in range(task_count):
+        wcet = min(rng.uniform(low, high), wcet_cap, period)
+        graph.add_task(
+            Task(name=f"t{i}", wcet=wcet, processor=f"p{(i % processor_count) + 1}")
+        )
+    edge_id = 0
+    for i in range(task_count - 1):
+        graph.add_buffer(
+            Buffer(
+                name=f"e{edge_id}",
+                source=f"t{i}",
+                target=f"t{i + 1}",
+                memory="m1",
+                capacity_weight=capacity_weight,
+                max_capacity=max_capacity,
+            )
+        )
+        edge_id += 1
+        for j in range(i + 2, task_count):
+            if rng.random() < edge_probability:
+                graph.add_buffer(
+                    Buffer(
+                        name=f"e{edge_id}",
+                        source=f"t{i}",
+                        target=f"t{j}",
+                        memory="m1",
+                        capacity_weight=capacity_weight,
+                        max_capacity=max_capacity,
+                    )
+                )
+                edge_id += 1
+    return Configuration(
+        platform=platform,
+        task_graphs=[graph],
+        granularity=granularity,
+        name=f"random-dag-{task_count}-{seed}",
+    )
+
+
+def multi_job_configuration(
+    job_count: int = 2,
+    stages_per_job: int = 2,
+    replenishment_interval: float = PAPER_REPLENISHMENT_INTERVAL,
+    wcet: float = PAPER_WCET,
+    period: float = PAPER_PERIOD,
+    max_capacity: Optional[int] = None,
+    granularity: float = 1.0,
+    capacity_weight: float = 1e-3,
+) -> Configuration:
+    """Several independent pipeline jobs sharing the same processors.
+
+    Stage ``i`` of every job is bound to processor ``p{i+1}``, so the jobs
+    compete for budget on each processor — the multi-job resource sharing
+    scenario that motivates budget schedulers in the paper's introduction.
+    """
+    if job_count < 1:
+        raise ModelError("need at least one job")
+    if stages_per_job < 2:
+        raise ModelError("each job needs at least two stages")
+    platform = homogeneous_platform(
+        processor_count=stages_per_job, replenishment_interval=replenishment_interval
+    )
+    graphs: List[TaskGraph] = []
+    for j in range(job_count):
+        graph = TaskGraph(name=f"job{j}", period=period)
+        names = [f"job{j}_s{i}" for i in range(stages_per_job)]
+        for i, task_name in enumerate(names):
+            graph.add_task(Task(name=task_name, wcet=wcet, processor=f"p{i + 1}"))
+        for i in range(stages_per_job - 1):
+            graph.add_buffer(
+                Buffer(
+                    name=f"job{j}_b{i}",
+                    source=names[i],
+                    target=names[i + 1],
+                    memory="m1",
+                    capacity_weight=capacity_weight,
+                    max_capacity=max_capacity,
+                )
+            )
+        graphs.append(graph)
+    return Configuration(
+        platform=platform,
+        task_graphs=graphs,
+        granularity=granularity,
+        name=f"multi-job-{job_count}x{stages_per_job}",
+    )

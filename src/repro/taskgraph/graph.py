@@ -1,0 +1,194 @@
+"""Task graph model.
+
+A task graph ``T = (W, B, π, χ, ν, ζ, ι)`` is a directed multigraph whose
+vertices are tasks and whose edges are FIFO buffers, together with a
+throughput requirement expressed as a period ``µ(T)``: in steady state, every
+task must complete one execution every ``µ(T)`` time units.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.exceptions import GraphStructureError, ModelError
+from repro.taskgraph.buffer import Buffer
+from repro.taskgraph.task import Task
+
+
+class TaskGraph:
+    """A throughput-constrained task graph.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier of the task graph (the paper calls these *jobs*).
+    period:
+        The throughput requirement ``µ(T)`` as the maximum allowed steady-state
+        period between successive executions of each task.
+    tasks, buffers:
+        Optional initial content; tasks referenced by buffers must be added
+        first (or in the same call).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        period: float,
+        tasks: Iterable[Task] = (),
+        buffers: Iterable[Buffer] = (),
+    ) -> None:
+        if not name:
+            raise ModelError("task graph name must be non-empty")
+        if period <= 0.0:
+            raise ModelError(
+                f"task graph {name!r} needs a positive throughput period, got {period!r}"
+            )
+        self.name = name
+        self.period = float(period)
+        self._tasks: Dict[str, Task] = {}
+        self._buffers: Dict[str, Buffer] = {}
+        for task in tasks:
+            self.add_task(task)
+        for buffer in buffers:
+            self.add_buffer(buffer)
+
+    # -- construction ---------------------------------------------------------
+    def add_task(self, task: Task) -> Task:
+        if task.name in self._tasks:
+            raise ModelError(
+                f"task graph {self.name!r} already contains a task named {task.name!r}"
+            )
+        self._tasks[task.name] = task
+        return task
+
+    def add_buffer(self, buffer: Buffer) -> Buffer:
+        if buffer.name in self._buffers:
+            raise ModelError(
+                f"task graph {self.name!r} already contains a buffer named {buffer.name!r}"
+            )
+        for endpoint in (buffer.source, buffer.target):
+            if endpoint not in self._tasks:
+                raise GraphStructureError(
+                    f"buffer {buffer.name!r} references task {endpoint!r} which is "
+                    f"not part of task graph {self.name!r}"
+                )
+        self._buffers[buffer.name] = buffer
+        return buffer
+
+    # -- lookup ---------------------------------------------------------------
+    def task(self, name: str) -> Task:
+        try:
+            return self._tasks[name]
+        except KeyError:
+            raise GraphStructureError(
+                f"task graph {self.name!r} has no task named {name!r}"
+            ) from None
+
+    def buffer(self, name: str) -> Buffer:
+        try:
+            return self._buffers[name]
+        except KeyError:
+            raise GraphStructureError(
+                f"task graph {self.name!r} has no buffer named {name!r}"
+            ) from None
+
+    def has_task(self, name: str) -> bool:
+        return name in self._tasks
+
+    def has_buffer(self, name: str) -> bool:
+        return name in self._buffers
+
+    @property
+    def tasks(self) -> Tuple[Task, ...]:
+        return tuple(self._tasks.values())
+
+    @property
+    def buffers(self) -> Tuple[Buffer, ...]:
+        return tuple(self._buffers.values())
+
+    @property
+    def task_names(self) -> Tuple[str, ...]:
+        return tuple(self._tasks.keys())
+
+    @property
+    def buffer_names(self) -> Tuple[str, ...]:
+        return tuple(self._buffers.keys())
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self._tasks.values())
+
+    # -- topology ----------------------------------------------------------------
+    def output_buffers(self, task_name: str) -> List[Buffer]:
+        """Buffers produced into by ``task_name``."""
+        self.task(task_name)
+        return [b for b in self._buffers.values() if b.source == task_name]
+
+    def input_buffers(self, task_name: str) -> List[Buffer]:
+        """Buffers consumed from by ``task_name``."""
+        self.task(task_name)
+        return [b for b in self._buffers.values() if b.target == task_name]
+
+    def successors(self, task_name: str) -> List[str]:
+        """Names of tasks that consume data produced by ``task_name``."""
+        return sorted({b.target for b in self.output_buffers(task_name)})
+
+    def predecessors(self, task_name: str) -> List[str]:
+        """Names of tasks whose data ``task_name`` consumes."""
+        return sorted({b.source for b in self.input_buffers(task_name)})
+
+    def to_networkx(self) -> nx.MultiDiGraph:
+        """Export the task graph as a :class:`networkx.MultiDiGraph`.
+
+        Node attributes carry the :class:`Task`, edge attributes the
+        :class:`Buffer`.
+        """
+        graph = nx.MultiDiGraph(name=self.name, period=self.period)
+        for task in self._tasks.values():
+            graph.add_node(task.name, task=task)
+        for buffer in self._buffers.values():
+            graph.add_edge(buffer.source, buffer.target, key=buffer.name, buffer=buffer)
+        return graph
+
+    def is_connected(self) -> bool:
+        """True when the task graph is weakly connected (or has a single task)."""
+        if len(self._tasks) <= 1:
+            return True
+        return nx.is_weakly_connected(self.to_networkx())
+
+    def undirected_cycles_exist(self) -> bool:
+        """True when the graph (ignoring direction) contains a cycle.
+
+        Self-loops and parallel buffers between the same pair of tasks count
+        as cycles; beyond those, the simple undirected graph is inspected.
+        """
+        if any(b.source == b.target for b in self._buffers.values()):
+            return True
+        pair_counts: Dict[Tuple[str, str], int] = {}
+        for buffer in self._buffers.values():
+            key = tuple(sorted((buffer.source, buffer.target)))
+            pair_counts[key] = pair_counts.get(key, 0) + 1
+        if any(count > 1 for count in pair_counts.values()):
+            return True
+        graph = nx.Graph()
+        graph.add_nodes_from(self._tasks)
+        graph.add_edges_from(pair_counts.keys())
+        return bool(nx.cycle_basis(graph))
+
+    def processors_used(self) -> Tuple[str, ...]:
+        """Sorted names of the processors this graph's tasks are bound to."""
+        return tuple(sorted({task.processor for task in self._tasks.values()}))
+
+    def memories_used(self) -> Tuple[str, ...]:
+        """Sorted names of the memories this graph's buffers are placed in."""
+        return tuple(sorted({buffer.memory for buffer in self._buffers.values()}))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TaskGraph({self.name!r}, period={self.period}, "
+            f"tasks={len(self._tasks)}, buffers={len(self._buffers)})"
+        )

@@ -1,0 +1,191 @@
+"""Multiprocessor platform model: processors, memories and the platform itself.
+
+This mirrors Section II-A of the paper.  A processor ``p`` runs a budget
+scheduler (e.g. TDM) with a replenishment interval ``̺(p)`` and a worst-case
+scheduling overhead ``o(p)`` per replenishment interval; a memory ``m`` has a
+maximum storage capacity ``ς(m)`` that bounds the total size of the FIFO
+buffers placed in it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Optional
+
+from repro.exceptions import BindingError, ModelError
+
+
+@dataclass(frozen=True)
+class Processor:
+    """A processor running a budget scheduler.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier within the platform.
+    replenishment_interval:
+        The interval ``̺(p)`` over which every task's budget is guaranteed.
+        Expressed in the same time unit as all other durations.
+    scheduling_overhead:
+        Worst-case scheduler overhead ``o(p)`` per replenishment interval;
+        pre-allocated budget that is not available to tasks (Constraint (9)).
+    """
+
+    name: str
+    replenishment_interval: float
+    scheduling_overhead: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelError("processor name must be non-empty")
+        if self.replenishment_interval <= 0.0:
+            raise ModelError(
+                f"processor {self.name!r} needs a positive replenishment interval, "
+                f"got {self.replenishment_interval!r}"
+            )
+        if self.scheduling_overhead < 0.0:
+            raise ModelError(
+                f"processor {self.name!r} has negative scheduling overhead"
+            )
+        if self.scheduling_overhead >= self.replenishment_interval:
+            raise ModelError(
+                f"processor {self.name!r}: scheduling overhead "
+                f"{self.scheduling_overhead} leaves no budget within the "
+                f"replenishment interval {self.replenishment_interval}"
+            )
+
+    @property
+    def allocatable_capacity(self) -> float:
+        """Budget available to tasks per replenishment interval."""
+        return self.replenishment_interval - self.scheduling_overhead
+
+
+@dataclass(frozen=True)
+class Memory:
+    """A memory in which FIFO buffers are placed.
+
+    ``capacity`` is the maximum total storage ``ς(m)``, in the same unit as
+    the buffers' container sizes (e.g. bytes or words); ``None`` means the
+    memory is unconstrained.
+    """
+
+    name: str
+    capacity: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelError("memory name must be non-empty")
+        if self.capacity is not None and self.capacity <= 0.0:
+            raise ModelError(
+                f"memory {self.name!r} needs a positive capacity or None, got {self.capacity!r}"
+            )
+
+    @property
+    def is_bounded(self) -> bool:
+        return self.capacity is not None
+
+
+class Platform:
+    """A set of processors and memories.
+
+    The platform corresponds to the ``(P, M, ̺, o, ς)`` part of the paper's
+    configuration tuple.
+    """
+
+    def __init__(
+        self,
+        processors: Iterable[Processor] = (),
+        memories: Iterable[Memory] = (),
+        name: str = "platform",
+    ) -> None:
+        self.name = name
+        self._processors: Dict[str, Processor] = {}
+        self._memories: Dict[str, Memory] = {}
+        for processor in processors:
+            self.add_processor(processor)
+        for memory in memories:
+            self.add_memory(memory)
+
+    # -- construction -------------------------------------------------------
+    def add_processor(self, processor: Processor) -> Processor:
+        if processor.name in self._processors:
+            raise ModelError(f"duplicate processor name {processor.name!r}")
+        self._processors[processor.name] = processor
+        return processor
+
+    def add_memory(self, memory: Memory) -> Memory:
+        if memory.name in self._memories:
+            raise ModelError(f"duplicate memory name {memory.name!r}")
+        self._memories[memory.name] = memory
+        return memory
+
+    # -- lookup --------------------------------------------------------------
+    def processor(self, name: str) -> Processor:
+        try:
+            return self._processors[name]
+        except KeyError:
+            raise BindingError(f"unknown processor {name!r}") from None
+
+    def memory(self, name: str) -> Memory:
+        try:
+            return self._memories[name]
+        except KeyError:
+            raise BindingError(f"unknown memory {name!r}") from None
+
+    def has_processor(self, name: str) -> bool:
+        return name in self._processors
+
+    def has_memory(self, name: str) -> bool:
+        return name in self._memories
+
+    @property
+    def processors(self) -> Dict[str, Processor]:
+        return dict(self._processors)
+
+    @property
+    def memories(self) -> Dict[str, Memory]:
+        return dict(self._memories)
+
+    def __iter__(self) -> Iterator[Processor]:
+        return iter(self._processors.values())
+
+    def __len__(self) -> int:
+        return len(self._processors)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Platform({self.name!r}, processors={sorted(self._processors)}, "
+            f"memories={sorted(self._memories)})"
+        )
+
+
+def homogeneous_platform(
+    processor_count: int,
+    replenishment_interval: float,
+    scheduling_overhead: float = 0.0,
+    memory_capacity: Optional[float] = None,
+    memory_count: int = 1,
+    name: str = "platform",
+) -> Platform:
+    """Create a platform with identical processors and memories.
+
+    Convenience used by the experiments: the paper's platforms consist of
+    identical TDM-scheduled processors with a 40 Mcycle replenishment
+    interval.
+    """
+    if processor_count <= 0:
+        raise ModelError("processor_count must be positive")
+    if memory_count <= 0:
+        raise ModelError("memory_count must be positive")
+    processors = [
+        Processor(
+            name=f"p{i + 1}",
+            replenishment_interval=replenishment_interval,
+            scheduling_overhead=scheduling_overhead,
+        )
+        for i in range(processor_count)
+    ]
+    memories = [
+        Memory(name=f"m{i + 1}", capacity=memory_capacity) for i in range(memory_count)
+    ]
+    return Platform(processors=processors, memories=memories, name=name)

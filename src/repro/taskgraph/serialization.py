@@ -1,0 +1,183 @@
+"""Dictionary / JSON (de)serialisation of the application model.
+
+The on-disk format is a plain nested dictionary so that configurations can be
+stored next to experiment results, diffed, and re-loaded without the library.
+Round-tripping is covered by property-based tests.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.exceptions import ModelError
+from repro.taskgraph.buffer import Buffer
+from repro.taskgraph.configuration import Configuration, MappedConfiguration
+from repro.taskgraph.graph import TaskGraph
+from repro.taskgraph.platform import Memory, Platform, Processor
+from repro.taskgraph.task import Task
+
+FORMAT_VERSION = 1
+
+
+# -- to dict -----------------------------------------------------------------
+def task_to_dict(task: Task) -> Dict[str, object]:
+    return {
+        "name": task.name,
+        "wcet": task.wcet,
+        "processor": task.processor,
+        "budget_weight": task.budget_weight,
+        "min_budget": task.min_budget,
+        "max_budget": task.max_budget,
+    }
+
+
+def buffer_to_dict(buffer: Buffer) -> Dict[str, object]:
+    return {
+        "name": buffer.name,
+        "source": buffer.source,
+        "target": buffer.target,
+        "memory": buffer.memory,
+        "container_size": buffer.container_size,
+        "initial_tokens": buffer.initial_tokens,
+        "capacity_weight": buffer.capacity_weight,
+        "min_capacity": buffer.min_capacity,
+        "max_capacity": buffer.max_capacity,
+    }
+
+
+def task_graph_to_dict(graph: TaskGraph) -> Dict[str, object]:
+    return {
+        "name": graph.name,
+        "period": graph.period,
+        "tasks": [task_to_dict(task) for task in graph.tasks],
+        "buffers": [buffer_to_dict(buffer) for buffer in graph.buffers],
+    }
+
+
+def platform_to_dict(platform: Platform) -> Dict[str, object]:
+    return {
+        "name": platform.name,
+        "processors": [
+            {
+                "name": p.name,
+                "replenishment_interval": p.replenishment_interval,
+                "scheduling_overhead": p.scheduling_overhead,
+            }
+            for p in platform.processors.values()
+        ],
+        "memories": [
+            {"name": m.name, "capacity": m.capacity} for m in platform.memories.values()
+        ],
+    }
+
+
+def configuration_to_dict(configuration: Configuration) -> Dict[str, object]:
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": configuration.name,
+        "granularity": configuration.granularity,
+        "platform": platform_to_dict(configuration.platform),
+        "task_graphs": [task_graph_to_dict(graph) for graph in configuration.task_graphs],
+    }
+
+
+def mapped_configuration_to_dict(mapped: MappedConfiguration) -> Dict[str, object]:
+    data = mapped.as_dict()
+    data["configuration"] = configuration_to_dict(mapped.configuration)
+    data["format_version"] = FORMAT_VERSION
+    return data
+
+
+# -- from dict -------------------------------------------------------------------
+def task_from_dict(data: Dict[str, object]) -> Task:
+    return Task(
+        name=str(data["name"]),
+        wcet=float(data["wcet"]),
+        processor=str(data["processor"]),
+        budget_weight=float(data.get("budget_weight", 1.0)),
+        min_budget=_optional_float(data.get("min_budget")),
+        max_budget=_optional_float(data.get("max_budget")),
+    )
+
+
+def buffer_from_dict(data: Dict[str, object]) -> Buffer:
+    return Buffer(
+        name=str(data["name"]),
+        source=str(data["source"]),
+        target=str(data["target"]),
+        memory=str(data["memory"]),
+        container_size=float(data.get("container_size", 1.0)),
+        initial_tokens=int(data.get("initial_tokens", 0)),
+        capacity_weight=float(data.get("capacity_weight", 1.0)),
+        min_capacity=_optional_int(data.get("min_capacity")),
+        max_capacity=_optional_int(data.get("max_capacity")),
+    )
+
+
+def task_graph_from_dict(data: Dict[str, object]) -> TaskGraph:
+    graph = TaskGraph(name=str(data["name"]), period=float(data["period"]))
+    for task_data in data.get("tasks", []):
+        graph.add_task(task_from_dict(task_data))
+    for buffer_data in data.get("buffers", []):
+        graph.add_buffer(buffer_from_dict(buffer_data))
+    return graph
+
+
+def platform_from_dict(data: Dict[str, object]) -> Platform:
+    processors = [
+        Processor(
+            name=str(p["name"]),
+            replenishment_interval=float(p["replenishment_interval"]),
+            scheduling_overhead=float(p.get("scheduling_overhead", 0.0)),
+        )
+        for p in data.get("processors", [])
+    ]
+    memories = [
+        Memory(name=str(m["name"]), capacity=_optional_float(m.get("capacity")))
+        for m in data.get("memories", [])
+    ]
+    return Platform(processors=processors, memories=memories, name=str(data.get("name", "platform")))
+
+
+def configuration_from_dict(data: Dict[str, object]) -> Configuration:
+    version = int(data.get("format_version", FORMAT_VERSION))
+    if version > FORMAT_VERSION:
+        raise ModelError(
+            f"configuration format version {version} is newer than supported "
+            f"version {FORMAT_VERSION}"
+        )
+    platform = platform_from_dict(data["platform"])
+    graphs = [task_graph_from_dict(g) for g in data.get("task_graphs", [])]
+    return Configuration(
+        platform=platform,
+        task_graphs=graphs,
+        granularity=float(data.get("granularity", 1.0)),
+        name=str(data.get("name", "configuration")),
+    )
+
+
+def _optional_float(value: object) -> object:
+    return None if value is None else float(value)  # type: ignore[arg-type]
+
+
+def _optional_int(value: object) -> object:
+    return None if value is None else int(value)  # type: ignore[arg-type]
+
+
+# -- JSON convenience ------------------------------------------------------------------
+def configuration_to_json(configuration: Configuration, indent: int = 2) -> str:
+    return json.dumps(configuration_to_dict(configuration), indent=indent, sort_keys=True)
+
+
+def configuration_from_json(text: str) -> Configuration:
+    return configuration_from_dict(json.loads(text))
+
+
+def save_configuration(configuration: Configuration, path: Union[str, Path]) -> None:
+    Path(path).write_text(configuration_to_json(configuration), encoding="utf-8")
+
+
+def load_configuration(path: Union[str, Path]) -> Configuration:
+    return configuration_from_json(Path(path).read_text(encoding="utf-8"))

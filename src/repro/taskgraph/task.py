@@ -1,0 +1,84 @@
+"""Task model.
+
+A task ``w`` is a piece of sequential code that is bound to a processor
+``π(w)``, has a worst-case execution time ``χ(w)`` on that processor and is
+scheduled by the processor's budget scheduler with an (initially unknown)
+budget ``β(w)``.  A task starts an execution when sufficient data is present
+in all of its input FIFO buffers and sufficient space is present in all of its
+output FIFO buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.exceptions import ModelError
+
+
+@dataclass(frozen=True)
+class Task:
+    """A task of a task graph.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier (unique within the whole configuration).
+    wcet:
+        Worst-case execution time ``χ(w)`` on the bound processor, in the same
+        time unit as the replenishment intervals.
+    processor:
+        Name of the processor ``π(w)`` the task is bound to.
+    budget_weight:
+        Coefficient ``a(w)`` of this task's budget in the objective function
+        of the joint optimisation (larger means "this budget is more
+        expensive").
+    min_budget, max_budget:
+        Optional bounds on the budget allocated to this task.  ``None`` leaves
+        the bound to be derived from the throughput requirement and processor
+        capacity.
+    """
+
+    name: str
+    wcet: float
+    processor: str
+    budget_weight: float = 1.0
+    min_budget: Optional[float] = None
+    max_budget: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelError("task name must be non-empty")
+        if self.wcet <= 0.0:
+            raise ModelError(
+                f"task {self.name!r} needs a positive worst-case execution time, "
+                f"got {self.wcet!r}"
+            )
+        if not self.processor:
+            raise ModelError(f"task {self.name!r} must be bound to a processor")
+        if self.budget_weight < 0.0:
+            raise ModelError(f"task {self.name!r} has a negative budget weight")
+        if self.min_budget is not None and self.min_budget <= 0.0:
+            raise ModelError(f"task {self.name!r}: min_budget must be positive")
+        if self.max_budget is not None and self.max_budget <= 0.0:
+            raise ModelError(f"task {self.name!r}: max_budget must be positive")
+        if (
+            self.min_budget is not None
+            and self.max_budget is not None
+            and self.min_budget > self.max_budget
+        ):
+            raise ModelError(
+                f"task {self.name!r}: min_budget {self.min_budget} exceeds "
+                f"max_budget {self.max_budget}"
+            )
+
+    def with_processor(self, processor: str) -> "Task":
+        """Return a copy of this task bound to a different processor."""
+        return Task(
+            name=self.name,
+            wcet=self.wcet,
+            processor=processor,
+            budget_weight=self.budget_weight,
+            min_budget=self.min_budget,
+            max_budget=self.max_budget,
+        )

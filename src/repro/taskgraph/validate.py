@@ -1,0 +1,147 @@
+"""Structural validation of configurations.
+
+The checks here catch modelling mistakes *before* the optimiser runs, so that
+infeasibility reported by the solver can be attributed to genuine resource
+shortage rather than to malformed input:
+
+* every task is bound to an existing processor, every buffer to an existing
+  memory;
+* worst-case execution times fit within the processor's replenishment
+  interval and within the throughput period (otherwise no budget can ever
+  satisfy the constraint ``̺·χ/β ≤ µ`` with ``β ≤ ̺``);
+* per-processor load (lower bound) does not obviously exceed capacity;
+* buffer capacity bounds are consistent with the number of initial tokens.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.exceptions import BindingError, GraphStructureError, ModelError
+from repro.taskgraph.configuration import Configuration
+from repro.taskgraph.graph import TaskGraph
+from repro.taskgraph.platform import Platform
+
+
+def validate_task_graph(graph: TaskGraph, platform: Platform) -> None:
+    """Validate one task graph against a platform."""
+    if not graph.tasks:
+        raise GraphStructureError(f"task graph {graph.name!r} contains no tasks")
+    for task in graph.tasks:
+        if not platform.has_processor(task.processor):
+            raise BindingError(
+                f"task {task.name!r} of graph {graph.name!r} is bound to unknown "
+                f"processor {task.processor!r}"
+            )
+        processor = platform.processor(task.processor)
+        if task.wcet > graph.period:
+            raise ModelError(
+                f"task {task.name!r}: worst-case execution time {task.wcet} exceeds "
+                f"the throughput period {graph.period}; even a full budget cannot "
+                f"satisfy the requirement"
+            )
+        if task.max_budget is not None and task.max_budget > processor.allocatable_capacity:
+            raise ModelError(
+                f"task {task.name!r}: max_budget {task.max_budget} exceeds the "
+                f"allocatable capacity {processor.allocatable_capacity} of processor "
+                f"{task.processor!r}"
+            )
+    for buffer in graph.buffers:
+        if not platform.has_memory(buffer.memory):
+            raise BindingError(
+                f"buffer {buffer.name!r} of graph {graph.name!r} is placed in unknown "
+                f"memory {buffer.memory!r}"
+            )
+        memory = platform.memory(buffer.memory)
+        if memory.is_bounded:
+            minimal = buffer.storage_for(buffer.smallest_feasible_capacity)
+            if minimal > memory.capacity:
+                raise ModelError(
+                    f"buffer {buffer.name!r}: even its smallest feasible capacity "
+                    f"({buffer.smallest_feasible_capacity} containers) does not fit "
+                    f"in memory {buffer.memory!r} (capacity {memory.capacity})"
+                )
+
+
+def validate_configuration(configuration: Configuration) -> None:
+    """Validate a full configuration.
+
+    Raises the first problem found as a :class:`~repro.exceptions.ModelError`
+    subclass.
+    """
+    if not configuration.task_graphs:
+        raise ModelError(
+            f"configuration {configuration.name!r} contains no task graphs"
+        )
+    for graph in configuration.task_graphs:
+        validate_task_graph(graph, configuration.platform)
+
+    _check_processor_load(configuration)
+    _check_memory_lower_bounds(configuration)
+
+
+def _check_processor_load(configuration: Configuration) -> None:
+    """Reject configurations whose minimum possible load already exceeds capacity.
+
+    The budget of task ``w`` must satisfy ``̺(p)·χ(w)/β(w) ≤ µ(T)``, i.e.
+    ``β(w) ≥ ̺(p)·χ(w)/µ(T)``.  Summing this lower bound (plus one granule of
+    rounding slack per task, cf. Constraint (9)) over the tasks of a processor
+    gives a quick necessary condition for feasibility.
+    """
+    platform = configuration.platform
+    g = configuration.granularity
+    for processor_name, processor in platform.processors.items():
+        lower_bound = processor.scheduling_overhead
+        for graph in configuration.task_graphs:
+            for task in graph.tasks:
+                if task.processor != processor_name:
+                    continue
+                minimum_budget = processor.replenishment_interval * task.wcet / graph.period
+                if task.min_budget is not None:
+                    minimum_budget = max(minimum_budget, task.min_budget)
+                lower_bound += minimum_budget + g
+        if lower_bound > processor.replenishment_interval + 1e-9:
+            raise ModelError(
+                f"processor {processor_name!r} is overloaded: the throughput "
+                f"requirements alone need at least {lower_bound:.6g} budget per "
+                f"replenishment interval of {processor.replenishment_interval:.6g}"
+            )
+
+
+def _check_memory_lower_bounds(configuration: Configuration) -> None:
+    """Reject configurations whose minimal buffer capacities do not fit in memory."""
+    platform = configuration.platform
+    for memory_name, memory in platform.memories.items():
+        if not memory.is_bounded:
+            continue
+        minimal_storage = 0.0
+        for _, buffer in configuration.all_buffers():
+            if buffer.memory != memory_name:
+                continue
+            minimal_storage += buffer.storage_for(buffer.smallest_feasible_capacity)
+        if minimal_storage > memory.capacity + 1e-9:
+            raise ModelError(
+                f"memory {memory_name!r} is too small: the smallest feasible buffer "
+                f"capacities already need {minimal_storage:.6g} of {memory.capacity:.6g}"
+            )
+
+
+def collect_warnings(configuration: Configuration) -> List[str]:
+    """Non-fatal observations about a configuration (used by reports)."""
+    warnings: List[str] = []
+    for graph in configuration.task_graphs:
+        if not graph.is_connected():
+            warnings.append(
+                f"task graph {graph.name!r} is not weakly connected; its components "
+                f"are analysed jointly but do not constrain each other"
+            )
+        if not graph.buffers:
+            warnings.append(f"task graph {graph.name!r} has no buffers")
+        for task in graph.tasks:
+            processor = configuration.platform.processor(task.processor)
+            if task.wcet > 0.5 * processor.replenishment_interval:
+                warnings.append(
+                    f"task {task.name!r} occupies more than half the replenishment "
+                    f"interval of {task.processor!r} in the worst case"
+                )
+    return warnings

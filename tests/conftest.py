@@ -1,0 +1,80 @@
+"""Shared fixtures for the test-suite.
+
+The fixtures centre on the two workloads of the paper's evaluation section
+(the producer-consumer graph of Figure 1 / experiment 1 and the three-stage
+chain of experiment 2) plus a handful of small dataflow graphs with known
+analytic properties.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataflow.graph import Actor, Queue, SRDFGraph
+from repro.taskgraph.generators import (
+    chain_configuration,
+    producer_consumer_configuration,
+)
+
+
+@pytest.fixture
+def paper_producer_consumer():
+    """The paper's experiment-1 configuration (no capacity bound)."""
+    return producer_consumer_configuration()
+
+
+@pytest.fixture
+def paper_chain3():
+    """The paper's experiment-2 configuration (three-stage chain)."""
+    return chain_configuration(stages=3)
+
+
+@pytest.fixture
+def two_actor_cycle() -> SRDFGraph:
+    """A two-actor cycle with durations 2 and 3 and tokens 1 + 1.
+
+    Its maximum cycle ratio is (2 + 3) / 2 = 2.5.
+    """
+    graph = SRDFGraph(name="two-cycle")
+    graph.add_actor(Actor("a", 2.0))
+    graph.add_actor(Actor("b", 3.0))
+    graph.add_queue(Queue("ab", "a", "b", tokens=1))
+    graph.add_queue(Queue("ba", "b", "a", tokens=1))
+    return graph
+
+
+@pytest.fixture
+def self_loop_actor() -> SRDFGraph:
+    """A single actor with a one-token self-loop: MCR equals its duration."""
+    graph = SRDFGraph(name="selfloop")
+    graph.add_actor(Actor("a", 4.0))
+    graph.add_queue(Queue("aa", "a", "a", tokens=1))
+    return graph
+
+
+@pytest.fixture
+def pipeline_srdf() -> SRDFGraph:
+    """A three-actor pipeline with a feedback queue carrying 2 tokens.
+
+    Cycle: a → b → c → a with durations 1 + 2 + 1 = 4 and 2 tokens, so the
+    MCR is 2.0.
+    """
+    graph = SRDFGraph(name="pipeline")
+    graph.add_actor(Actor("a", 1.0))
+    graph.add_actor(Actor("b", 2.0))
+    graph.add_actor(Actor("c", 1.0))
+    graph.add_queue(Queue("ab", "a", "b", tokens=0))
+    graph.add_queue(Queue("bc", "b", "c", tokens=0))
+    graph.add_queue(Queue("ca", "c", "a", tokens=2))
+    return graph
+
+
+@pytest.fixture
+def deadlocked_srdf() -> SRDFGraph:
+    """A token-free cycle: deadlocks, MCR is infinite."""
+    graph = SRDFGraph(name="deadlock")
+    graph.add_actor(Actor("a", 1.0))
+    graph.add_actor(Actor("b", 1.0))
+    graph.add_queue(Queue("ab", "a", "b", tokens=0))
+    graph.add_queue(Queue("ba", "b", "a", tokens=0))
+    return graph

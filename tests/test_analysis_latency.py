@@ -1,0 +1,73 @@
+"""Tests of the end-to-end latency analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import AnalysisError
+from repro.analysis import analyse_latency, latency_lower_bound
+from repro.core import ObjectiveWeights, allocate
+from repro.taskgraph import MappedConfiguration
+from repro.taskgraph.generators import chain_configuration, producer_consumer_configuration
+
+
+class TestAnalyseLatency:
+    def test_latency_of_a_valid_mapping(self):
+        config = producer_consumer_configuration(max_capacity=5)
+        mapped = allocate(config, weights=ObjectiveWeights.prefer_budgets())
+        report = analyse_latency(mapped)["T1"]
+        # One iteration: both tasks execute in sequence, each taking
+        # (̺ − β) waiting plus ̺·χ/β execution in the worst case.
+        budget = mapped.budgets["wa"]
+        per_task_worst = (40.0 - budget) + 40.0 / budget
+        assert report.schedule_latency <= 2 * per_task_worst + 1e-6
+        assert report.self_timed_latency <= report.schedule_latency + 1e-6
+        assert report.periods_of_latency == pytest.approx(
+            report.schedule_latency / 10.0
+        )
+
+    def test_latency_at_least_the_dependency_chain(self):
+        config = chain_configuration(stages=4, max_capacity=6)
+        mapped = allocate(config, weights=ObjectiveWeights.prefer_budgets())
+        graph_name = config.task_graphs[0].name
+        reports = analyse_latency(mapped)
+        lower = latency_lower_bound(mapped, graph_name)
+        assert reports[graph_name].self_timed_latency >= lower - 1e-6
+        assert reports[graph_name].schedule_latency >= lower - 1e-6
+
+    def test_larger_budgets_reduce_latency(self):
+        config = producer_consumer_configuration()
+        small_budget = MappedConfiguration(
+            configuration=config,
+            budgets={"wa": 5.0, "wb": 5.0},
+            buffer_capacities={"bab": 10},
+        )
+        large_budget = MappedConfiguration(
+            configuration=config,
+            budgets={"wa": 20.0, "wb": 20.0},
+            buffer_capacities={"bab": 10},
+        )
+        small = analyse_latency(small_budget)["T1"]
+        large = analyse_latency(large_budget)["T1"]
+        assert large.schedule_latency < small.schedule_latency
+        assert large.self_timed_latency < small.self_timed_latency
+
+    def test_infeasible_mapping_rejected(self):
+        config = producer_consumer_configuration()
+        bad = MappedConfiguration(
+            configuration=config,
+            budgets={"wa": 4.0, "wb": 4.0},
+            buffer_capacities={"bab": 1},
+        )
+        with pytest.raises(AnalysisError):
+            analyse_latency(bad)
+
+    def test_lower_bound_matches_manual_chain_sum(self):
+        config = chain_configuration(stages=3, max_capacity=8)
+        mapped = MappedConfiguration(
+            configuration=config,
+            budgets={"wa": 10.0, "wb": 20.0, "wc": 40.0},
+            buffer_capacities={"bab": 8, "bbc": 8},
+        )
+        expected = 40.0 / 10.0 + 40.0 / 20.0 + 40.0 / 40.0  # 4 + 2 + 1
+        assert latency_lower_bound(mapped, "chain3") == pytest.approx(expected)

@@ -1,0 +1,112 @@
+"""Tests of the greedy binding extension (the paper's named future work)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import BindingError
+from repro.binding import bind_and_allocate, bind_greedy
+from repro.core import ObjectiveWeights, verify_mapping
+from repro.taskgraph import (
+    Buffer,
+    Configuration,
+    ConfigurationBuilder,
+    Memory,
+    Platform,
+    Processor,
+    Task,
+    TaskGraph,
+)
+from repro.taskgraph.generators import multi_job_configuration, producer_consumer_configuration
+
+
+def _unbalanced_configuration() -> Configuration:
+    """Four tasks all initially bound to p1; p2 is idle."""
+    builder = (
+        ConfigurationBuilder(name="unbalanced", granularity=1.0)
+        .processor("p1", replenishment_interval=40.0)
+        .processor("p2", replenishment_interval=40.0)
+        .memory("m1", capacity=40.0)
+        .memory("m2", capacity=40.0)
+        .task_graph("job", period=10.0)
+    )
+    for i in range(4):
+        builder.task(f"t{i}", wcet=1.0, processor="p1")
+    for i in range(3):
+        builder.buffer(f"b{i}", source=f"t{i}", target=f"t{i + 1}", memory="m1")
+    return builder.build()
+
+
+class TestBindGreedy:
+    def test_balances_processor_load(self):
+        result = bind_greedy(_unbalanced_configuration())
+        processors_used = set(result.task_bindings.values())
+        assert processors_used == {"p1", "p2"}
+        # Two tasks per processor: the loads are equal.
+        assert result.load_imbalance == pytest.approx(0.0, abs=1e-9)
+        assert result.max_processor_load <= 1.0
+
+    def test_spreads_buffers_over_memories(self):
+        result = bind_greedy(_unbalanced_configuration())
+        memories_used = set(result.buffer_bindings.values())
+        assert memories_used == {"m1", "m2"}
+
+    def test_bound_configuration_is_valid_and_allocatable(self):
+        result, mapped = bind_and_allocate(
+            _unbalanced_configuration(), weights=ObjectiveWeights.prefer_budgets()
+        )
+        assert result.configuration.name.endswith("-bound")
+        report = verify_mapping(mapped)
+        assert report.is_valid, report.summary()
+
+    def test_original_configuration_is_untouched(self):
+        config = _unbalanced_configuration()
+        bind_greedy(config)
+        assert all(task.processor == "p1" for _, task in config.all_tasks())
+
+    def test_preserves_task_and_buffer_parameters(self):
+        config = producer_consumer_configuration(max_capacity=5)
+        result = bind_greedy(config)
+        graph = result.configuration.task_graph("T1")
+        assert graph.task("wa").wcet == 1.0
+        assert graph.buffer("bab").max_capacity == 5
+
+    def test_multi_job_binding_keeps_everything_feasible(self):
+        config = multi_job_configuration(job_count=3, stages_per_job=2, max_capacity=8)
+        result = bind_greedy(config)
+        result.configuration.validate()
+        assert result.max_processor_load <= 1.0
+
+    def test_detects_hopeless_processor_demand(self):
+        platform = Platform(
+            processors=[Processor("p1", replenishment_interval=40.0)],
+            memories=[Memory("m1")],
+        )
+        graph = TaskGraph("job", period=10.0)
+        # Each task needs at least 40·3/10 + 1 = 13 Mcycles; four of them
+        # cannot fit on the single 40-Mcycle processor.
+        for i in range(4):
+            graph.add_task(Task(f"t{i}", wcet=3.0, processor="p1"))
+        config = Configuration(platform=platform, task_graphs=[graph])
+        with pytest.raises(BindingError):
+            bind_greedy(config)
+
+    def test_detects_hopeless_memory_demand(self):
+        platform = Platform(
+            processors=[Processor("p1", 40.0), Processor("p2", 40.0)],
+            memories=[Memory("m1", capacity=1.5)],
+        )
+        graph = TaskGraph("job", period=10.0)
+        graph.add_task(Task("a", wcet=1.0, processor="p1"))
+        graph.add_task(Task("b", wcet=1.0, processor="p2"))
+        graph.add_buffer(Buffer("ab", source="a", target="b", memory="m1"))
+        config = Configuration(platform=platform, task_graphs=[graph])
+        with pytest.raises(BindingError):
+            bind_greedy(config)
+
+    def test_requires_processors_and_memories(self):
+        platform = Platform(processors=[], memories=[Memory("m1")])
+        graph = TaskGraph("job", period=10.0)
+        config = Configuration(platform=platform, task_graphs=[graph])
+        with pytest.raises(BindingError):
+            bind_greedy(config)

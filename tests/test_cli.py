@@ -1,0 +1,105 @@
+"""Tests of the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import EXIT_INFEASIBLE, EXIT_OK, EXIT_USAGE, main
+from repro.taskgraph import serialization
+from repro.taskgraph.generators import producer_consumer_configuration
+
+
+@pytest.fixture
+def config_path(tmp_path):
+    path = tmp_path / "config.json"
+    serialization.save_configuration(producer_consumer_configuration(max_capacity=5), path)
+    return str(path)
+
+
+@pytest.fixture
+def infeasible_config_path(tmp_path):
+    path = tmp_path / "infeasible.json"
+    serialization.save_configuration(
+        producer_consumer_configuration(period=2.0, max_capacity=1), path
+    )
+    return str(path)
+
+
+class TestAllocateCommand:
+    def test_prints_mapping(self, config_path, capsys):
+        assert main(["allocate", config_path]) == EXIT_OK
+        output = capsys.readouterr().out
+        assert "wa" in output and "bab" in output
+
+    def test_writes_output_file(self, config_path, tmp_path, capsys):
+        out_file = tmp_path / "mapped.json"
+        assert main(["allocate", config_path, "--output", str(out_file)]) == EXIT_OK
+        payload = json.loads(out_file.read_text())
+        assert payload["budgets"]["wa"] == pytest.approx(18.0, abs=1.0)
+        assert payload["buffer_capacities"]["bab"] <= 5
+        assert payload["configuration"]["name"] == "producer-consumer"
+
+    def test_infeasible_configuration_exit_code(self, infeasible_config_path, capsys):
+        assert main(["allocate", infeasible_config_path]) == EXIT_INFEASIBLE
+        assert "infeasible" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["allocate", "/nonexistent/config.json"]) == EXIT_USAGE
+
+    def test_backend_and_weights_flags(self, config_path, capsys):
+        assert (
+            main(
+                [
+                    "allocate",
+                    config_path,
+                    "--backend",
+                    "barrier",
+                    "--weights",
+                    "prefer-buffers",
+                ]
+            )
+            == EXIT_OK
+        )
+
+
+class TestValidateCommand:
+    def test_valid_configuration(self, config_path, capsys):
+        assert main(["validate", config_path]) == EXIT_OK
+        assert "feasibility screen" in capsys.readouterr().out
+
+    def test_screen_rejects_overload(self, tmp_path, capsys):
+        config = producer_consumer_configuration(memory_capacity=1.5)
+        path = tmp_path / "tight.json"
+        serialization.save_configuration(config, path)
+        assert main(["validate", str(path)]) == EXIT_INFEASIBLE
+        assert "violation" in capsys.readouterr().err
+
+
+class TestSweepCommand:
+    def test_range_syntax(self, config_path, capsys):
+        assert main(["sweep", config_path, "--capacities", "2:4"]) == EXIT_OK
+        output = capsys.readouterr().out
+        assert "capacity_limit" in output
+        assert output.count("\n") >= 5
+
+    def test_list_syntax(self, config_path, capsys):
+        assert main(["sweep", config_path, "--capacities", "3,5"]) == EXIT_OK
+
+    def test_empty_range_is_usage_error(self, config_path):
+        assert main(["sweep", config_path, "--capacities", ""]) == EXIT_USAGE
+
+    def test_all_points_infeasible(self, infeasible_config_path):
+        assert (
+            main(["sweep", infeasible_config_path, "--capacities", "1,1"])
+            == EXIT_INFEASIBLE
+        )
+
+
+class TestParser:
+    def test_unknown_command_is_usage_error(self):
+        assert main(["frobnicate"]) == EXIT_USAGE
+
+    def test_missing_command_is_usage_error(self):
+        assert main([]) == EXIT_USAGE

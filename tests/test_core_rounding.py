@@ -1,0 +1,91 @@
+"""Tests of the conservative rounding rules."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import AllocationError
+from repro.core.rounding import (
+    round_budget,
+    round_budgets,
+    round_capacities,
+    round_capacity,
+    rounding_overhead,
+)
+
+
+class TestRoundBudget:
+    def test_rounds_up_to_granule(self):
+        assert round_budget(17.2, 1.0) == pytest.approx(18.0)
+        assert round_budget(17.2, 2.0) == pytest.approx(18.0)
+        assert round_budget(17.2, 5.0) == pytest.approx(20.0)
+
+    def test_exact_multiples_are_kept(self):
+        assert round_budget(16.0, 4.0) == pytest.approx(16.0)
+
+    def test_snapping_absorbs_solver_noise(self):
+        assert round_budget(16.0000000001, 4.0) == pytest.approx(16.0)
+
+    def test_minimum_one_granule(self):
+        assert round_budget(0.001, 2.0) == pytest.approx(2.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(AllocationError):
+            round_budget(-1.0, 1.0)
+        with pytest.raises(AllocationError):
+            round_budget(1.0, 0.0)
+
+
+class TestRoundCapacity:
+    def test_rounds_up(self):
+        assert round_capacity(3.2) == 4
+        assert round_capacity(3.0) == 3
+
+    def test_minimum_one_container(self):
+        assert round_capacity(0.2) == 1
+
+    def test_snapping(self):
+        assert round_capacity(5.0000000001) == 5
+
+    def test_invalid_input(self):
+        with pytest.raises(AllocationError):
+            round_capacity(0.0)
+
+
+class TestBatchHelpers:
+    def test_round_budgets_and_overhead(self):
+        relaxed = {"a": 3.3, "b": 8.0}
+        rounded = round_budgets(relaxed, granularity=2.0)
+        assert rounded == {"a": 4.0, "b": 8.0}
+        overhead = rounding_overhead(relaxed, rounded)
+        assert overhead["a"] == pytest.approx(0.7)
+        assert overhead["b"] == pytest.approx(0.0)
+
+    def test_round_capacities(self):
+        assert round_capacities({"x": 1.1, "y": 2.0}) == {"x": 2, "y": 2}
+
+
+@given(
+    value=st.floats(min_value=1e-3, max_value=1e4, allow_nan=False),
+    granularity=st.floats(min_value=1e-2, max_value=100.0, allow_nan=False),
+)
+def test_budget_rounding_properties(value, granularity):
+    """Property: rounding never decreases the budget, adds at most one granule,
+    and always lands on a positive multiple of the granularity."""
+    rounded = round_budget(value, granularity)
+    assert rounded >= value - 1e-6 * max(1.0, value)
+    assert rounded <= value + granularity + 1e-6 * max(1.0, value)
+    granules = rounded / granularity
+    assert abs(granules - round(granules)) < 1e-6
+    assert rounded > 0.0
+
+
+@given(value=st.floats(min_value=1e-3, max_value=1e6, allow_nan=False))
+def test_capacity_rounding_properties(value):
+    """Property: capacity rounding is the conservative integer ceiling."""
+    rounded = round_capacity(value)
+    assert isinstance(rounded, int)
+    assert rounded >= 1
+    assert rounded >= value - 1e-5 * max(1.0, value)
+    assert rounded < value + 1.0 + 1e-6

@@ -1,0 +1,114 @@
+"""Tests of the trade-off explorer (the machinery behind Figures 2 and 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AllocatorOptions, ObjectiveWeights, TradeoffExplorer
+from repro.baselines.budget_minimization import producer_consumer_minimum_budget
+from repro.taskgraph.generators import chain_configuration, producer_consumer_configuration
+
+
+@pytest.fixture(scope="module")
+def producer_consumer_curve():
+    explorer = TradeoffExplorer(
+        allocator_options=AllocatorOptions(run_simulation=False)
+    )
+    config = producer_consumer_configuration()
+    return explorer.sweep_capacity_limit(config, range(1, 11))
+
+
+class TestSweep:
+    def test_all_points_feasible(self, producer_consumer_curve):
+        assert len(producer_consumer_curve.points) == 10
+        assert len(producer_consumer_curve.feasible_points()) == 10
+        assert producer_consumer_curve.capacity_limits() == list(range(1, 11))
+
+    def test_budgets_match_closed_form(self, producer_consumer_curve):
+        budgets = producer_consumer_curve.budgets_of("wa", relaxed=True)
+        for capacity, budget in zip(range(1, 11), budgets):
+            assert budget == pytest.approx(
+                producer_consumer_minimum_budget(capacity), rel=1e-3
+            )
+
+    def test_budgets_are_non_increasing(self, producer_consumer_curve):
+        budgets = producer_consumer_curve.budgets_of("wa")
+        assert all(b1 >= b2 - 1e-9 for b1, b2 in zip(budgets, budgets[1:]))
+
+    def test_total_budget_is_twice_single_budget(self, producer_consumer_curve):
+        totals = producer_consumer_curve.total_budgets(relaxed=True)
+        singles = producer_consumer_curve.budgets_of("wa", relaxed=True)
+        for total, single in zip(totals, singles):
+            assert total == pytest.approx(2.0 * single, rel=1e-3)
+
+    def test_budget_reductions_are_positive_and_diminishing(self, producer_consumer_curve):
+        reductions = producer_consumer_curve.budget_reductions(task_name="wa")
+        assert len(reductions) == 9
+        assert all(r >= -1e-6 for r in reductions)
+        # Diminishing returns: each extra container buys less than the previous.
+        assert all(r1 >= r2 - 1e-6 for r1, r2 in zip(reductions, reductions[1:]))
+
+    def test_as_table_rows(self, producer_consumer_curve):
+        rows = producer_consumer_curve.as_table()
+        assert len(rows) == 10
+        assert rows[0]["capacity_limit"] == 1
+        assert "budget[wa]" in rows[0]
+        assert "capacity[bab]" in rows[0]
+
+    def test_infeasible_points_are_recorded(self):
+        explorer = TradeoffExplorer(
+            allocator_options=AllocatorOptions(run_simulation=False)
+        )
+        config = producer_consumer_configuration(period=3.5)
+        # With a 3.5-Mcycle period a single container is not enough (the
+        # cycle needs at least ≈ 4.05 Mcycles even with a full budget).
+        curve = explorer.sweep_capacity_limit(config, [1, 2, 8])
+        flags = {point.capacity_limit: point.feasible for point in curve.points}
+        assert flags[1] is False
+        assert flags[2] is True
+        assert flags[8] is True
+        assert len(curve.feasible_points()) < len(curve.points)
+
+
+class TestMinimalCapacityForBudget:
+    def test_finds_smallest_feasible_bound(self):
+        explorer = TradeoffExplorer(
+            allocator_options=AllocatorOptions(run_simulation=False)
+        )
+        config = producer_consumer_configuration()
+        mapped = explorer.minimal_capacity_for_budget(
+            config, budget_limit=10.0, capacity_limits=range(1, 12)
+        )
+        assert mapped is not None
+        # β ≤ 10 needs at least 7 containers (β_min(7) ≈ 6.3 ≤ 10 < β_min(6)).
+        assert mapped.buffer_capacities["bab"] == 7
+        assert all(b <= 10.0 + 1e-9 for b in mapped.budgets.values())
+
+    def test_returns_none_when_hopeless(self):
+        explorer = TradeoffExplorer(
+            allocator_options=AllocatorOptions(run_simulation=False)
+        )
+        config = producer_consumer_configuration()
+        assert (
+            explorer.minimal_capacity_for_budget(
+                config, budget_limit=3.0, capacity_limits=[1, 2, 3]
+            )
+            is None
+        )
+
+
+class TestChainTopology:
+    def test_middle_task_keeps_larger_budget(self):
+        """The paper's Figure-3 claim: w_b's budget is reduced last."""
+        explorer = TradeoffExplorer(
+            allocator_options=AllocatorOptions(run_simulation=False)
+        )
+        config = chain_configuration(stages=3)
+        curve = explorer.sweep_capacity_limit(config, [2, 4, 6, 8])
+        for point in curve.feasible_points():
+            assert point.relaxed_budgets["wb"] >= point.relaxed_budgets["wa"] - 1e-6
+            assert point.relaxed_budgets["wb"] >= point.relaxed_budgets["wc"] - 1e-6
+            # The two outer tasks are symmetric.
+            assert point.relaxed_budgets["wa"] == pytest.approx(
+                point.relaxed_budgets["wc"], rel=1e-2, abs=1e-2
+            )

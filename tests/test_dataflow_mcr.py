@@ -1,0 +1,156 @@
+"""Tests for maximum-cycle-ratio analysis and PAS feasibility."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dataflow.graph import Actor, Queue, SRDFGraph
+from repro.dataflow.mcr import (
+    critical_cycles,
+    cycle_ratios,
+    is_period_feasible,
+    longest_path_potentials,
+    maximum_cycle_ratio,
+    minimum_feasible_period,
+    throughput,
+)
+
+
+class TestCycleRatios:
+    def test_two_actor_cycle(self, two_actor_cycle):
+        ratios = cycle_ratios(two_actor_cycle)
+        assert len(ratios) == 1
+        assert ratios[0].ratio == pytest.approx(2.5)
+
+    def test_self_loop(self, self_loop_actor):
+        ratios = cycle_ratios(self_loop_actor)
+        assert len(ratios) == 1
+        assert ratios[0].ratio == pytest.approx(4.0)
+
+    def test_deadlocked_cycle_has_infinite_ratio(self, deadlocked_srdf):
+        ratios = cycle_ratios(deadlocked_srdf)
+        assert any(math.isinf(r.ratio) for r in ratios)
+
+
+class TestMaximumCycleRatio:
+    def test_two_actor_cycle(self, two_actor_cycle):
+        assert maximum_cycle_ratio(two_actor_cycle) == pytest.approx(2.5, rel=1e-6)
+
+    def test_pipeline_with_feedback(self, pipeline_srdf):
+        assert maximum_cycle_ratio(pipeline_srdf) == pytest.approx(2.0, rel=1e-6)
+
+    def test_enumeration_agrees_with_lawler(self, pipeline_srdf, two_actor_cycle):
+        for graph in (pipeline_srdf, two_actor_cycle):
+            exact = maximum_cycle_ratio(graph, method="enumerate")
+            lawler = maximum_cycle_ratio(graph, method="lawler")
+            assert lawler == pytest.approx(exact, rel=1e-6)
+
+    def test_acyclic_graph_has_zero_mcr(self):
+        graph = SRDFGraph("dag")
+        graph.add_actor(Actor("a", 5.0))
+        graph.add_actor(Actor("b", 5.0))
+        graph.add_queue(Queue("ab", "a", "b", tokens=0))
+        assert maximum_cycle_ratio(graph) == 0.0
+        assert throughput(graph) == math.inf
+
+    def test_deadlock_gives_infinite_mcr(self, deadlocked_srdf):
+        assert math.isinf(maximum_cycle_ratio(deadlocked_srdf))
+        assert throughput(deadlocked_srdf) == 0.0
+
+    def test_graph_without_queues(self):
+        graph = SRDFGraph("isolated")
+        graph.add_actor(Actor("a", 3.0))
+        assert maximum_cycle_ratio(graph) == 0.0
+
+    def test_unknown_method_rejected(self, two_actor_cycle):
+        from repro.exceptions import AnalysisError
+
+        with pytest.raises(AnalysisError):
+            maximum_cycle_ratio(two_actor_cycle, method="howard")
+
+    def test_multiple_cycles_take_the_maximum(self):
+        graph = SRDFGraph("two-cycles")
+        for name, duration in (("a", 1.0), ("b", 1.0), ("c", 10.0)):
+            graph.add_actor(Actor(name, duration))
+        graph.add_queue(Queue("ab", "a", "b", tokens=1))
+        graph.add_queue(Queue("ba", "b", "a", tokens=1))  # ratio (1+1)/2 = 1
+        graph.add_queue(Queue("cc", "c", "c", tokens=1))  # ratio 10
+        assert maximum_cycle_ratio(graph) == pytest.approx(10.0, rel=1e-6)
+        critical = critical_cycles(graph)
+        assert len(critical) == 1
+        assert critical[0].queues[0].name == "cc"
+
+
+class TestPeriodFeasibility:
+    def test_feasible_above_mcr_infeasible_below(self, pipeline_srdf):
+        mcr = maximum_cycle_ratio(pipeline_srdf)
+        assert is_period_feasible(pipeline_srdf, mcr * 1.01)
+        assert not is_period_feasible(pipeline_srdf, mcr * 0.9)
+
+    def test_non_positive_period_infeasible(self, pipeline_srdf):
+        assert not is_period_feasible(pipeline_srdf, 0.0)
+        assert not is_period_feasible(pipeline_srdf, -5.0)
+
+    def test_potentials_satisfy_constraints(self, pipeline_srdf):
+        period = 3.0
+        potentials = longest_path_potentials(pipeline_srdf, period)
+        assert potentials is not None
+        for queue in pipeline_srdf.queues:
+            lhs = potentials[queue.target]
+            rhs = (
+                potentials[queue.source]
+                + pipeline_srdf.firing_duration(queue.source)
+                - queue.tokens * period
+            )
+            assert lhs >= rhs - 1e-9
+
+    def test_potentials_none_when_infeasible(self, pipeline_srdf):
+        assert longest_path_potentials(pipeline_srdf, 0.5) is None
+
+    def test_minimum_feasible_period_alias(self, two_actor_cycle):
+        assert minimum_feasible_period(two_actor_cycle) == pytest.approx(2.5, rel=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    durations=st.lists(
+        st.floats(min_value=0.1, max_value=20.0, allow_nan=False), min_size=2, max_size=6
+    ),
+    tokens=st.integers(min_value=1, max_value=4),
+)
+def test_ring_mcr_matches_closed_form(durations, tokens):
+    """Property: a single token-carrying ring has MCR = Σ durations / tokens."""
+    graph = SRDFGraph("ring")
+    n = len(durations)
+    for i, duration in enumerate(durations):
+        graph.add_actor(Actor(f"a{i}", duration))
+    for i in range(n):
+        graph.add_queue(
+            Queue(f"q{i}", f"a{i}", f"a{(i + 1) % n}", tokens=tokens if i == n - 1 else 0)
+        )
+    expected = sum(durations) / tokens
+    assert maximum_cycle_ratio(graph) == pytest.approx(expected, rel=1e-6)
+    assert maximum_cycle_ratio(graph, method="enumerate") == pytest.approx(expected, rel=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    duration_a=st.floats(min_value=0.1, max_value=10.0, allow_nan=False),
+    duration_b=st.floats(min_value=0.1, max_value=10.0, allow_nan=False),
+    tokens_ab=st.integers(min_value=0, max_value=3),
+    tokens_ba=st.integers(min_value=1, max_value=3),
+    scale=st.floats(min_value=1.01, max_value=3.0, allow_nan=False),
+)
+def test_feasibility_is_monotone_in_the_period(duration_a, duration_b, tokens_ab, tokens_ba, scale):
+    """Property: if a period is feasible, every larger period is feasible too."""
+    graph = SRDFGraph("pair")
+    graph.add_actor(Actor("a", duration_a))
+    graph.add_actor(Actor("b", duration_b))
+    graph.add_queue(Queue("ab", "a", "b", tokens=tokens_ab))
+    graph.add_queue(Queue("ba", "b", "a", tokens=tokens_ba))
+    mcr = maximum_cycle_ratio(graph)
+    assert is_period_feasible(graph, mcr * scale)
+    assert not is_period_feasible(graph, mcr / (scale * 1.05))

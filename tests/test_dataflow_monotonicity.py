@@ -1,0 +1,136 @@
+"""Property-based tests of temporal monotonicity (Section II-B.2 of the paper).
+
+Monotonicity is the property the paper's conservative approximations rest on,
+so it gets its own property-based test battery: for randomly generated live
+SRDF graphs, making any actor faster or adding tokens to any queue never
+delays any firing of the self-timed execution.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import AnalysisError
+from repro.dataflow.graph import Actor, Queue, SRDFGraph
+from repro.dataflow.monotonicity import check_monotonicity, compare_traces, speedup_graph
+from repro.dataflow.simulation import simulate
+
+
+def _random_live_graph(durations, extra_edges, feedback_tokens) -> SRDFGraph:
+    """A ring of |durations| actors plus optional forward chords (always live)."""
+    graph = SRDFGraph("random")
+    n = len(durations)
+    for i, duration in enumerate(durations):
+        graph.add_actor(Actor(f"a{i}", duration))
+    for i in range(n):
+        graph.add_queue(
+            Queue(
+                f"ring{i}",
+                f"a{i}",
+                f"a{(i + 1) % n}",
+                tokens=feedback_tokens if i == n - 1 else 0,
+            )
+        )
+    for j, (src, dst) in enumerate(extra_edges):
+        source, target = src % n, dst % n
+        if source == target:
+            continue
+        # Forward chords (low index to high index) cannot create token-free cycles.
+        lo, hi = min(source, target), max(source, target)
+        graph.add_queue(Queue(f"chord{j}", f"a{lo}", f"a{hi}", tokens=0))
+    return graph
+
+
+durations_strategy = st.lists(
+    st.floats(min_value=0.1, max_value=10.0, allow_nan=False), min_size=2, max_size=5
+)
+edges_strategy = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=4), st.integers(min_value=0, max_value=4)),
+    max_size=3,
+)
+
+
+class TestSpeedupGraph:
+    def test_scaling_durations(self, pipeline_srdf):
+        faster = speedup_graph(pipeline_srdf, duration_scale=0.5)
+        assert faster.firing_duration("b") == pytest.approx(1.0)
+
+    def test_rejects_bad_scale(self, pipeline_srdf):
+        with pytest.raises(AnalysisError):
+            speedup_graph(pipeline_srdf, duration_scale=1.5)
+        with pytest.raises(AnalysisError):
+            speedup_graph(pipeline_srdf, duration_scale=0.0)
+
+    def test_rejects_slower_override(self, pipeline_srdf):
+        with pytest.raises(AnalysisError):
+            speedup_graph(pipeline_srdf, duration_overrides={"b": 99.0})
+
+    def test_rejects_negative_extra_tokens(self, pipeline_srdf):
+        with pytest.raises(AnalysisError):
+            speedup_graph(pipeline_srdf, extra_tokens={"ca": -1})
+
+
+class TestCheckMonotonicity:
+    def test_mismatched_graphs_rejected(self, pipeline_srdf, two_actor_cycle):
+        with pytest.raises(AnalysisError):
+            check_monotonicity(pipeline_srdf, two_actor_cycle)
+
+    def test_faster_durations_never_delay(self, pipeline_srdf):
+        faster = speedup_graph(pipeline_srdf, duration_scale=0.7)
+        assert check_monotonicity(pipeline_srdf, faster)
+
+    def test_extra_tokens_never_delay(self, pipeline_srdf):
+        faster = speedup_graph(pipeline_srdf, extra_tokens={"ca": 2})
+        assert check_monotonicity(pipeline_srdf, faster)
+
+    def test_compare_traces_reports_nonnegative_advance(self, pipeline_srdf):
+        slow = simulate(pipeline_srdf, iterations=20)
+        fast = simulate(speedup_graph(pipeline_srdf, duration_scale=0.5), iterations=20)
+        advances = compare_traces(fast, slow)
+        assert all(value >= -1e-9 for value in advances.values())
+        assert max(advances.values()) > 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    durations=durations_strategy,
+    extra_edges=edges_strategy,
+    feedback_tokens=st.integers(min_value=1, max_value=3),
+    scale=st.floats(min_value=0.2, max_value=1.0, allow_nan=False),
+)
+def test_reducing_durations_is_monotonic(durations, extra_edges, feedback_tokens, scale):
+    graph = _random_live_graph(durations, extra_edges, feedback_tokens)
+    faster = speedup_graph(graph, duration_scale=scale)
+    assert check_monotonicity(graph, faster, iterations=15)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    durations=durations_strategy,
+    extra_edges=edges_strategy,
+    feedback_tokens=st.integers(min_value=1, max_value=3),
+    extra=st.integers(min_value=0, max_value=4),
+)
+def test_adding_tokens_is_monotonic(durations, extra_edges, feedback_tokens, extra):
+    graph = _random_live_graph(durations, extra_edges, feedback_tokens)
+    n = len(durations)
+    faster = speedup_graph(graph, extra_tokens={f"ring{n - 1}": extra})
+    assert check_monotonicity(graph, faster, iterations=15)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    durations=durations_strategy,
+    feedback_tokens=st.integers(min_value=1, max_value=3),
+    scale=st.floats(min_value=0.3, max_value=0.95, allow_nan=False),
+    extra=st.integers(min_value=1, max_value=3),
+)
+def test_combined_speedup_is_monotonic(durations, feedback_tokens, scale, extra):
+    """Speeding up durations *and* adding tokens together is still monotonic."""
+    graph = _random_live_graph(durations, [], feedback_tokens)
+    n = len(durations)
+    faster = speedup_graph(
+        graph, duration_scale=scale, extra_tokens={f"ring{n - 1}": extra}
+    )
+    assert check_monotonicity(graph, faster, iterations=15)

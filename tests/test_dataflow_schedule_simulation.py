@@ -1,0 +1,121 @@
+"""Tests for periodic admissible schedules and the self-timed simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import AnalysisError, SimulationError
+from repro.dataflow.graph import Actor, Queue, SRDFGraph
+from repro.dataflow.mcr import maximum_cycle_ratio
+from repro.dataflow.schedule import (
+    compute_schedule,
+    rate_optimal_schedule,
+    validate_schedule_against_period,
+)
+from repro.dataflow.simulation import measured_period, meets_period, simulate
+
+
+class TestPeriodicSchedule:
+    def test_schedule_satisfies_constraints(self, pipeline_srdf):
+        schedule = compute_schedule(pipeline_srdf, period=3.0)
+        assert schedule is not None
+        assert schedule.satisfies_constraints(pipeline_srdf)
+        assert validate_schedule_against_period(pipeline_srdf, schedule, 3.0)
+
+    def test_schedule_none_below_mcr(self, pipeline_srdf):
+        assert compute_schedule(pipeline_srdf, period=1.0) is None
+
+    def test_start_times_are_periodic(self, pipeline_srdf):
+        schedule = compute_schedule(pipeline_srdf, period=2.5)
+        assert schedule is not None
+        first = schedule.start_time("b", 1)
+        fourth = schedule.start_time("b", 4)
+        assert fourth - first == pytest.approx(3 * 2.5)
+        finish = schedule.finish_time(pipeline_srdf, "b", 1)
+        assert finish == pytest.approx(first + 2.0)
+
+    def test_firing_index_is_one_based(self, pipeline_srdf):
+        schedule = compute_schedule(pipeline_srdf, period=3.0)
+        with pytest.raises(AnalysisError):
+            schedule.start_time("a", 0)
+
+    def test_rate_optimal_schedule(self, two_actor_cycle):
+        schedule = rate_optimal_schedule(two_actor_cycle)
+        assert schedule.period == pytest.approx(2.5, rel=1e-6)
+        assert schedule.satisfies_constraints(two_actor_cycle)
+
+    def test_rate_optimal_schedule_rejects_deadlock(self, deadlocked_srdf):
+        with pytest.raises(AnalysisError):
+            rate_optimal_schedule(deadlocked_srdf)
+
+    def test_validation_rejects_too_slow_schedules(self, pipeline_srdf):
+        schedule = compute_schedule(pipeline_srdf, period=5.0)
+        assert schedule is not None
+        assert not validate_schedule_against_period(pipeline_srdf, schedule, 3.0)
+
+
+class TestSelfTimedSimulation:
+    def test_pipeline_steady_state_period(self, pipeline_srdf):
+        period = measured_period(pipeline_srdf, iterations=400)
+        assert period == pytest.approx(maximum_cycle_ratio(pipeline_srdf), rel=2e-2)
+
+    def test_two_actor_cycle_period(self, two_actor_cycle):
+        period = measured_period(two_actor_cycle, iterations=200)
+        assert period == pytest.approx(2.5, rel=1e-2)
+
+    def test_first_firings_start_asap(self, pipeline_srdf):
+        trace = simulate(pipeline_srdf, iterations=5)
+        # 'a' has 2 tokens on its only input queue, so firings 1 and 2 start at 0.
+        assert trace.start_time("a", 1) == pytest.approx(0.0)
+        assert trace.start_time("a", 2) == pytest.approx(0.0)
+        # 'b' waits for a's first finish.
+        assert trace.start_time("b", 1) == pytest.approx(1.0)
+        # 'c' waits for b's first finish.
+        assert trace.start_time("c", 1) == pytest.approx(3.0)
+
+    def test_deadlock_is_detected(self, deadlocked_srdf):
+        with pytest.raises(SimulationError):
+            simulate(deadlocked_srdf, iterations=5)
+
+    def test_requires_positive_iterations(self, pipeline_srdf):
+        with pytest.raises(SimulationError):
+            simulate(pipeline_srdf, iterations=0)
+
+    def test_trace_bounds_checked(self, pipeline_srdf):
+        trace = simulate(pipeline_srdf, iterations=3)
+        with pytest.raises(SimulationError):
+            trace.start_time("a", 4)
+
+    def test_meets_period_true_at_and_above_mcr(self, pipeline_srdf):
+        mcr = maximum_cycle_ratio(pipeline_srdf)
+        assert meets_period(pipeline_srdf, mcr * 1.001, iterations=50)
+        assert meets_period(pipeline_srdf, mcr * 2.0, iterations=50)
+
+    def test_meets_period_false_below_mcr(self, pipeline_srdf):
+        mcr = maximum_cycle_ratio(pipeline_srdf)
+        assert not meets_period(pipeline_srdf, mcr * 0.8, iterations=50)
+
+    def test_meets_period_false_for_deadlock(self, deadlocked_srdf):
+        assert not meets_period(deadlocked_srdf, 10.0)
+
+    def test_auto_concurrency_without_self_loop(self):
+        """Without a self-loop an actor may fire multiple times concurrently."""
+        graph = SRDFGraph("autoconc")
+        graph.add_actor(Actor("src", 4.0))
+        graph.add_actor(Actor("snk", 1.0))
+        graph.add_queue(Queue("q", "src", "snk", tokens=0))
+        trace = simulate(graph, iterations=3)
+        # All firings of src start immediately (no self-loop serialises them).
+        assert trace.start_time("src", 3) == pytest.approx(0.0)
+
+    def test_self_loop_serialises_firings(self):
+        graph = SRDFGraph("serial")
+        graph.add_actor(Actor("src", 4.0))
+        graph.add_queue(Queue("self", "src", "src", tokens=1))
+        trace = simulate(graph, iterations=3)
+        assert trace.start_time("src", 3) == pytest.approx(8.0)
+
+    def test_measured_period_requires_two_iterations(self, pipeline_srdf):
+        trace = simulate(pipeline_srdf, iterations=1)
+        with pytest.raises(SimulationError):
+            trace.measured_period()

@@ -1,0 +1,47 @@
+"""Smoke tests that keep every example script runnable.
+
+The examples double as documentation; running them here guarantees they stay
+in sync with the public API.
+"""
+
+from __future__ import annotations
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS, ids=lambda path: path.stem)
+def test_example_runs_and_produces_output(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"{script.name} produced no output"
+
+
+def test_expected_examples_are_present():
+    names = {path.stem for path in EXAMPLE_SCRIPTS}
+    assert {
+        "quickstart",
+        "producer_consumer_tradeoff",
+        "three_stage_chain",
+        "multi_job_mapping",
+        "binding_and_latency",
+    } <= names
+
+
+def test_quickstart_mentions_budgets_and_buffers(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    output = capsys.readouterr().out
+    assert "budget" in output.lower()
+    assert "TDM wheel" in output
+
+
+def test_tradeoff_example_reports_the_non_linear_tradeoff(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "producer_consumer_tradeoff.py"), run_name="__main__")
+    output = capsys.readouterr().out
+    assert "Figure 2(a)" in output
+    assert "non-linear" in output

@@ -1,0 +1,125 @@
+"""Tests of the experiment drivers that regenerate the paper's figures.
+
+These are the executable versions of the qualitative claims in Section V of
+the paper; the benchmarks reuse the same drivers and additionally record
+timings.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.baselines.budget_minimization import producer_consumer_minimum_budget
+from repro.experiments import run_all, run_figure2, run_figure3
+from repro.experiments.figure2 import build_configuration as build_figure2_configuration
+from repro.experiments.figure3 import build_configuration as build_figure3_configuration
+
+
+@pytest.fixture(scope="module")
+def figure2():
+    return run_figure2()
+
+
+@pytest.fixture(scope="module")
+def figure3():
+    return run_figure3()
+
+
+class TestFigure2Configuration:
+    def test_matches_paper_parameters(self):
+        config = build_figure2_configuration()
+        graph = config.task_graphs[0]
+        assert graph.period == 10.0
+        assert {t.wcet for t in graph.tasks} == {1.0}
+        assert {
+            config.platform.processor(t.processor).replenishment_interval
+            for t in graph.tasks
+        } == {40.0}
+
+
+class TestFigure2(object):
+    def test_sweep_covers_one_to_ten_containers(self, figure2):
+        assert figure2.capacity_limits == list(range(1, 11))
+
+    def test_budget_curve_is_non_increasing_and_convex_shaped(self, figure2):
+        budgets = figure2.relaxed_budget_wa
+        assert all(b1 >= b2 - 1e-9 for b1, b2 in zip(budgets, budgets[1:]))
+        # Endpoints reported by the paper: ≈ 36 Mcycles at 1 container and the
+        # 4-Mcycle floor at 10 containers.
+        assert budgets[0] == pytest.approx(36.1, abs=0.2)
+        assert budgets[-1] == pytest.approx(4.0, abs=0.05)
+
+    def test_both_tasks_get_equal_budgets(self, figure2):
+        for wa, wb in zip(figure2.budget_wa, figure2.budget_wb):
+            assert wa == pytest.approx(wb, abs=1.0)
+
+    def test_matches_analytic_reference(self, figure2):
+        for relaxed, analytic in zip(figure2.relaxed_budget_wa, figure2.analytic_budget):
+            assert relaxed == pytest.approx(analytic, rel=2e-3)
+
+    def test_ten_containers_minimise_the_budget(self, figure2):
+        """The paper: 'A buffer capacity of 10 containers minimises the budgets.'"""
+        floor = producer_consumer_minimum_budget(10)
+        assert figure2.relaxed_budget_wa[-1] == pytest.approx(floor, rel=1e-3)
+        assert figure2.relaxed_budget_wa[-2] > floor + 0.25
+
+    def test_reduction_curve_shape(self, figure2):
+        """Figure 2(b): positive, diminishing, ≈ 4.8 Mcycles at 2 containers."""
+        reductions = [step.reduction for step in figure2.reductions]
+        assert len(reductions) == 9
+        assert reductions[0] == pytest.approx(4.83, abs=0.1)
+        assert all(r > 0.0 for r in reductions)
+        assert all(r1 >= r2 - 1e-6 for r1, r2 in zip(reductions, reductions[1:]))
+        assert reductions[-1] < 1.0
+
+    def test_rows_render(self, figure2):
+        rows = figure2.rows()
+        assert len(rows) == 10
+        assert set(rows[0]) >= {"buffer_capacity", "budget_wa_mcycles"}
+        reduction_rows = figure2.reduction_rows()
+        assert len(reduction_rows) == 9
+
+
+class TestFigure3:
+    def test_sweep_is_feasible_everywhere(self, figure3):
+        assert figure3.capacity_limits == list(range(1, 11))
+
+    def test_outer_tasks_are_symmetric(self, figure3):
+        for wa, wc in zip(figure3.relaxed_budget_wa, figure3.relaxed_budget_wc):
+            assert wa == pytest.approx(wc, rel=1e-2, abs=5e-2)
+
+    def test_middle_task_budget_dominates(self, figure3):
+        """Topology dependence: w_b interacts with two buffers, so its budget
+        is reduced only after the budgets of w_a and w_c."""
+        for wa, wb in zip(figure3.relaxed_budget_wa, figure3.relaxed_budget_wb):
+            assert wb >= wa - 1e-6
+
+    def test_budgets_decrease_with_capacity(self, figure3):
+        for series in (figure3.relaxed_budget_wa, figure3.relaxed_budget_wb):
+            assert all(b1 >= b2 - 1e-9 for b1, b2 in zip(series, series[1:]))
+
+    def test_all_tasks_reach_the_floor_at_ten_containers(self, figure3):
+        assert figure3.budget_wa[-1] == pytest.approx(4.0)
+        assert figure3.budget_wb[-1] == pytest.approx(4.0)
+        assert figure3.budget_wc[-1] == pytest.approx(4.0)
+
+    def test_configuration_matches_paper(self):
+        config = build_figure3_configuration()
+        graph = config.task_graphs[0]
+        assert len(graph.tasks) == 3
+        assert len(graph.buffers) == 2
+        assert len({t.processor for t in graph.tasks}) == 3
+
+
+class TestRunner:
+    def test_run_all_prints_tables_and_returns_results(self):
+        stream = io.StringIO()
+        results = run_all(stream=stream)
+        output = stream.getvalue()
+        assert "Figure 2(a)" in output
+        assert "Figure 2(b)" in output
+        assert "Figure 3" in output
+        assert "figure2" in results and "figure3" in results
+        assert results["runtime_seconds"]["figure2"] > 0.0

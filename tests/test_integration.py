@@ -1,0 +1,142 @@
+"""End-to-end integration tests across the whole stack.
+
+Each test exercises the full pipeline: configuration → Algorithm-1 SOCP →
+rounding → independent dataflow verification → TDM realisation, on scenarios
+a user of the library would actually run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import analyse_throughput, screen_configuration
+from repro.baselines import bisect_uniform_budget, run_two_phase, TwoPhaseOrder
+from repro.core import JointAllocator, ObjectiveWeights, allocate, verify_mapping
+from repro.dataflow.construction import build_srdf_specification, instantiate_srdf
+from repro.dataflow.simulation import meets_period
+from repro.scheduling import allocations_from_mapping
+from repro.taskgraph import ConfigurationBuilder
+from repro.taskgraph.generators import (
+    multi_job_configuration,
+    producer_consumer_configuration,
+)
+
+
+class TestFullPipelineProducerConsumer:
+    def test_allocation_to_tdm_slot_tables(self):
+        """From throughput requirement to a concrete TDM wheel per processor."""
+        config = producer_consumer_configuration(max_capacity=5)
+        mapped = allocate(config, weights=ObjectiveWeights.prefer_budgets())
+
+        allocations = allocations_from_mapping(mapped)
+        for processor_name, allocation in allocations.items():
+            assert allocation.is_feasible()
+            scheduler = allocation.scheduler()
+            for task_name, budget in allocation.budgets.items():
+                assert scheduler.slot_table.budget_of(task_name) == pytest.approx(budget)
+                # The worst-case TDM response of one execution stays within the
+                # latency-rate bound the dataflow model assumed.
+                graph, task = config.find_task(task_name)
+                bound = scheduler.latency_rate_bound(task_name).worst_case_completion(task.wcet)
+                observed = scheduler.worst_case_response(task_name, task.wcet, samples=32)
+                assert observed <= bound + 1e-9
+
+    def test_simulated_throughput_meets_requirement(self):
+        config = producer_consumer_configuration(max_capacity=6)
+        mapped = allocate(config, weights=ObjectiveWeights.prefer_budgets())
+        graph = config.task_graphs[0]
+        srdf = instantiate_srdf(
+            build_srdf_specification(graph),
+            graph,
+            config.platform,
+            mapped.budgets,
+            mapped.buffer_capacities,
+        )
+        assert meets_period(srdf, graph.period, iterations=120)
+
+    def test_joint_beats_two_phase_under_memory_pressure(self):
+        config = producer_consumer_configuration(memory_capacity=7.0)
+        joint = allocate(config, weights=ObjectiveWeights.prefer_budgets())
+        budget_first = run_two_phase(config, TwoPhaseOrder.BUDGET_FIRST)
+        buffer_first = run_two_phase(config, TwoPhaseOrder.BUFFER_FIRST)
+        # Budget-first cannot place its 10-container buffer in 7 units of memory.
+        assert not budget_first.feasible
+        # Buffer-first works but needs far more processor budget than the joint flow.
+        assert buffer_first.feasible
+        assert buffer_first.total_budget > sum(joint.budgets.values())
+
+
+class TestMultiJobScenario:
+    def test_two_jobs_sharing_processors(self):
+        config = multi_job_configuration(job_count=2, stages_per_job=3, max_capacity=8)
+        screen = screen_configuration(config)
+        assert screen.may_be_feasible
+        mapped = allocate(config, weights=ObjectiveWeights.prefer_budgets())
+        report = verify_mapping(mapped)
+        assert report.is_valid, report.summary()
+        # Both jobs' tasks share each processor; together they must fit.
+        for processor_name in config.platform.processors:
+            assert mapped.processor_utilisation(processor_name) <= 1.0 + 1e-9
+        throughput = analyse_throughput(mapped)
+        assert all(r.meets_requirement for r in throughput.values())
+
+    def test_jobs_with_different_periods_get_different_budgets(self):
+        config = (
+            ConfigurationBuilder(name="mixed", granularity=1.0)
+            .processor("p1", replenishment_interval=40.0)
+            .processor("p2", replenishment_interval=40.0)
+            .memory("m1")
+            .task_graph("video", period=10.0)
+            .task("vdec", wcet=1.0, processor="p1")
+            .task("vout", wcet=1.0, processor="p2")
+            .buffer("vbuf", source="vdec", target="vout", memory="m1", max_capacity=6)
+            .task_graph("audio", period=40.0)
+            .task("adec", wcet=1.0, processor="p1")
+            .task("aout", wcet=1.0, processor="p2")
+            .buffer("abuf", source="adec", target="aout", memory="m1", max_capacity=6)
+            .build()
+        )
+        mapped = allocate(config, weights=ObjectiveWeights.prefer_budgets())
+        assert verify_mapping(mapped).is_valid
+        # The 4× slower audio job needs no more budget than the video job.
+        assert mapped.budgets["adec"] <= mapped.budgets["vdec"] + 1e-9
+        assert analyse_throughput(mapped)["audio"].meets_requirement
+
+
+class TestHeterogeneousPlatform:
+    def test_different_replenishment_intervals_and_overheads(self):
+        config = (
+            ConfigurationBuilder(name="hetero", granularity=0.5)
+            .processor("fast", replenishment_interval=20.0, scheduling_overhead=1.0)
+            .processor("slow", replenishment_interval=80.0, scheduling_overhead=2.0)
+            .memory("sram", capacity=24.0)
+            .task_graph("job", period=12.0)
+            .task("front", wcet=1.5, processor="fast")
+            .task("back", wcet=2.0, processor="slow")
+            .buffer("link", source="front", target="back", memory="sram", container_size=2.0)
+            .build()
+        )
+        mapped = allocate(config, weights=ObjectiveWeights.prefer_budgets())
+        report = verify_mapping(mapped)
+        assert report.is_valid, report.summary()
+        # Budgets are multiples of the 0.5-cycle granularity.
+        for budget in mapped.budgets.values():
+            assert abs(budget / 0.5 - round(budget / 0.5)) < 1e-9
+        # The buffer (plus rounding slack) fits in the 24-unit memory.
+        assert mapped.total_storage("sram") <= 24.0
+
+    def test_allocator_agrees_with_uniform_budget_oracle_on_symmetric_instance(self):
+        config = producer_consumer_configuration(max_capacity=4)
+        mapped = allocate(config, weights=ObjectiveWeights.prefer_budgets())
+        oracle = bisect_uniform_budget(config, {"bab": 4})
+        assert mapped.relaxed_budgets["wa"] == pytest.approx(oracle, rel=2e-3)
+
+    def test_weights_steer_the_solution_along_the_tradeoff(self):
+        config = producer_consumer_configuration(memory_capacity=12.0)
+        cheap_budget = allocate(config, weights=ObjectiveWeights.prefer_budgets())
+        cheap_buffer = allocate(config, weights=ObjectiveWeights.prefer_buffers())
+        assert sum(cheap_budget.budgets.values()) <= sum(cheap_buffer.budgets.values())
+        assert (
+            sum(cheap_budget.buffer_capacities.values())
+            >= sum(cheap_buffer.buffer_capacities.values())
+        )

@@ -1,0 +1,191 @@
+"""Tests for budget schedulers: latency-rate servers, TDM slot tables, allocations."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import AllocationError, ModelError, SimulationError
+from repro.scheduling import (
+    BudgetAllocation,
+    LatencyRateServer,
+    TdmScheduler,
+    TdmSlotTable,
+    allocations_from_mapping,
+    build_slot_table,
+    required_budget_for_completion,
+    validate_budget_feasibility,
+)
+from repro.taskgraph import MappedConfiguration, Processor
+from repro.taskgraph.generators import producer_consumer_configuration
+
+
+class TestLatencyRateServer:
+    def test_from_budget(self):
+        server = LatencyRateServer.from_budget(8.0, 40.0)
+        assert server.latency == pytest.approx(32.0)
+        assert server.rate == pytest.approx(0.2)
+
+    def test_worst_case_completion_matches_actor_durations(self):
+        """Θ + χ/r equals the sum of the two actor firing durations of the paper."""
+        budget, interval, wcet = 8.0, 40.0, 1.0
+        server = LatencyRateServer.from_budget(budget, interval)
+        expected = (interval - budget) + interval * wcet / budget
+        assert server.worst_case_completion(wcet) == pytest.approx(expected)
+
+    def test_busy_period_service(self):
+        server = LatencyRateServer.from_budget(10.0, 40.0)
+        assert server.busy_period_service(30.0) == pytest.approx(0.0)
+        assert server.busy_period_service(40.0) == pytest.approx(2.5)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ModelError):
+            LatencyRateServer.from_budget(0.0, 40.0)
+        with pytest.raises(ModelError):
+            LatencyRateServer.from_budget(41.0, 40.0)
+        with pytest.raises(ModelError):
+            LatencyRateServer(latency=-1.0, rate=0.5)
+        server = LatencyRateServer.from_budget(10.0, 40.0)
+        with pytest.raises(ModelError):
+            server.worst_case_completion(-1.0)
+
+    def test_required_budget_for_completion(self):
+        # The returned budget makes the latency-rate completion bound exactly
+        # meet the deadline (for ̺ = 40, χ = 1, deadline = 10 that is ≈ 31.28).
+        budget = required_budget_for_completion(1.0, 10.0, 40.0)
+        server = LatencyRateServer.from_budget(budget, 40.0)
+        assert server.worst_case_completion(1.0) == pytest.approx(10.0, rel=1e-9)
+        with pytest.raises(ModelError):
+            required_budget_for_completion(5.0, 3.0, 40.0)
+
+
+class TestSlotTable:
+    def test_build_and_budget_accounting(self):
+        table = build_slot_table({"a": 3.0, "b": 2.0}, 10.0, granularity=1.0)
+        assert table.wheel_length == pytest.approx(10.0)
+        assert table.budget_of("a") == pytest.approx(3.0)
+        assert table.budget_of("b") == pytest.approx(2.0)
+        assert table.budget_of("missing") == 0.0
+        assert table.tasks() == ("a", "b")
+
+    def test_contiguous_allocation(self):
+        table = build_slot_table(
+            {"a": 3.0, "b": 2.0}, 10.0, granularity=1.0, interleave=False
+        )
+        owners = [owner for owner in table.owners if owner is not None]
+        assert owners == ["a", "a", "a", "b", "b"]
+
+    def test_rejects_non_granular_budget(self):
+        with pytest.raises(ModelError):
+            build_slot_table({"a": 2.5}, 10.0, granularity=1.0)
+
+    def test_rejects_overcommitted_wheel(self):
+        with pytest.raises(ModelError):
+            build_slot_table({"a": 6.0, "b": 6.0}, 10.0, granularity=1.0)
+
+    def test_overhead_reserves_slots(self):
+        with pytest.raises(ModelError):
+            build_slot_table({"a": 9.0}, 10.0, granularity=1.0, scheduling_overhead=2.0)
+
+    def test_slot_table_validation(self):
+        with pytest.raises(ModelError):
+            TdmSlotTable(slot_length=0.0, owners=("a",))
+        with pytest.raises(ModelError):
+            TdmSlotTable(slot_length=1.0, owners=())
+
+
+class TestTdmScheduler:
+    def test_serving_within_one_slot(self):
+        table = build_slot_table({"a": 5.0, "b": 5.0}, 10.0, granularity=1.0, interleave=False)
+        scheduler = TdmScheduler(table)
+        result = scheduler.serve("a", work=2.0, arrival=0.0)
+        assert result.completion == pytest.approx(2.0)
+
+    def test_arrival_outside_own_slots_waits(self):
+        table = build_slot_table({"a": 2.0, "b": 8.0}, 10.0, granularity=1.0, interleave=False)
+        scheduler = TdmScheduler(table)
+        # 'a' owns slots [0, 2); arriving at t = 2 it must wait for the next wheel.
+        result = scheduler.serve("a", work=1.0, arrival=2.0)
+        assert result.completion == pytest.approx(11.0)
+
+    def test_zero_work_completes_immediately(self):
+        table = build_slot_table({"a": 2.0}, 10.0, granularity=1.0)
+        scheduler = TdmScheduler(table)
+        assert scheduler.serve("a", 0.0, arrival=3.3).completion == pytest.approx(3.3)
+
+    def test_unknown_task_rejected(self):
+        table = build_slot_table({"a": 2.0}, 10.0, granularity=1.0)
+        with pytest.raises(SimulationError):
+            TdmScheduler(table).serve("zzz", 1.0)
+
+    def test_latency_rate_bound_is_conservative(self):
+        """The paper's model bounds every concrete TDM schedule from above."""
+        for budgets in ({"a": 2.0, "b": 8.0}, {"a": 5.0, "b": 5.0}, {"a": 1.0, "b": 3.0}):
+            for interleave in (True, False):
+                table = build_slot_table(budgets, 10.0, granularity=1.0, interleave=interleave)
+                scheduler = TdmScheduler(table)
+                for work in (0.5, 1.0, 2.7, 6.0):
+                    bound = scheduler.latency_rate_bound("a").worst_case_completion(work)
+                    observed = scheduler.worst_case_response("a", work, samples=40)
+                    assert observed <= bound + 1e-9, (budgets, interleave, work)
+
+
+class TestBudgetAllocation:
+    def test_feasibility_and_utilisation(self):
+        processor = Processor("p1", replenishment_interval=40.0, scheduling_overhead=2.0)
+        allocation = BudgetAllocation(processor=processor, budgets={"a": 20.0, "b": 10.0})
+        assert allocation.is_feasible()
+        assert allocation.utilisation == pytest.approx(0.75)
+        allocation.budgets["c"] = 10.0
+        assert not allocation.is_feasible()
+
+    def test_slot_table_round_trip(self):
+        processor = Processor("p1", replenishment_interval=40.0)
+        allocation = BudgetAllocation(
+            processor=processor, budgets={"a": 8.0, "b": 4.0}, granularity=1.0
+        )
+        scheduler = allocation.scheduler()
+        assert scheduler.slot_table.budget_of("a") == pytest.approx(8.0)
+        bounds = allocation.latency_rate_bounds()
+        assert bounds["a"].rate == pytest.approx(0.2)
+
+    def test_infeasible_allocation_cannot_build_slot_table(self):
+        processor = Processor("p1", replenishment_interval=10.0)
+        allocation = BudgetAllocation(processor=processor, budgets={"a": 20.0})
+        with pytest.raises(AllocationError):
+            allocation.slot_table()
+
+    def test_allocations_from_mapping(self):
+        config = producer_consumer_configuration()
+        mapped = MappedConfiguration(
+            configuration=config,
+            budgets={"wa": 18.0, "wb": 20.0},
+            buffer_capacities={"bab": 5},
+        )
+        allocations = allocations_from_mapping(mapped)
+        assert allocations["p1"].budgets == {"wa": 18.0}
+        assert validate_budget_feasibility(mapped) == []
+        mapped.budgets["wa"] = 50.0
+        assert validate_budget_feasibility(mapped)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    slots=st.integers(min_value=1, max_value=8),
+    total_slots=st.integers(min_value=10, max_value=20),
+    work=st.floats(min_value=0.1, max_value=12.0, allow_nan=False),
+    arrival_fraction=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    interleave=st.booleans(),
+)
+def test_tdm_response_never_exceeds_latency_rate_bound(
+    slots, total_slots, work, arrival_fraction, interleave
+):
+    """Property: for any slot layout and arrival phase, the concrete TDM response
+    time never exceeds the (̺ − β) + ̺·work/β bound used by the dataflow model."""
+    budgets = {"task": float(slots), "other": float(total_slots - slots)}
+    table = build_slot_table(budgets, float(total_slots), granularity=1.0, interleave=interleave)
+    scheduler = TdmScheduler(table)
+    arrival = arrival_fraction * table.wheel_length
+    result = scheduler.serve("task", work, arrival=arrival)
+    bound = scheduler.latency_rate_bound("task").worst_case_completion(work)
+    assert result.response_time <= bound + 1e-7

@@ -1,0 +1,168 @@
+"""Tests for the LP backend, the scipy backend and the auto dispatcher."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import FormulationError
+from repro.solver import ConeProgram, SolverStatus
+from repro.solver.backends import solve_compiled
+from repro.solver.linprog_backend import solve_with_linprog
+from repro.solver.scipy_backend import solve_with_scipy
+
+
+def _knapsack_like_program(c1: float, c2: float, limit: float) -> ConeProgram:
+    program = ConeProgram()
+    x = program.add_variable("x", lower=0.0, upper=10.0)
+    y = program.add_variable("y", lower=0.0, upper=10.0)
+    program.add_less_equal(x + y, limit)
+    program.minimize(c1 * x + c2 * y)
+    return program
+
+
+class TestLinprogBackend:
+    def test_simple_lp(self):
+        program = _knapsack_like_program(-1.0, -2.0, 6.0)
+        solution = solve_with_linprog(program.compile())
+        assert solution.is_optimal
+        assert solution.objective == pytest.approx(-12.0, abs=1e-8)
+        assert solution.backend == "linprog"
+
+    def test_rejects_cone_constraints(self):
+        program = ConeProgram()
+        x = program.add_variable("x", lower=0.1)
+        y = program.add_variable("y", lower=0.1)
+        program.add_hyperbolic(x, y, 1.0)
+        with pytest.raises(FormulationError):
+            solve_with_linprog(program.compile())
+
+    def test_unbounded_lp(self):
+        program = ConeProgram()
+        x = program.add_variable("x", upper=5.0)
+        program.minimize(x)
+        solution = solve_with_linprog(program.compile())
+        assert solution.status is SolverStatus.UNBOUNDED
+
+    def test_equality_constraints(self):
+        program = ConeProgram()
+        x = program.add_variable("x", lower=0.0, upper=10.0)
+        y = program.add_variable("y", lower=0.0, upper=10.0)
+        program.add_equality(x + y, 3.0)
+        program.minimize(x - y)
+        solution = solve_with_linprog(program.compile())
+        assert solution.is_optimal
+        assert solution.value(y) == pytest.approx(3.0, abs=1e-8)
+
+    def test_empty_problem(self):
+        program = ConeProgram()
+        solution = solve_with_linprog(program.compile())
+        assert solution.is_optimal
+
+
+class TestScipyBackend:
+    def test_hyperbolic_problem(self):
+        program = ConeProgram()
+        x = program.add_variable("x", lower=1e-3, upper=100.0)
+        y = program.add_variable("y", lower=1e-3, upper=100.0)
+        program.add_hyperbolic(x, y, bound=4.0)
+        program.minimize(x + y)
+        solution = solve_with_scipy(program.compile())
+        assert solution.is_optimal
+        assert solution.objective == pytest.approx(4.0, rel=1e-3)
+        assert solution.backend == "scipy"
+
+    def test_reports_infeasibility(self):
+        program = ConeProgram()
+        x = program.add_variable("x", lower=0.0, upper=1.0)
+        y = program.add_variable("y", lower=0.0, upper=1.0)
+        program.add_hyperbolic(x, y, bound=9.0)
+        program.minimize(x + y)
+        solution = solve_with_scipy(program.compile())
+        assert solution.status in (SolverStatus.INFEASIBLE, SolverStatus.NUMERICAL_ERROR)
+        assert not solution.is_optimal
+
+    def test_empty_problem(self):
+        program = ConeProgram()
+        solution = solve_with_scipy(program.compile())
+        assert solution.is_optimal
+
+
+class TestAutoDispatch:
+    def test_pure_lp_uses_linprog(self):
+        program = _knapsack_like_program(1.0, 1.0, 4.0)
+        solution = program.solve(backend="auto")
+        assert solution.is_optimal
+        assert solution.backend == "linprog"
+
+    def test_cone_program_uses_barrier(self):
+        program = ConeProgram()
+        x = program.add_variable("x", lower=0.1, upper=50.0)
+        y = program.add_variable("y", lower=0.1, upper=50.0)
+        program.add_hyperbolic(x, y, bound=4.0)
+        program.minimize(x + y)
+        solution = program.solve(backend="auto")
+        assert solution.is_optimal
+        assert solution.backend == "barrier"
+
+    def test_unknown_backend_rejected(self):
+        program = _knapsack_like_program(1.0, 1.0, 4.0)
+        with pytest.raises(FormulationError):
+            solve_compiled(program.compile(), backend="gurobi")
+
+    def test_solve_records_time(self):
+        program = _knapsack_like_program(1.0, 1.0, 4.0)
+        solution = program.solve()
+        assert solution.solve_time >= 0.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    c=st.lists(st.floats(min_value=-5, max_value=5, allow_nan=False), min_size=3, max_size=3),
+    rows=st.lists(
+        st.lists(st.floats(min_value=0.1, max_value=3, allow_nan=False), min_size=3, max_size=3),
+        min_size=1,
+        max_size=4,
+    ),
+    rhs=st.lists(st.floats(min_value=1.0, max_value=20.0, allow_nan=False), min_size=4, max_size=4),
+)
+def test_barrier_matches_linprog_on_random_bounded_lps(c, rows, rhs):
+    """Property: on random bounded LPs the barrier optimum matches HiGHS.
+
+    All variables are box-constrained to [0, 5] and all constraint
+    coefficients are positive with positive right-hand sides, so the origin is
+    feasible and the LP is bounded.
+    """
+    program = ConeProgram()
+    variables = [program.add_variable(f"x{i}", lower=0.0, upper=5.0) for i in range(3)]
+    for i, row in enumerate(rows):
+        expr = sum(coeff * var for coeff, var in zip(row, variables))
+        program.add_less_equal(expr, rhs[i])
+    program.minimize(sum(ci * vi for ci, vi in zip(c, variables)))
+
+    lp = program.solve(backend="linprog")
+    barrier = program.solve(backend="barrier")
+    assert lp.is_optimal and barrier.is_optimal
+    scale = max(1.0, abs(lp.objective))
+    assert barrier.objective == pytest.approx(lp.objective, abs=2e-3 * scale)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    a=st.floats(min_value=0.2, max_value=10.0, allow_nan=False),
+    b=st.floats(min_value=0.2, max_value=10.0, allow_nan=False),
+    w=st.floats(min_value=0.5, max_value=25.0, allow_nan=False),
+)
+def test_barrier_hyperbolic_matches_closed_form(a, b, w):
+    """Property: min a·x + b·y s.t. x·y ≥ w has value 2·sqrt(a·b·w)."""
+    import math
+
+    program = ConeProgram()
+    x = program.add_variable("x", lower=1e-4, upper=1e4)
+    y = program.add_variable("y", lower=1e-4, upper=1e4)
+    program.add_hyperbolic(x, y, bound=w)
+    program.minimize(a * x + b * y)
+    solution = program.solve(backend="barrier")
+    assert solution.is_optimal
+    assert solution.objective == pytest.approx(2.0 * math.sqrt(a * b * w), rel=2e-3)

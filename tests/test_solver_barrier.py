@@ -1,0 +1,191 @@
+"""Unit tests for the log-barrier interior-point solver.
+
+The barrier solver is the default backend for the cone programs of
+Algorithm 1, so these tests check it against problems with known analytic
+optima and against the independent scipy backend.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.solver import BarrierOptions, BarrierSolver, ConeProgram, SolverStatus
+from repro.solver.barrier import solve_with_barrier
+
+
+def _solve(program, initial_point=None, **options):
+    compiled = program.compile()
+    x0 = compiled.vector_from_mapping(initial_point) if initial_point else None
+    return solve_with_barrier(compiled, initial_point=x0, options=BarrierOptions(**options))
+
+
+class TestLinearProgramsViaBarrier:
+    def test_bounded_minimisation(self):
+        program = ConeProgram()
+        x = program.add_variable("x", lower=0.0, upper=10.0)
+        y = program.add_variable("y", lower=0.0, upper=10.0)
+        program.add_less_equal(x + y, 6.0)
+        program.minimize(-x - 2.0 * y)
+        solution = _solve(program)
+        assert solution.is_optimal
+        assert solution.value(y) == pytest.approx(6.0, abs=1e-4)
+        assert solution.objective == pytest.approx(-12.0, abs=1e-3)
+
+    def test_agrees_with_lp_backend(self):
+        program = ConeProgram()
+        x = program.add_variable("x", lower=0.0, upper=4.0)
+        y = program.add_variable("y", lower=0.0, upper=4.0)
+        program.add_less_equal(2.0 * x + y, 5.0)
+        program.add_less_equal(x + 3.0 * y, 7.0)
+        program.minimize(-3.0 * x - 4.0 * y)
+        barrier = program.solve(backend="barrier")
+        linprog = program.solve(backend="linprog")
+        assert barrier.is_optimal and linprog.is_optimal
+        assert barrier.objective == pytest.approx(linprog.objective, abs=1e-4)
+
+    def test_infeasible_linear_program(self):
+        program = ConeProgram()
+        x = program.add_variable("x", lower=0.0, upper=1.0)
+        program.add_greater_equal(x, 3.0)
+        program.minimize(x)
+        solution = _solve(program)
+        assert solution.status is SolverStatus.INFEASIBLE
+
+    def test_equality_constraints_are_respected(self):
+        program = ConeProgram()
+        x = program.add_variable("x", lower=0.0, upper=10.0)
+        y = program.add_variable("y", lower=0.0, upper=10.0)
+        program.add_equality(x + y, 4.0)
+        program.minimize(3.0 * x + y)
+        solution = _solve(program)
+        assert solution.is_optimal
+        assert solution.value(x) == pytest.approx(0.0, abs=1e-4)
+        assert solution.value(y) == pytest.approx(4.0, abs=1e-4)
+
+    def test_inconsistent_equalities(self):
+        program = ConeProgram()
+        x = program.add_variable("x")
+        program.add_equality(x, 1.0)
+        program.add_equality(x, 2.0)
+        program.minimize(x)
+        solution = _solve(program)
+        assert solution.status is SolverStatus.INFEASIBLE
+
+    def test_unconstrained_nonzero_objective_is_unbounded(self):
+        program = ConeProgram()
+        x = program.add_variable("x")
+        program.minimize(x)
+        solution = _solve(program)
+        assert solution.status is SolverStatus.UNBOUNDED
+
+
+class TestHyperbolicProgramsViaBarrier:
+    def test_known_geometric_optimum(self):
+        """min x + y  s.t.  x·y >= 4  has the optimum x = y = 2."""
+        program = ConeProgram()
+        x = program.add_variable("x", lower=1e-3, upper=100.0)
+        y = program.add_variable("y", lower=1e-3, upper=100.0)
+        program.add_hyperbolic(x, y, bound=4.0)
+        program.minimize(x + y)
+        solution = _solve(program)
+        assert solution.is_optimal
+        assert solution.value(x) == pytest.approx(2.0, rel=1e-3)
+        assert solution.value(y) == pytest.approx(2.0, rel=1e-3)
+
+    def test_weighted_hyperbolic_optimum(self):
+        """min a·x + b·y s.t. x·y >= w  ->  x* = sqrt(w·b/a), y* = sqrt(w·a/b)."""
+        a, b, w = 2.0, 8.0, 9.0
+        program = ConeProgram()
+        x = program.add_variable("x", lower=1e-4, upper=1e3)
+        y = program.add_variable("y", lower=1e-4, upper=1e3)
+        program.add_hyperbolic(x, y, bound=w)
+        program.minimize(a * x + b * y)
+        solution = _solve(program)
+        assert solution.is_optimal
+        assert solution.value(x) == pytest.approx(math.sqrt(w * b / a), rel=1e-3)
+        assert solution.value(y) == pytest.approx(math.sqrt(w * a / b), rel=1e-3)
+        assert solution.objective == pytest.approx(2.0 * math.sqrt(a * b * w), rel=1e-3)
+
+    def test_affine_arguments(self):
+        """The hyperbolic constraint accepts affine (not just variable) sides."""
+        program = ConeProgram()
+        x = program.add_variable("x", lower=0.0, upper=50.0)
+        program.add_hyperbolic(x + 1.0, x + 1.0, bound=16.0)
+        program.minimize(x)
+        solution = _solve(program)
+        assert solution.is_optimal
+        assert solution.value(x) == pytest.approx(3.0, rel=1e-3)
+
+    def test_infeasible_hyperbolic(self):
+        program = ConeProgram()
+        x = program.add_variable("x", lower=0.0, upper=1.0)
+        y = program.add_variable("y", lower=0.0, upper=1.0)
+        program.add_hyperbolic(x, y, bound=4.0)
+        program.minimize(x + y)
+        solution = _solve(program)
+        assert solution.status is SolverStatus.INFEASIBLE
+
+    def test_agrees_with_scipy_backend(self):
+        program = ConeProgram()
+        x = program.add_variable("x", lower=0.5, upper=40.0)
+        y = program.add_variable("y", lower=0.01, upper=1.0)
+        program.add_hyperbolic(x, y, bound=1.0)
+        program.add_less_equal(x + 10.0 * y, 20.0)
+        program.minimize(x + 3.0 * y)
+        barrier = program.solve(backend="barrier")
+        scipy_solution = program.solve(backend="scipy")
+        assert barrier.is_optimal and scipy_solution.is_optimal
+        assert barrier.objective == pytest.approx(scipy_solution.objective, rel=1e-3)
+
+
+class TestSecondOrderConeViaBarrier:
+    def test_projection_onto_cone(self):
+        """min t s.t. ||(x-3, y-4)|| <= t at fixed x=0,y=0 gives t = 5."""
+        program = ConeProgram()
+        t = program.add_variable("t", lower=0.0, upper=100.0)
+        x = program.add_variable("x", lower=0.0, upper=0.0)
+        y = program.add_variable("y", lower=0.0, upper=0.0)
+        program.add_second_order_cone([x - 3.0, y - 4.0], t)
+        program.minimize(t)
+        solution = _solve(program)
+        assert solution.is_optimal
+        assert solution.value(t) == pytest.approx(5.0, rel=1e-4)
+
+    def test_cone_constrained_lp(self):
+        """Maximise x + y inside the unit disc: optimum sqrt(2) at x = y."""
+        program = ConeProgram()
+        x = program.add_variable("x", lower=-2.0, upper=2.0)
+        y = program.add_variable("y", lower=-2.0, upper=2.0)
+        program.add_second_order_cone([x, y], 1.0)
+        program.maximize(x + y)
+        solution = program.solve(backend="barrier")
+        assert solution.is_optimal
+        assert solution.objective == pytest.approx(math.sqrt(2.0), rel=1e-3)
+
+
+class TestWarmStartAndOptions:
+    def test_warm_start_accepted(self):
+        program = ConeProgram()
+        x = program.add_variable("x", lower=1.0, upper=9.0)
+        y = program.add_variable("y", lower=1.0, upper=9.0)
+        program.add_hyperbolic(x, y, bound=4.0)
+        program.minimize(x + y)
+        solution = _solve(program, initial_point={x: 3.0, y: 3.0})
+        assert solution.is_optimal
+        assert solution.objective == pytest.approx(4.0, rel=1e-3)
+
+    def test_option_overrides_are_applied(self):
+        options = BarrierOptions(max_outer_iterations=2, tolerance=1e-2)
+        assert options.max_outer_iterations == 2
+        solver = BarrierSolver(options)
+        assert solver.options.tolerance == pytest.approx(1e-2)
+
+    def test_empty_problem(self):
+        program = ConeProgram()
+        compiled = program.compile()
+        solution = solve_with_barrier(compiled)
+        assert solution.is_optimal
+        assert solution.values == {}

@@ -1,0 +1,152 @@
+"""Unit tests for the affine expression algebra."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import FormulationError
+from repro.solver.expression import AffineExpression, Variable, linear_sum
+
+
+class TestVariable:
+    def test_requires_name(self):
+        with pytest.raises(FormulationError):
+            Variable("")
+
+    def test_rejects_contradictory_bounds(self):
+        with pytest.raises(FormulationError):
+            Variable("x", lower=2.0, upper=1.0)
+
+    def test_bounds_are_stored_as_floats(self):
+        var = Variable("x", lower=1, upper=3)
+        assert var.lower == 1.0 and isinstance(var.lower, float)
+        assert var.upper == 3.0 and isinstance(var.upper, float)
+
+    def test_identity_based_equality(self):
+        a = Variable("x")
+        b = Variable("x")
+        assert a == a
+        assert a != b
+        assert len({a, b}) == 2
+
+
+class TestAffineExpression:
+    def test_variable_plus_constant(self):
+        x = Variable("x")
+        expr = x + 2.5
+        assert expr.coefficient(x) == 1.0
+        assert expr.constant == 2.5
+
+    def test_right_subtraction(self):
+        x = Variable("x")
+        expr = 10.0 - x
+        assert expr.coefficient(x) == -1.0
+        assert expr.constant == 10.0
+
+    def test_scalar_multiplication_and_division(self):
+        x = Variable("x")
+        expr = (x * 4.0) / 2.0
+        assert expr.coefficient(x) == 2.0
+
+    def test_negation(self):
+        x = Variable("x")
+        expr = -(x + 1.0)
+        assert expr.coefficient(x) == -1.0
+        assert expr.constant == -1.0
+
+    def test_addition_merges_terms(self):
+        x, y = Variable("x"), Variable("y")
+        expr = (x + y) + (x - y) + 3.0
+        assert expr.coefficient(x) == 2.0
+        assert expr.coefficient(y) == 0.0
+        assert expr.constant == 3.0
+
+    def test_zero_coefficients_are_dropped(self):
+        x = Variable("x")
+        expr = x - x
+        assert expr.is_constant()
+
+    def test_product_of_expressions_is_rejected(self):
+        x, y = Variable("x"), Variable("y")
+        with pytest.raises(FormulationError):
+            (x + 1.0) * y  # type: ignore[operator]
+
+    def test_division_by_zero_is_rejected(self):
+        x = Variable("x")
+        with pytest.raises(FormulationError):
+            (x + 1.0) / 0.0
+
+    def test_non_finite_constant_rejected(self):
+        x = Variable("x")
+        with pytest.raises(FormulationError):
+            x + math.inf
+
+    def test_evaluate_requires_all_variables(self):
+        x, y = Variable("x"), Variable("y")
+        expr = x + y
+        with pytest.raises(FormulationError):
+            expr.evaluate({x: 1.0})
+
+    def test_evaluate(self):
+        x, y = Variable("x"), Variable("y")
+        expr = 2.0 * x - 3.0 * y + 1.0
+        assert expr.evaluate({x: 2.0, y: 1.0}) == pytest.approx(2.0)
+
+    def test_coerce_rejects_unknown_types(self):
+        with pytest.raises(FormulationError):
+            AffineExpression.coerce("not an expression")  # type: ignore[arg-type]
+
+    def test_as_pairs_is_deterministic(self):
+        x, y = Variable("x"), Variable("y")
+        expr = y + x
+        pairs = expr.as_pairs()
+        assert [var.name for var, _ in pairs] == ["x", "y"]
+
+
+class TestLinearSum:
+    def test_matches_repeated_addition(self):
+        variables = [Variable(f"x{i}") for i in range(5)]
+        summed = linear_sum([v * (i + 1) for i, v in enumerate(variables)] + [7.0])
+        values = {v: float(i) for i, v in enumerate(variables)}
+        manual = sum((i + 1) * i for i in range(5)) + 7.0
+        assert summed.evaluate(values) == pytest.approx(manual)
+
+    def test_empty_sum_is_zero(self):
+        assert linear_sum([]).is_constant()
+        assert linear_sum([]).constant == 0.0
+
+
+@given(
+    coefficients=st.lists(
+        st.floats(min_value=-100, max_value=100, allow_nan=False), min_size=1, max_size=6
+    ),
+    values=st.lists(
+        st.floats(min_value=-100, max_value=100, allow_nan=False), min_size=6, max_size=6
+    ),
+    constant=st.floats(min_value=-100, max_value=100, allow_nan=False),
+    scale=st.floats(min_value=-10, max_value=10, allow_nan=False),
+)
+def test_expression_algebra_matches_arithmetic(coefficients, values, constant, scale):
+    """Building and evaluating expressions agrees with plain float arithmetic."""
+    variables = [Variable(f"v{i}") for i in range(len(coefficients))]
+    expr = linear_sum([c * v for c, v in zip(coefficients, variables)]) + constant
+    scaled = expr * scale
+    assignment = {v: values[i] for i, v in enumerate(variables)}
+    expected = sum(c * values[i] for i, c in enumerate(coefficients)) + constant
+    assert expr.evaluate(assignment) == pytest.approx(expected, rel=1e-9, abs=1e-6)
+    assert scaled.evaluate(assignment) == pytest.approx(expected * scale, rel=1e-9, abs=1e-6)
+
+
+@given(
+    st.lists(st.floats(min_value=-50, max_value=50, allow_nan=False), min_size=2, max_size=5)
+)
+def test_sum_then_negate_cancels(values):
+    """expr + (-expr) is the zero expression for arbitrary coefficients."""
+    variables = [Variable(f"v{i}") for i in range(len(values))]
+    expr = linear_sum([c * v for c, v in zip(values, variables)])
+    cancelled = expr + (-expr)
+    assert cancelled.is_constant()
+    assert cancelled.constant == pytest.approx(0.0)

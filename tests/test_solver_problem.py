@@ -1,0 +1,155 @@
+"""Unit tests for the ConeProgram container and its compilation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FormulationError
+from repro.solver import ConeProgram, SolverStatus
+from repro.solver.expression import Variable
+
+
+class TestVariableManagement:
+    def test_duplicate_names_rejected(self):
+        program = ConeProgram()
+        program.add_variable("x")
+        with pytest.raises(FormulationError):
+            program.add_variable("x")
+
+    def test_lookup_by_name(self):
+        program = ConeProgram()
+        x = program.add_variable("x")
+        assert program.variable("x") is x
+        with pytest.raises(FormulationError):
+            program.variable("y")
+
+    def test_foreign_variable_rejected(self):
+        program = ConeProgram()
+        program.add_variable("x")
+        stranger = Variable("z")
+        with pytest.raises(FormulationError):
+            program.add_less_equal(stranger, 1.0)
+
+    def test_foreign_variable_in_objective_rejected(self):
+        program = ConeProgram()
+        stranger = Variable("z")
+        with pytest.raises(FormulationError):
+            program.minimize(stranger)
+
+
+class TestCompilation:
+    def test_bounds_become_inequalities(self):
+        program = ConeProgram()
+        program.add_variable("x", lower=0.0, upper=2.0)
+        compiled = program.compile()
+        assert compiled.G.shape == (2, 1)
+        assert compiled.A.shape[0] == 0
+
+    def test_pinched_bounds_become_equality(self):
+        """lower == upper must compile to an equality row, not two inequalities."""
+        program = ConeProgram()
+        program.add_variable("x", lower=3.0, upper=3.0)
+        compiled = program.compile()
+        assert compiled.G.shape[0] == 0
+        assert compiled.A.shape == (1, 1)
+        assert compiled.b[0] == pytest.approx(3.0)
+
+    def test_linear_constraints_compile_to_rows(self):
+        program = ConeProgram()
+        x = program.add_variable("x")
+        y = program.add_variable("y")
+        program.add_less_equal(x + 2.0 * y, 4.0)
+        program.add_equality(x - y, 1.0)
+        compiled = program.compile()
+        assert compiled.G.shape == (1, 2)
+        assert compiled.h[0] == pytest.approx(4.0)
+        assert compiled.A.shape == (1, 2)
+        assert compiled.b[0] == pytest.approx(1.0)
+
+    def test_hyperbolic_compiles_with_offsets(self):
+        program = ConeProgram()
+        x = program.add_variable("x")
+        y = program.add_variable("y")
+        program.add_hyperbolic(x + 1.0, y, bound=2.0)
+        compiled = program.compile()
+        assert len(compiled.hyperbolic) == 1
+        hyp = compiled.hyperbolic[0]
+        assert hyp.p0 == pytest.approx(1.0)
+        assert hyp.bound == pytest.approx(2.0)
+
+    def test_maximisation_negates_objective(self):
+        program = ConeProgram()
+        x = program.add_variable("x", lower=0.0, upper=5.0)
+        program.maximize(x)
+        compiled = program.compile()
+        assert compiled.c[0] == pytest.approx(-1.0)
+
+    def test_objective_value_and_mapping_helpers(self):
+        program = ConeProgram()
+        x = program.add_variable("x")
+        y = program.add_variable("y")
+        program.minimize(2.0 * x + y + 1.0)
+        compiled = program.compile()
+        point = np.array([1.0, 3.0])
+        assert compiled.objective_value(point) == pytest.approx(6.0)
+        mapping = compiled.point_as_mapping(point)
+        assert mapping[x] == pytest.approx(1.0)
+        assert compiled.vector_from_mapping({y: 7.0})[1] == pytest.approx(7.0)
+
+    def test_feasibility_inspection(self):
+        program = ConeProgram()
+        x = program.add_variable("x", lower=0.0)
+        y = program.add_variable("y", lower=0.0)
+        program.add_less_equal(x + y, 1.0)
+        program.add_hyperbolic(x, y, bound=1.0)
+        compiled = program.compile()
+        good = np.array([2.0, 2.0])
+        assert compiled.min_cone_margin(good) > 0.0
+        assert compiled.max_linear_violation(good) == pytest.approx(3.0)
+
+
+class TestSolveDispatch:
+    def test_unknown_backend_rejected(self):
+        program = ConeProgram()
+        program.add_variable("x", lower=0.0)
+        with pytest.raises(FormulationError):
+            program.solve(backend="cplex")
+
+    def test_trivial_lp(self):
+        program = ConeProgram()
+        x = program.add_variable("x", lower=1.0, upper=10.0)
+        program.minimize(x)
+        solution = program.solve()
+        assert solution.is_optimal
+        assert solution.value(x) == pytest.approx(1.0, abs=1e-6)
+
+    def test_maximisation_objective_sign(self):
+        program = ConeProgram()
+        x = program.add_variable("x", lower=0.0, upper=3.0)
+        program.maximize(2.0 * x)
+        solution = program.solve()
+        assert solution.is_optimal
+        assert solution.objective == pytest.approx(6.0, abs=1e-6)
+
+    def test_solution_value_of_expression(self):
+        program = ConeProgram()
+        x = program.add_variable("x", lower=2.0, upper=2.0)
+        y = program.add_variable("y", lower=1.0, upper=5.0)
+        program.minimize(y)
+        solution = program.solve()
+        assert solution.value(x + 2.0 * y) == pytest.approx(4.0, abs=1e-5)
+
+    def test_infeasible_lp_reported(self):
+        program = ConeProgram()
+        x = program.add_variable("x", lower=0.0, upper=1.0)
+        program.add_greater_equal(x, 2.0)
+        program.minimize(x)
+        solution = program.solve()
+        assert solution.status is SolverStatus.INFEASIBLE
+
+    def test_empty_program(self):
+        program = ConeProgram()
+        solution = program.solve()
+        assert solution.is_optimal
+        assert solution.objective == pytest.approx(0.0)

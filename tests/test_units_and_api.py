@@ -1,0 +1,106 @@
+"""Tests for the unit helpers, the exception hierarchy and the public API surface."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import _units
+from repro.exceptions import (
+    AllocationError,
+    AnalysisError,
+    BindingError,
+    FormulationError,
+    GraphStructureError,
+    InfeasibleProblemError,
+    ModelError,
+    NumericalError,
+    ReproError,
+    SimulationError,
+    SolverError,
+    UnboundedProblemError,
+)
+
+
+class TestUnits:
+    def test_mcycles_round_trip(self):
+        assert _units.mcycles(40.0) == pytest.approx(40_000_000.0)
+        assert _units.to_mcycles(_units.mcycles(12.5)) == pytest.approx(12.5)
+
+    def test_kcycles(self):
+        assert _units.kcycles(3.0) == pytest.approx(3000.0)
+
+    def test_format_cycles_picks_sensible_units(self):
+        assert _units.format_cycles(40_000_000.0) == "40.0 Mcycles"
+        assert _units.format_cycles(1500.0) == "1.5 kcycles"
+        assert _units.format_cycles(12.0) == "12.0 cycles"
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exception_type",
+        [
+            ModelError,
+            GraphStructureError,
+            BindingError,
+            SolverError,
+            FormulationError,
+            InfeasibleProblemError,
+            UnboundedProblemError,
+            NumericalError,
+            AnalysisError,
+            SimulationError,
+            AllocationError,
+        ],
+    )
+    def test_all_errors_derive_from_repro_error(self, exception_type):
+        assert issubclass(exception_type, ReproError)
+
+    def test_model_errors_group(self):
+        assert issubclass(GraphStructureError, ModelError)
+        assert issubclass(BindingError, ModelError)
+
+    def test_solver_errors_group(self):
+        assert issubclass(InfeasibleProblemError, SolverError)
+        assert issubclass(UnboundedProblemError, SolverError)
+        assert issubclass(NumericalError, SolverError)
+
+
+class TestPublicApi:
+    def test_version_is_exposed(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_from_module_docstring(self):
+        """The README / module docstring quickstart must keep working."""
+        from repro import ConfigurationBuilder, allocate
+
+        config = (
+            ConfigurationBuilder(name="demo")
+            .processor("p1", replenishment_interval=40.0)
+            .processor("p2", replenishment_interval=40.0)
+            .memory("m1")
+            .task_graph("job", period=10.0)
+            .task("producer", wcet=1.0, processor="p1")
+            .task("consumer", wcet=1.0, processor="p2")
+            .buffer("stream", source="producer", target="consumer", memory="m1")
+            .build()
+        )
+        mapping = allocate(config)
+        assert mapping.budget("producer") >= 4.0
+        assert mapping.capacity("stream") >= 1
+
+    def test_subpackages_importable(self):
+        import repro.analysis
+        import repro.baselines
+        import repro.core
+        import repro.dataflow
+        import repro.experiments
+        import repro.scheduling
+        import repro.solver
+        import repro.taskgraph
+
+        assert repro.core.JointAllocator is repro.JointAllocator
