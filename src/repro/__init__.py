@@ -23,6 +23,11 @@ The library is organised in layers:
 * :mod:`repro.analysis` — throughput/feasibility/sensitivity analysis and
   report rendering.
 * :mod:`repro.experiments` — drivers that regenerate the paper's figures.
+* :mod:`repro.batch` — batch campaigns: declarative JSON campaign specs over
+  the generator family, a parallel allocation engine with worker-process
+  fan-out and solver-backend fallback, a persistent content-addressed result
+  cache, and campaign-level aggregation (feasibility rates, resource
+  percentiles, allocations/sec).
 
 Quickstart
 ----------
@@ -44,6 +49,18 @@ Quickstart
 True
 """
 
+from repro.batch import (
+    BatchExecutor,
+    CampaignItem,
+    CampaignSpec,
+    CampaignSummary,
+    ExecutorConfig,
+    ItemResult,
+    ResultCache,
+    aggregate_results,
+    load_campaign,
+    run_campaign,
+)
 from repro.core import (
     AllocatorOptions,
     JointAllocator,
@@ -89,10 +106,17 @@ __all__ = [
     "AllocationError",
     "AllocatorOptions",
     "AnalysisError",
+    "BatchExecutor",
     "BindingError",
     "Buffer",
+    "CampaignItem",
+    "CampaignSpec",
+    "CampaignSummary",
     "Configuration",
     "ConfigurationBuilder",
+    "ExecutorConfig",
+    "ItemResult",
+    "ResultCache",
     "FormulationError",
     "GraphStructureError",
     "InfeasibleProblemError",
@@ -115,8 +139,11 @@ __all__ = [
     "TradeoffPoint",
     "UnboundedProblemError",
     "VerificationReport",
+    "aggregate_results",
     "allocate",
     "homogeneous_platform",
+    "load_campaign",
+    "run_campaign",
     "verify_mapping",
     "__version__",
 ]

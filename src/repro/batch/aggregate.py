@@ -1,0 +1,196 @@
+"""Campaign-level aggregation of batch results.
+
+Summarises a list of :class:`~repro.batch.executor.ItemResult` records into
+feasibility rates, resource percentiles and throughput figures.  The summary
+deliberately separates *deterministic* fields (counts, rates, percentiles —
+identical for any worker count and for warm/cold cache runs) from
+*operational* fields (cache hits, wall-clock, allocations/sec), so that
+equivalence checks can compare :meth:`CampaignSummary.deterministic_dict`
+byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.report import render_table
+from repro.batch.executor import (
+    STATUS_ERROR,
+    STATUS_INFEASIBLE,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    ItemResult,
+)
+
+#: Percentile points reported for every metric.
+PERCENTILE_POINTS = (10.0, 50.0, 90.0, 100.0)
+
+
+def percentile(values: Sequence[float], point: float) -> float:
+    """Linear-interpolation percentile (no numpy dependency).
+
+    ``point`` is in percent (0–100); values need not be sorted.
+    """
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0.0 <= point <= 100.0:
+        raise ValueError(f"percentile point must be in [0, 100], got {point!r}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (point / 100.0) * (len(ordered) - 1)
+    lower = int(rank)
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = rank - lower
+    return float(ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction)
+
+
+def _percentiles(values: Sequence[float]) -> Dict[str, float]:
+    if not values:
+        return {}
+    labels = {100.0: "max"}
+    return {
+        labels.get(point, f"p{int(point)}"): round(percentile(values, point), 6)
+        for point in PERCENTILE_POINTS
+    }
+
+
+@dataclass
+class CampaignSummary:
+    """Aggregate view of one batch run."""
+
+    campaign: str
+    total: int
+    feasible: int
+    infeasible: int
+    errors: int
+    timeouts: int
+    feasibility_rate: float
+    total_budget_percentiles: Dict[str, float] = field(default_factory=dict)
+    total_capacity_percentiles: Dict[str, float] = field(default_factory=dict)
+    objective_percentiles: Dict[str, float] = field(default_factory=dict)
+    # operational (excluded from the deterministic view):
+    cache_hits: int = 0
+    solved: int = 0
+    elapsed_seconds: Optional[float] = None
+    throughput: Optional[float] = None  #: allocations per second, end to end
+
+    def deterministic_dict(self) -> Dict[str, object]:
+        """Fields that must match between 1-worker, N-worker and warm runs."""
+        return {
+            "campaign": self.campaign,
+            "total": self.total,
+            "feasible": self.feasible,
+            "infeasible": self.infeasible,
+            "errors": self.errors,
+            "timeouts": self.timeouts,
+            "feasibility_rate": self.feasibility_rate,
+            "total_budget_percentiles": dict(self.total_budget_percentiles),
+            "total_capacity_percentiles": dict(self.total_capacity_percentiles),
+            "objective_percentiles": dict(self.objective_percentiles),
+        }
+
+    def as_dict(self) -> Dict[str, object]:
+        data = self.deterministic_dict()
+        data.update(
+            {
+                "cache_hits": self.cache_hits,
+                "solved": self.solved,
+                "elapsed_seconds": self.elapsed_seconds,
+                "throughput": self.throughput,
+            }
+        )
+        return data
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Metric/value rows for :func:`repro.analysis.report.render_table`."""
+        rows: List[Dict[str, object]] = [
+            {"metric": "campaign", "value": self.campaign},
+            {"metric": "items", "value": self.total},
+            {"metric": "feasible", "value": self.feasible},
+            {"metric": "infeasible", "value": self.infeasible},
+            {"metric": "errors", "value": self.errors},
+            {"metric": "timeouts", "value": self.timeouts},
+            {"metric": "feasibility_rate", "value": round(self.feasibility_rate, 4)},
+        ]
+        for name, values in (
+            ("total_budget", self.total_budget_percentiles),
+            ("containers", self.total_capacity_percentiles),
+            ("objective", self.objective_percentiles),
+        ):
+            for label, value in values.items():
+                rows.append({"metric": f"{name}[{label}]", "value": value})
+        rows.append({"metric": "cache_hits", "value": self.cache_hits})
+        rows.append({"metric": "solved", "value": self.solved})
+        if self.elapsed_seconds is not None:
+            rows.append(
+                {"metric": "elapsed_seconds", "value": round(self.elapsed_seconds, 4)}
+            )
+        if self.throughput is not None:
+            rows.append(
+                {"metric": "allocations_per_second", "value": round(self.throughput, 3)}
+            )
+        return rows
+
+    def render(self) -> str:
+        return render_table(self.rows())
+
+
+def aggregate_results(
+    campaign: str,
+    results: Sequence[ItemResult],
+    elapsed_seconds: Optional[float] = None,
+) -> CampaignSummary:
+    """Reduce per-item results to a :class:`CampaignSummary`.
+
+    ``elapsed_seconds`` is the wall-clock time of the whole run; when given,
+    the end-to-end throughput (items per second, cache hits included) is
+    reported alongside the deterministic statistics.
+    """
+    counts = {
+        STATUS_OK: 0,
+        STATUS_INFEASIBLE: 0,
+        STATUS_ERROR: 0,
+        STATUS_TIMEOUT: 0,
+    }
+    for result in results:
+        if result.status not in counts:
+            raise ValueError(f"unknown item status {result.status!r}")
+        counts[result.status] += 1
+    feasible_results = [result for result in results if result.feasible]
+    decided = counts[STATUS_OK] + counts[STATUS_INFEASIBLE]
+    throughput: Optional[float] = None
+    if elapsed_seconds is not None and elapsed_seconds > 0.0:
+        throughput = len(results) / elapsed_seconds
+    return CampaignSummary(
+        campaign=campaign,
+        total=len(results),
+        feasible=counts[STATUS_OK],
+        infeasible=counts[STATUS_INFEASIBLE],
+        errors=counts[STATUS_ERROR],
+        timeouts=counts[STATUS_TIMEOUT],
+        feasibility_rate=(counts[STATUS_OK] / decided) if decided else 0.0,
+        total_budget_percentiles=_percentiles(
+            [result.total_budget for result in feasible_results]
+        ),
+        total_capacity_percentiles=_percentiles(
+            [float(result.total_capacity) for result in feasible_results]
+        ),
+        objective_percentiles=_percentiles(
+            [
+                float(result.objective_value)
+                for result in feasible_results
+                if result.objective_value is not None
+            ]
+        ),
+        cache_hits=sum(1 for result in results if result.from_cache),
+        solved=sum(1 for result in results if not result.from_cache),
+        elapsed_seconds=elapsed_seconds,
+        throughput=throughput,
+    )
+
+
+def per_item_rows(results: Sequence[ItemResult]) -> List[Dict[str, object]]:
+    """Per-item table rows, in campaign order."""
+    return [result.row() for result in results]

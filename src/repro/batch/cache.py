@@ -1,0 +1,138 @@
+"""Persistent, content-addressed result cache.
+
+Repeated campaigns and overlapping sweeps solve many identical instances.
+The cache keys every allocation by a SHA-256 hash of the *canonical JSON* of
+the configuration, the extra capacity limits, and the allocator options that
+influence the result (backend, weights, verification settings) — so a cache
+hit is guaranteed to be the result the solver would have produced, and
+operational knobs such as the worker count never fragment the cache.
+
+Entries are JSON files sharded by the first two hex digits of the key, and
+writes go through a temporary file followed by an atomic :func:`os.replace`,
+which makes the cache safe to share between the worker processes of a
+parallel batch run (and between concurrent batch runs on the same machine).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Union
+
+#: Bump when the cached payload layout changes; part of every cache key.
+CACHE_FORMAT_VERSION = 1
+
+
+def canonical_json(payload: Mapping[str, object]) -> str:
+    """Serialise a payload to canonical JSON (sorted keys, no whitespace)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def cache_key(
+    configuration: Mapping[str, object],
+    options: Mapping[str, object],
+    capacity_limits: Optional[Mapping[str, int]] = None,
+) -> str:
+    """The content hash identifying one allocation problem.
+
+    Parameters
+    ----------
+    configuration:
+        The configuration as its canonical dictionary form
+        (:func:`repro.taskgraph.serialization.configuration_to_dict`).
+    options:
+        The result-relevant allocator options (backend, weights, verify,
+        run_simulation, fallback backends).
+    capacity_limits:
+        Extra per-buffer capacity bounds applied on top of the configuration.
+    """
+    document = {
+        "cache_format": CACHE_FORMAT_VERSION,
+        "configuration": configuration,
+        "capacity_limits": dict(capacity_limits) if capacity_limits else None,
+        "options": dict(options),
+    }
+    return hashlib.sha256(canonical_json(document).encode("utf-8")).hexdigest()
+
+
+class NullCache:
+    """A cache that stores nothing (``--no-cache``)."""
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        return None
+
+    def put(self, key: str, payload: Mapping[str, object]) -> None:
+        return None
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": 0, "misses": 0, "stores": 0}
+
+    def __len__(self) -> int:
+        return 0
+
+
+class ResultCache:
+    """A directory of canonical-hash-keyed JSON result payloads."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        """Return the stored payload, or ``None`` on a miss or corrupt entry."""
+        try:
+            text = self._path(key).read_text(encoding="utf-8")
+            payload = json.loads(text)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if not isinstance(payload, dict):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: Mapping[str, object]) -> None:
+        """Store a payload atomically (safe under concurrent writers)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        descriptor, temp_name = tempfile.mkstemp(
+            prefix=f".{key[:8]}-", suffix=".tmp", dir=str(path.parent)
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                json.dump(dict(payload), handle, sort_keys=True)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of entries removed."""
+        removed = 0
+        for entry in self.directory.glob("*/*.json"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

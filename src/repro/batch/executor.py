@@ -1,0 +1,398 @@
+"""Parallel batch allocation engine.
+
+:class:`BatchExecutor` turns the single-shot :class:`~repro.core.allocator.
+JointAllocator` into a high-throughput batch service: campaign items are
+checked against the persistent :mod:`result cache <repro.batch.cache>`,
+cache misses are fanned out over a :class:`concurrent.futures.
+ProcessPoolExecutor` (workers and submission window configurable), each item
+is bounded by an optional per-item timeout, solver failures fall back to
+alternative backends, and structured :class:`ItemResult` records stream back
+as they complete.
+
+Determinism guarantees:
+
+* every item is solved independently with a deterministic solver, so the same
+  campaign produces identical per-item results with one worker and with
+  ``N`` workers — only wall-clock fields (``solve_seconds``) differ;
+* :meth:`BatchExecutor.run` returns results in campaign order regardless of
+  completion order, so downstream aggregation is order-stable;
+* cached payloads round-trip through JSON exactly, so a warm run reproduces a
+  cold run bit-for-bit (modulo the ``from_cache`` flag).
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.allocator import AllocatorOptions, JointAllocator
+from repro.core.objective import ObjectiveWeights
+from repro.exceptions import InfeasibleProblemError
+from repro.batch.cache import NullCache, ResultCache, cache_key
+from repro.batch.campaign import CampaignItem
+from repro.taskgraph import serialization
+
+#: Objective presets usable in campaigns and on the command line.
+WEIGHT_PRESETS = {
+    "balanced": ObjectiveWeights.balanced,
+    "prefer-budgets": ObjectiveWeights.prefer_budgets,
+    "prefer-buffers": ObjectiveWeights.prefer_buffers,
+}
+
+#: Item statuses (terminal, mutually exclusive).
+STATUS_OK = "ok"
+STATUS_INFEASIBLE = "infeasible"
+STATUS_ERROR = "error"
+STATUS_TIMEOUT = "timeout"
+
+
+def resolve_weights(name: str) -> ObjectiveWeights:
+    try:
+        preset = WEIGHT_PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown objective preset {name!r}; expected one of {sorted(WEIGHT_PRESETS)}"
+        ) from None
+    return preset()
+
+
+@dataclass
+class ExecutorConfig:
+    """Operational knobs of the batch engine.
+
+    Only ``backend``, ``weights``, ``verify``, ``run_simulation`` and
+    ``fallback_backends`` influence the computed results (and therefore the
+    cache key); ``workers``, ``chunk_size`` and ``timeout`` are pure
+    throughput knobs.
+    """
+
+    workers: int = 1                   #: processes; 1 solves inline (no pool)
+    backend: str = "auto"              #: primary solver backend per item
+    weights: str = "prefer-budgets"    #: objective preset name
+    verify: bool = True                #: run analytical verification per item
+    run_simulation: bool = False       #: include self-timed simulation (slow)
+    #: Per-item wait bound in seconds, pool mode only.  This bounds how long
+    #: the collector waits for an item once it is that item's turn — a bound
+    #: on *stuck workers*, not an exact execution limit: items that finished
+    #: before their turn are never timed out retroactively, and items that
+    #: never started are solved inline instead of being reported as timeouts.
+    timeout: Optional[float] = None
+    chunk_size: int = 16               #: submission window is workers * chunk_size
+    fallback_backends: Tuple[str, ...] = ("scipy",)  #: tried when a backend fails
+
+    def result_options(self) -> Dict[str, object]:
+        """The result-relevant subset, canonical for cache keying."""
+        return {
+            "backend": self.backend,
+            "weights": self.weights,
+            "verify": self.verify,
+            "run_simulation": self.run_simulation,
+            "fallback_backends": list(self.fallback_backends),
+        }
+
+
+@dataclass
+class ItemResult:
+    """The structured outcome of one campaign item."""
+
+    label: str
+    key: str
+    status: str
+    budgets: Dict[str, float] = field(default_factory=dict)
+    buffer_capacities: Dict[str, int] = field(default_factory=dict)
+    relaxed_budgets: Dict[str, float] = field(default_factory=dict)
+    relaxed_capacities: Dict[str, float] = field(default_factory=dict)
+    objective_value: Optional[float] = None
+    backend_used: Optional[str] = None
+    solve_seconds: float = 0.0
+    error: Optional[str] = None
+    from_cache: bool = False
+
+    @property
+    def feasible(self) -> bool:
+        return self.status == STATUS_OK
+
+    @property
+    def total_budget(self) -> float:
+        return sum(self.budgets.values())
+
+    @property
+    def total_capacity(self) -> int:
+        return sum(self.buffer_capacities.values())
+
+    def to_dict(self) -> Dict[str, object]:
+        """The cached/streamed payload (``from_cache`` is a load-time flag)."""
+        return {
+            "label": self.label,
+            "key": self.key,
+            "status": self.status,
+            "budgets": dict(self.budgets),
+            "buffer_capacities": dict(self.buffer_capacities),
+            "relaxed_budgets": dict(self.relaxed_budgets),
+            "relaxed_capacities": dict(self.relaxed_capacities),
+            "objective_value": self.objective_value,
+            "backend_used": self.backend_used,
+            "solve_seconds": self.solve_seconds,
+            "error": self.error,
+        }
+
+    def deterministic_dict(self) -> Dict[str, object]:
+        """The payload without wall-clock fields (for equivalence checks)."""
+        data = self.to_dict()
+        del data["solve_seconds"]
+        return data
+
+    @classmethod
+    def from_dict(
+        cls, data: Dict[str, object], from_cache: bool = False
+    ) -> "ItemResult":
+        return cls(
+            label=str(data["label"]),
+            key=str(data["key"]),
+            status=str(data["status"]),
+            budgets={str(k): float(v) for k, v in dict(data.get("budgets", {})).items()},
+            buffer_capacities={
+                str(k): int(v) for k, v in dict(data.get("buffer_capacities", {})).items()
+            },
+            relaxed_budgets={
+                str(k): float(v) for k, v in dict(data.get("relaxed_budgets", {})).items()
+            },
+            relaxed_capacities={
+                str(k): float(v)
+                for k, v in dict(data.get("relaxed_capacities", {})).items()
+            },
+            objective_value=(
+                None if data.get("objective_value") is None else float(data["objective_value"])
+            ),
+            backend_used=(
+                None if data.get("backend_used") is None else str(data["backend_used"])
+            ),
+            solve_seconds=float(data.get("solve_seconds", 0.0)),
+            error=None if data.get("error") is None else str(data["error"]),
+            from_cache=from_cache,
+        )
+
+    def row(self) -> Dict[str, object]:
+        """One table row for :func:`repro.analysis.report.render_table`."""
+        return {
+            "item": self.label,
+            "status": self.status,
+            "total_budget": self.total_budget if self.feasible else None,
+            "containers": self.total_capacity if self.feasible else None,
+            "backend": self.backend_used,
+            "cached": self.from_cache,
+            "seconds": round(self.solve_seconds, 4),
+        }
+
+
+def _solve_payload(payload: Dict[str, object]) -> Dict[str, object]:
+    """Solve one serialised item; runs inside a worker process.
+
+    Must stay importable at module top level so it pickles across the
+    process pool.  Never raises: every failure mode maps to a terminal
+    status so a single bad item cannot abort a campaign.
+    """
+    start = time.perf_counter()
+    options = payload["options"]
+    base = {
+        "label": payload["label"],
+        "key": payload["key"],
+        "budgets": {},
+        "buffer_capacities": {},
+        "relaxed_budgets": {},
+        "relaxed_capacities": {},
+        "objective_value": None,
+        "backend_used": None,
+        "error": None,
+    }
+    try:
+        configuration = serialization.configuration_from_dict(payload["configuration"])
+        weights = resolve_weights(options["weights"])
+    except Exception as error:  # noqa: BLE001 - malformed payloads become item errors
+        base.update(status=STATUS_ERROR, error=str(error))
+        base["solve_seconds"] = time.perf_counter() - start
+        return base
+
+    attempts = [options["backend"]] + [
+        backend
+        for backend in options["fallback_backends"]
+        if backend != options["backend"]
+    ]
+    last_error: Optional[str] = None
+    for backend in attempts:
+        allocator = JointAllocator(
+            weights=weights,
+            options=AllocatorOptions(
+                backend=backend,
+                verify=options["verify"],
+                run_simulation=options["run_simulation"],
+            ),
+        )
+        try:
+            mapped = allocator.allocate(
+                configuration, capacity_limits=payload.get("capacity_limits")
+            )
+        except InfeasibleProblemError as error:
+            # Infeasibility is a definite answer, not a solver failure:
+            # trying another backend would only burn time.
+            base.update(status=STATUS_INFEASIBLE, error=str(error), backend_used=backend)
+            base["solve_seconds"] = time.perf_counter() - start
+            return base
+        except Exception as error:  # noqa: BLE001 - numerical failures trigger fallback
+            last_error = f"{backend}: {error}"
+            continue
+        base.update(
+            status=STATUS_OK,
+            budgets=dict(mapped.budgets),
+            buffer_capacities=dict(mapped.buffer_capacities),
+            relaxed_budgets=dict(mapped.relaxed_budgets),
+            relaxed_capacities=dict(mapped.relaxed_capacities),
+            objective_value=mapped.objective_value,
+            backend_used=str(mapped.solver_info.get("backend", backend)),
+        )
+        base["solve_seconds"] = time.perf_counter() - start
+        return base
+    base.update(status=STATUS_ERROR, error=last_error)
+    base["solve_seconds"] = time.perf_counter() - start
+    return base
+
+
+class BatchExecutor:
+    """Fan a campaign out over the cache and a process pool."""
+
+    def __init__(
+        self,
+        config: Optional[ExecutorConfig] = None,
+        cache: Optional[object] = None,
+    ) -> None:
+        self.config = config or ExecutorConfig()
+        self.cache = cache if cache is not None else NullCache()
+
+    # -- public API -------------------------------------------------------------
+    def run(
+        self,
+        items: Sequence[CampaignItem],
+        progress: Optional[Callable[[int, ItemResult], None]] = None,
+    ) -> List[ItemResult]:
+        """Solve every item and return results in campaign order."""
+        results: List[Optional[ItemResult]] = [None] * len(items)
+        for index, result in self.run_iter(items):
+            results[index] = result
+            if progress is not None:
+                progress(index, result)
+        return [result for result in results if result is not None]
+
+    def run_iter(
+        self, items: Sequence[CampaignItem]
+    ) -> Iterator[Tuple[int, ItemResult]]:
+        """Stream ``(campaign_index, result)`` pairs as items finish.
+
+        Cache hits are yielded first (they cost microseconds); misses follow
+        in submission order as the pool completes them.  Items with identical
+        cache keys (overlapping entries) are solved once per run, and every
+        result carries the *current* item's label — never a label stored by
+        an earlier campaign that happened to populate the cache.
+        """
+        options = self.config.result_options()
+        pending: List[Tuple[str, Dict[str, object]]] = []
+        waiters: Dict[str, List[Tuple[int, str]]] = {}
+        for index, item in enumerate(items):
+            configuration_dict = item.configuration_dict()
+            key = cache_key(configuration_dict, options, item.capacity_limits)
+            if key in waiters:
+                waiters[key].append((index, item.label))
+                continue
+            cached = self.cache.get(key)
+            if cached is not None:
+                yield index, self._load(cached, item.label, key, from_cache=True)
+                continue
+            waiters[key] = [(index, item.label)]
+            pending.append(
+                (
+                    key,
+                    {
+                        "label": item.label,
+                        "key": key,
+                        "configuration": configuration_dict,
+                        "capacity_limits": item.capacity_limits,
+                        "options": options,
+                    },
+                )
+            )
+
+        if self.config.workers <= 1 or len(pending) <= 1:
+            if self.config.timeout is not None and pending:
+                warnings.warn(
+                    "the per-item timeout is not enforced in inline mode "
+                    "(workers <= 1, or nothing left to parallelise); "
+                    "use workers >= 2 to bound per-item time",
+                    RuntimeWarning,
+                )
+            for key, payload in pending:
+                result_dict = self._store(_solve_payload(payload))
+                for index, label in waiters[key]:
+                    yield index, self._load(result_dict, label, key)
+            return
+
+        window = max(1, self.config.chunk_size) * self.config.workers
+        with ProcessPoolExecutor(max_workers=self.config.workers) as pool:
+            for start in range(0, len(pending), window):
+                batch = pending[start : start + window]
+                futures = [
+                    (key, payload, pool.submit(_solve_payload, payload))
+                    for key, payload in batch
+                ]
+                for key, payload, future in futures:
+                    try:
+                        result_dict = future.result(timeout=self.config.timeout)
+                    except FutureTimeoutError:
+                        if future.cancel():
+                            # The item never started (workers were starved by
+                            # slow neighbours), so it has not violated its own
+                            # timeout — solve it inline rather than reporting
+                            # a spurious timeout.
+                            result_dict = _solve_payload(payload)
+                        else:
+                            # The worker process keeps running (POSIX offers
+                            # no safe per-task kill inside a shared pool); the
+                            # item is reported as timed out and never cached.
+                            for index, label in waiters[key]:
+                                yield index, ItemResult(
+                                    label=label,
+                                    key=key,
+                                    status=STATUS_TIMEOUT,
+                                    error=(
+                                        f"item exceeded the per-item timeout "
+                                        f"of {self.config.timeout} s"
+                                    ),
+                                )
+                            continue
+                    result_dict = self._store(result_dict)
+                    for index, label in waiters[key]:
+                        yield index, self._load(result_dict, label, key)
+
+    # -- helpers ----------------------------------------------------------------
+    def _store(self, result_dict: Dict[str, object]) -> Dict[str, object]:
+        if result_dict["status"] in (STATUS_OK, STATUS_INFEASIBLE):
+            # Errors and timeouts may be transient; never cache them.
+            self.cache.put(str(result_dict["key"]), result_dict)
+        return result_dict
+
+    @staticmethod
+    def _load(
+        payload: Dict[str, object], label: str, key: str, from_cache: bool = False
+    ) -> ItemResult:
+        result = ItemResult.from_dict(payload, from_cache=from_cache)
+        result.label = label
+        result.key = key
+        return result
+
+
+def make_cache(directory: Optional[object], enabled: bool = True):
+    """Build the cache for a batch run: a :class:`ResultCache` or a no-op."""
+    if not enabled or directory is None:
+        return NullCache()
+    return ResultCache(directory)

@@ -11,9 +11,45 @@ writing Python:
 * ``repro-map experiments`` — regenerate the paper's figures.
 * ``repro-map validate <config.json>`` — structural validation plus the
   closed-form feasibility screen, without invoking the solver.
+* ``repro-map batch <campaign.json>`` — run a whole campaign of allocation
+  problems through the parallel batch engine with a persistent result cache.
 
 All sub-commands exit with status 0 on success, 1 on infeasibility or
 validation failure, and 2 on usage errors.
+
+Batch campaigns
+---------------
+
+``repro-map batch`` takes a declarative JSON campaign (see
+:mod:`repro.batch.campaign` for the full schema).  A campaign names the
+solver backend and objective preset once, and lists *entries*: generator
+sweeps (cartesian products over the parameters of the synthetic generators
+in :mod:`repro.taskgraph.generators`), seeded instance families (``count``),
+and explicit configurations, optionally swept over a common per-buffer
+capacity bound.  A worked example::
+
+    {
+      "name": "nightly",
+      "seed": 7,
+      "backend": "auto",
+      "weights": "prefer-budgets",
+      "entries": [
+        {"generator": "chain", "sweep": {"stages": [2, 3, 4, 5]}},
+        {"generator": "random_dag",
+         "params": {"task_count": 8, "processor_count": 8, "max_capacity": 8},
+         "count": 100},
+        {"configuration_path": "decoder.json", "capacity_sweep": "1:10"}
+      ]
+    }
+
+Running ``repro-map batch nightly.json --workers 4`` expands the campaign
+into its instances, skips every instance already present in the result cache
+(``--cache-dir``, disable with ``--no-cache``), fans the rest out over four
+worker processes, and prints the per-campaign summary (feasibility rate,
+budget/capacity percentiles, allocations/sec).  ``--per-item`` additionally
+prints one row per instance and ``--output results.json`` writes the full
+structured results.  The exit status is 0 when at least one instance is
+feasible and 1 otherwise.
 """
 
 from __future__ import annotations
@@ -40,20 +76,29 @@ def _load_configuration(path: str):
 
 
 def _weights(name: str) -> ObjectiveWeights:
-    presets = {
-        "balanced": ObjectiveWeights.balanced,
-        "prefer-budgets": ObjectiveWeights.prefer_budgets,
-        "prefer-buffers": ObjectiveWeights.prefer_buffers,
-    }
-    return presets[name]()
+    from repro.batch.executor import resolve_weights
+
+    return resolve_weights(name)
 
 
 def _parse_capacity_range(text: str) -> List[int]:
-    """Parse ``"1:10"`` or ``"2,4,8"`` into a list of capacities."""
-    if ":" in text:
-        low, high = text.split(":", 1)
-        return list(range(int(low), int(high) + 1))
-    return [int(part) for part in text.split(",") if part]
+    """Parse ``"1:10"`` or ``"2,4,8"`` into a list of capacities.
+
+    Delegates to the shared :func:`repro.batch.campaign.parse_capacity_values`
+    (the parser behind campaign ``capacity_sweep`` fields, so both surfaces
+    accept the same syntax).  Used as an ``argparse`` type: malformed input
+    (reversed ranges, empty segments, non-integers, non-positive capacities)
+    raises :class:`argparse.ArgumentTypeError` and surfaces as a clean usage
+    error (exit code 2) instead of a traceback.
+    """
+    from repro.batch.campaign import parse_capacity_values
+
+    try:
+        return parse_capacity_values(text)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(
+            f"malformed capacity range {text!r}: {error}"
+        ) from None
 
 
 # -- sub-commands ----------------------------------------------------------------
@@ -110,10 +155,7 @@ def _cmd_validate(arguments: argparse.Namespace) -> int:
 
 def _cmd_sweep(arguments: argparse.Namespace) -> int:
     configuration = _load_configuration(arguments.configuration)
-    capacities = _parse_capacity_range(arguments.capacities)
-    if not capacities:
-        print("empty capacity range", file=sys.stderr)
-        return EXIT_USAGE
+    capacities = arguments.capacities
     explorer = TradeoffExplorer(
         weights=_weights(arguments.weights),
         allocator_options=AllocatorOptions(backend=arguments.backend, run_simulation=False),
@@ -128,6 +170,42 @@ def _cmd_experiments(arguments: argparse.Namespace) -> int:
 
     run_all(backend=arguments.backend)
     return EXIT_OK
+
+
+def _cmd_batch(arguments: argparse.Namespace) -> int:
+    from repro.batch import load_campaign, per_item_rows, run_campaign
+
+    spec = load_campaign(arguments.campaign)
+    items = spec.expand()
+    print(
+        f"campaign {spec.name!r}: {len(items)} instances, "
+        f"{arguments.workers} worker(s), cache "
+        f"{'disabled' if arguments.no_cache else arguments.cache_dir}"
+    )
+    results, summary = run_campaign(
+        spec,
+        workers=arguments.workers,
+        cache_dir=arguments.cache_dir,
+        use_cache=not arguments.no_cache,
+        timeout=arguments.timeout,
+        items=items,
+    )
+    if arguments.per_item:
+        print(render_table(per_item_rows(results)))
+        print()
+    print(summary.render())
+    if arguments.output:
+        payload = {
+            "campaign": spec.to_dict(),
+            "summary": summary.as_dict(),
+            "results": [
+                {**result.to_dict(), "from_cache": result.from_cache}
+                for result in results
+            ],
+        }
+        Path(arguments.output).write_text(json.dumps(payload, indent=2, sort_keys=True))
+        print(f"batch results written to {arguments.output}")
+    return EXIT_OK if summary.feasible > 0 else EXIT_INFEASIBLE
 
 
 # -- entry point -------------------------------------------------------------------
@@ -173,6 +251,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("configuration", help="path to a configuration JSON file")
     sweep_parser.add_argument(
         "--capacities",
+        type=_parse_capacity_range,
         default="1:10",
         help="capacity bounds to sweep, as 'low:high' or a comma-separated list (default 1:10)",
     )
@@ -184,6 +263,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_common(experiments_parser)
     experiments_parser.set_defaults(handler=_cmd_experiments)
+
+    batch_parser = subparsers.add_parser(
+        "batch",
+        help="run a JSON campaign through the parallel batch engine",
+        description="Expand a declarative campaign specification and solve "
+        "every instance, skipping instances already in the result cache. "
+        "The solver backend and objective preset come from the campaign "
+        "document itself.",
+    )
+    batch_parser.add_argument("campaign", help="path to a campaign JSON file")
+    batch_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the fan-out (default: 1, inline)",
+    )
+    batch_parser.add_argument(
+        "--cache-dir",
+        default=".repro-map-cache",
+        help="directory of the persistent result cache (default: .repro-map-cache)",
+    )
+    batch_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="solve every instance even if a cached result exists",
+    )
+    batch_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-item timeout in seconds (parallel mode only)",
+    )
+    batch_parser.add_argument(
+        "--per-item", action="store_true", help="print one table row per instance"
+    )
+    batch_parser.add_argument("--output", help="write the structured results JSON here")
+    batch_parser.set_defaults(handler=_cmd_batch)
 
     return parser
 

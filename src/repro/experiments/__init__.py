@@ -1,12 +1,15 @@
 """Drivers that regenerate the paper's figures (Section V)."""
 
-from repro.experiments.figure2 import Figure2Result, run_figure2
-from repro.experiments.figure3 import Figure3Result, run_figure3
-from repro.experiments.runner import run_all
+from repro.experiments.figure2 import Figure2Result, figure2_from_curve, run_figure2
+from repro.experiments.figure3 import Figure3Result, figure3_from_curve, run_figure3
+from repro.experiments.runner import batch_capacity_sweep, run_all
 
 __all__ = [
     "Figure2Result",
     "Figure3Result",
+    "batch_capacity_sweep",
+    "figure2_from_curve",
+    "figure3_from_curve",
     "run_all",
     "run_figure2",
     "run_figure3",

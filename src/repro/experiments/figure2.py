@@ -95,7 +95,17 @@ def run_figure2(
         ),
     )
     curve = explorer.sweep_capacity_limit(configuration, capacity_sweep)
+    return figure2_from_curve(curve)
 
+
+def figure2_from_curve(curve: TradeoffCurve) -> Figure2Result:
+    """Build the figure data from an already-computed trade-off curve.
+
+    This is the seam the batch engine uses: the sweep itself can come from
+    :class:`~repro.core.tradeoff.TradeoffExplorer` or from
+    :class:`~repro.batch.executor.BatchExecutor` — the derived figure data is
+    identical.
+    """
     result = Figure2Result(curve=curve)
     for point in curve.feasible_points():
         result.capacity_limits.append(point.capacity_limit)

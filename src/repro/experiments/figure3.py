@@ -81,7 +81,11 @@ def run_figure3(
         ),
     )
     curve = explorer.sweep_capacity_limit(configuration, capacity_sweep)
+    return figure3_from_curve(curve)
 
+
+def figure3_from_curve(curve: TradeoffCurve) -> Figure3Result:
+    """Build the figure data from an already-computed trade-off curve."""
     result = Figure3Result(curve=curve)
     for point in curve.feasible_points():
         result.capacity_limits.append(point.capacity_limit)

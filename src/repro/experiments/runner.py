@@ -3,6 +3,15 @@
 ``python -m repro.experiments.runner`` regenerates the data behind every
 figure of the paper's evaluation section and prints it as plain-text tables
 (the same rows the benchmarks assert on and EXPERIMENTS.md records).
+
+The figure sweeps can run through two engines:
+
+* ``direct`` (default) — :class:`~repro.core.tradeoff.TradeoffExplorer`
+  solves each capacity bound in-process, exactly as the seed did;
+* ``batch`` — the sweeps are expressed as campaign items and routed through
+  :class:`~repro.batch.executor.BatchExecutor`, which adds worker-process
+  fan-out (``--workers``) and the persistent result cache (``--cache-dir``).
+  Both engines produce identical figure data.
 """
 
 from __future__ import annotations
@@ -10,20 +19,135 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
 from repro.analysis.report import render_table
-from repro.experiments.figure2 import run_figure2
-from repro.experiments.figure3 import run_figure3
+from repro.core.tradeoff import TradeoffCurve, TradeoffPoint
+from repro.exceptions import AllocationError
+from repro.experiments.figure2 import (
+    DEFAULT_CAPACITY_SWEEP as FIGURE2_SWEEP,
+    build_configuration as build_figure2_configuration,
+    figure2_from_curve,
+    run_figure2,
+)
+from repro.experiments.figure3 import (
+    DEFAULT_CAPACITY_SWEEP as FIGURE3_SWEEP,
+    build_configuration as build_figure3_configuration,
+    figure3_from_curve,
+    run_figure3,
+)
+from repro.taskgraph.configuration import Configuration
 
 
-def run_all(backend: str = "auto", stream=None) -> Dict[str, object]:
-    """Run every experiment, print the tables, and return the raw results."""
+def batch_capacity_sweep(
+    configuration: Configuration,
+    capacity_sweep: Sequence[int],
+    backend: str = "auto",
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+) -> TradeoffCurve:
+    """Run a capacity-bound sweep through the batch engine.
+
+    Produces the same :class:`~repro.core.tradeoff.TradeoffCurve` a
+    :class:`~repro.core.tradeoff.TradeoffExplorer` sweep would, but the
+    individual allocations go through the batch executor, gaining its
+    parallelism and result cache.
+    """
+    from repro.batch import BatchExecutor, CampaignItem, ExecutorConfig, make_cache
+
+    buffer_names = [buffer.name for _, buffer in configuration.all_buffers()]
+    items = [
+        CampaignItem(
+            label=f"{configuration.name}@cap{limit}",
+            configuration=configuration,
+            capacity_limits={name: int(limit) for name in buffer_names},
+        )
+        for limit in capacity_sweep
+    ]
+    executor = BatchExecutor(
+        # No backend fallback: the direct engine solves with exactly the
+        # requested backend, so the batch engine must too — a silent retry
+        # on another backend would make the figure data lie about its origin.
+        config=ExecutorConfig(workers=workers, backend=backend, fallback_backends=()),
+        cache=make_cache(cache_dir, enabled=cache_dir is not None),
+    )
+    results = executor.run(items)
+    curve = TradeoffCurve(configuration_name=configuration.name)
+    for limit, result in zip(capacity_sweep, results):
+        if result.status not in ("ok", "infeasible"):
+            # The direct engine propagates solver failures as exceptions;
+            # mapping them to infeasible points would silently corrupt the
+            # figure data, so the batch engine must fail loudly too.
+            raise AllocationError(
+                f"batch sweep item {result.label!r} failed "
+                f"({result.status}): {result.error}"
+            )
+        if not result.feasible:
+            curve.points.append(
+                TradeoffPoint(capacity_limit=int(limit), feasible=False)
+            )
+            continue
+        curve.points.append(
+            TradeoffPoint(
+                capacity_limit=int(limit),
+                feasible=True,
+                budgets=dict(result.budgets),
+                relaxed_budgets=dict(result.relaxed_budgets),
+                capacities=dict(result.buffer_capacities),
+                objective_value=result.objective_value,
+            )
+        )
+    return curve
+
+
+def run_all(
+    backend: str = "auto",
+    stream=None,
+    engine: str = "direct",
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+) -> Dict[str, object]:
+    """Run every experiment, print the tables, and return the raw results.
+
+    With ``engine="batch"`` the figure sweeps are routed through the batch
+    allocation engine (see :func:`batch_capacity_sweep`).
+    """
+    if engine not in ("direct", "batch"):
+        raise ValueError(f"unknown engine {engine!r}; expected 'direct' or 'batch'")
     stream = stream or sys.stdout
     results: Dict[str, object] = {}
 
+    def figure2_direct():
+        return run_figure2(backend=backend)
+
+    def figure2_batch():
+        curve = batch_capacity_sweep(
+            build_figure2_configuration(),
+            FIGURE2_SWEEP,
+            backend=backend,
+            workers=workers,
+            cache_dir=cache_dir,
+        )
+        return figure2_from_curve(curve)
+
+    def figure3_direct():
+        return run_figure3(backend=backend)
+
+    def figure3_batch():
+        curve = batch_capacity_sweep(
+            build_figure3_configuration(),
+            FIGURE3_SWEEP,
+            backend=backend,
+            workers=workers,
+            cache_dir=cache_dir,
+        )
+        return figure3_from_curve(curve)
+
+    run2: Callable = figure2_batch if engine == "batch" else figure2_direct
+    run3: Callable = figure3_batch if engine == "batch" else figure3_direct
+
     start = time.perf_counter()
-    figure2 = run_figure2(backend=backend)
+    figure2 = run2()
     elapsed2 = time.perf_counter() - start
     results["figure2"] = figure2
     print("Figure 2(a): producer-consumer budget vs. buffer capacity", file=stream)
@@ -35,7 +159,7 @@ def run_all(backend: str = "auto", stream=None) -> Dict[str, object]:
     print("", file=stream)
 
     start = time.perf_counter()
-    figure3 = run_figure3(backend=backend)
+    figure3 = run3()
     elapsed3 = time.perf_counter() - start
     results["figure3"] = figure3
     print("Figure 3: three-task chain, per-task budgets vs. common capacity bound", file=stream)
@@ -43,6 +167,7 @@ def run_all(backend: str = "auto", stream=None) -> Dict[str, object]:
     print(f"(sweep solved in {elapsed3:.3f} s)", file=stream)
 
     results["runtime_seconds"] = {"figure2": elapsed2, "figure3": elapsed3}
+    results["engine"] = engine
     return results
 
 
@@ -54,8 +179,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         choices=["auto", "barrier", "scipy"],
         help="cone-solver backend to use (default: auto)",
     )
+    parser.add_argument(
+        "--engine",
+        default="direct",
+        choices=["direct", "batch"],
+        help="run the sweeps in-process or through the batch engine (default: direct)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the batch engine (default: 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result-cache directory for the batch engine (default: no cache)",
+    )
     arguments = parser.parse_args(argv)
-    run_all(backend=arguments.backend)
+    run_all(
+        backend=arguments.backend,
+        engine=arguments.engine,
+        workers=arguments.workers,
+        cache_dir=arguments.cache_dir,
+    )
     return 0
 
 

@@ -1,0 +1,132 @@
+"""Tests of campaign-level aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.batch.aggregate import (
+    CampaignSummary,
+    aggregate_results,
+    per_item_rows,
+    percentile,
+)
+from repro.batch.executor import (
+    STATUS_ERROR,
+    STATUS_INFEASIBLE,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    ItemResult,
+)
+
+
+def ok(label, total_budget, containers, objective=None, from_cache=False):
+    return ItemResult(
+        label=label,
+        key=label,
+        status=STATUS_OK,
+        budgets={"t": total_budget},
+        buffer_capacities={"b": containers},
+        objective_value=objective,
+        from_cache=from_cache,
+    )
+
+
+class TestPercentile:
+    def test_median_of_odd_sequence(self):
+        assert percentile([3.0, 1.0, 2.0], 50.0) == 2.0
+
+    def test_interpolation(self):
+        assert percentile([0.0, 10.0], 25.0) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 9.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 100.0) == 9.0
+
+    def test_single_value(self):
+        assert percentile([4.2], 90.0) == 4.2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            percentile([], 50.0)
+
+    def test_out_of_range_point_rejected(self):
+        with pytest.raises(ValueError, match="0, 100"):
+            percentile([1.0], 120.0)
+
+
+class TestAggregate:
+    def test_counts_and_rate(self):
+        results = [
+            ok("a", 10.0, 2),
+            ok("b", 20.0, 4, from_cache=True),
+            ItemResult(label="c", key="c", status=STATUS_INFEASIBLE),
+            ItemResult(label="d", key="d", status=STATUS_ERROR, error="boom"),
+            ItemResult(label="e", key="e", status=STATUS_TIMEOUT),
+        ]
+        summary = aggregate_results("agg", results, elapsed_seconds=2.0)
+        assert summary.total == 5
+        assert summary.feasible == 2
+        assert summary.infeasible == 1
+        assert summary.errors == 1
+        assert summary.timeouts == 1
+        # errors and timeouts are undecided, not infeasible
+        assert summary.feasibility_rate == pytest.approx(2.0 / 3.0)
+        assert summary.cache_hits == 1
+        assert summary.solved == 4
+        assert summary.throughput == pytest.approx(2.5)
+
+    def test_percentile_fields(self):
+        results = [ok(str(i), float(i), i, objective=float(i)) for i in range(1, 11)]
+        summary = aggregate_results("p", results)
+        assert summary.total_budget_percentiles["p50"] == pytest.approx(5.5)
+        assert summary.total_budget_percentiles["max"] == 10.0
+        assert summary.total_capacity_percentiles["max"] == 10.0
+        assert summary.objective_percentiles["p10"] == pytest.approx(1.9)
+
+    def test_empty_feasible_set_has_no_percentiles(self):
+        results = [ItemResult(label="x", key="x", status=STATUS_INFEASIBLE)]
+        summary = aggregate_results("none", results)
+        assert summary.total_budget_percentiles == {}
+        assert summary.feasibility_rate == 0.0
+
+    def test_unknown_status_rejected(self):
+        with pytest.raises(ValueError, match="unknown item status"):
+            aggregate_results(
+                "bad", [ItemResult(label="x", key="x", status="exploded")]
+            )
+
+    def test_deterministic_dict_excludes_operational_fields(self):
+        summary = aggregate_results("d", [ok("a", 1.0, 1)], elapsed_seconds=1.0)
+        deterministic = summary.deterministic_dict()
+        for operational in ("cache_hits", "solved", "elapsed_seconds", "throughput"):
+            assert operational not in deterministic
+        assert set(deterministic) < set(summary.as_dict())
+
+    def test_render_produces_a_table(self):
+        summary = aggregate_results("r", [ok("a", 1.0, 1)], elapsed_seconds=0.5)
+        text = summary.render()
+        assert "feasibility_rate" in text
+        assert "allocations_per_second" in text
+
+    def test_summary_without_elapsed_omits_throughput(self):
+        summary = aggregate_results("r", [ok("a", 1.0, 1)])
+        assert summary.throughput is None
+        assert "allocations_per_second" not in summary.render()
+
+    def test_per_item_rows_in_order(self):
+        results = [ok("a", 1.0, 1), ItemResult(label="b", key="b", status=STATUS_ERROR)]
+        rows = per_item_rows(results)
+        assert [row["item"] for row in rows] == ["a", "b"]
+
+    def test_summary_is_a_dataclass_with_campaign_name(self):
+        summary = CampaignSummary(
+            campaign="x",
+            total=0,
+            feasible=0,
+            infeasible=0,
+            errors=0,
+            timeouts=0,
+            feasibility_rate=0.0,
+        )
+        assert summary.as_dict()["campaign"] == "x"

@@ -1,0 +1,109 @@
+"""Tests of the persistent content-addressed result cache."""
+
+from __future__ import annotations
+
+import json
+
+from repro.batch.cache import NullCache, ResultCache, cache_key, canonical_json
+from repro.taskgraph import serialization
+from repro.taskgraph.generators import chain_configuration, producer_consumer_configuration
+
+OPTIONS = {
+    "backend": "auto",
+    "weights": "prefer-budgets",
+    "verify": True,
+    "run_simulation": False,
+    "fallback_backends": ["scipy"],
+}
+
+
+def config_dict(**kwargs):
+    return serialization.configuration_to_dict(
+        producer_consumer_configuration(**kwargs)
+    )
+
+
+class TestCacheKey:
+    def test_key_is_stable_across_dict_ordering(self):
+        base = config_dict()
+        reordered = json.loads(canonical_json(base))  # same content, new dict
+        assert cache_key(base, OPTIONS) == cache_key(reordered, OPTIONS)
+
+    def test_key_depends_on_configuration(self):
+        assert cache_key(config_dict(), OPTIONS) != cache_key(
+            config_dict(period=12.0), OPTIONS
+        )
+        other = serialization.configuration_to_dict(chain_configuration())
+        assert cache_key(config_dict(), OPTIONS) != cache_key(other, OPTIONS)
+
+    def test_key_depends_on_result_relevant_options(self):
+        scipy_options = {**OPTIONS, "backend": "scipy"}
+        assert cache_key(config_dict(), OPTIONS) != cache_key(
+            config_dict(), scipy_options
+        )
+
+    def test_key_depends_on_capacity_limits(self):
+        assert cache_key(config_dict(), OPTIONS) != cache_key(
+            config_dict(), OPTIONS, capacity_limits={"bab": 3}
+        )
+        assert cache_key(config_dict(), OPTIONS, capacity_limits={"bab": 3}) == cache_key(
+            config_dict(), OPTIONS, capacity_limits={"bab": 3}
+        )
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = cache_key(config_dict(), OPTIONS)
+        assert cache.get(key) is None
+        cache.put(key, {"status": "ok", "budgets": {"wa": 18.0}})
+        assert cache.get(key) == {"status": "ok", "budgets": {"wa": 18.0}}
+        assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1}
+        assert len(cache) == 1
+
+    def test_entries_are_sharded_json_files(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = cache_key(config_dict(), OPTIONS)
+        cache.put(key, {"status": "ok"})
+        path = tmp_path / "cache" / key[:2] / f"{key}.json"
+        assert path.is_file()
+        assert json.loads(path.read_text())["status"] == "ok"
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = cache_key(config_dict(), OPTIONS)
+        cache.put(key, {"status": "ok"})
+        (tmp_path / "cache" / key[:2] / f"{key}.json").write_text("{not json")
+        assert cache.get(key) is None
+
+    def test_non_object_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = cache_key(config_dict(), OPTIONS)
+        path = tmp_path / "cache" / key[:2] / f"{key}.json"
+        path.parent.mkdir(parents=True)
+        path.write_text("[1, 2, 3]")
+        assert cache.get(key) is None
+
+    def test_clear_removes_entries(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        for index in range(3):
+            cache.put(cache_key(config_dict(period=10.0 + index), OPTIONS), {"i": index})
+        assert len(cache) == 3
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+    def test_shared_directory_between_instances(self, tmp_path):
+        writer = ResultCache(tmp_path / "cache")
+        key = cache_key(config_dict(), OPTIONS)
+        writer.put(key, {"status": "ok"})
+        reader = ResultCache(tmp_path / "cache")
+        assert reader.get(key) == {"status": "ok"}
+
+
+class TestNullCache:
+    def test_null_cache_stores_nothing(self):
+        cache = NullCache()
+        cache.put("abc", {"status": "ok"})
+        assert cache.get("abc") is None
+        assert len(cache) == 0
+        assert cache.stats() == {"hits": 0, "misses": 0, "stores": 0}

@@ -1,0 +1,227 @@
+"""Tests of the declarative campaign specification layer."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.batch.campaign import (
+    GENERATORS,
+    CampaignEntry,
+    CampaignSpec,
+    load_campaign,
+)
+from repro.exceptions import ModelError
+from repro.taskgraph import serialization
+from repro.taskgraph.generators import producer_consumer_configuration
+
+
+def make_spec(entries, **overrides):
+    data = {"name": "test", "seed": 5, "entries": entries}
+    data.update(overrides)
+    return CampaignSpec.from_dict(data)
+
+
+class TestExpansion:
+    def test_sweep_cartesian_product(self):
+        spec = make_spec(
+            [
+                {
+                    "generator": "chain",
+                    "sweep": {"stages": [2, 3], "period": [10.0, 20.0]},
+                }
+            ]
+        )
+        items = spec.expand()
+        assert len(items) == 4
+        assert all(item.capacity_limits is None for item in items)
+        # axis order is document order, the product iterates the last axis fastest
+        assert items[0].label == "0:chain[stages=2,period=10.0]"
+        assert items[-1].label == "0:chain[stages=3,period=20.0]"
+
+    def test_expansion_is_deterministic(self):
+        entries = [
+            {"generator": "chain", "sweep": {"stages": [2, 3]}},
+            {
+                "generator": "random_dag",
+                "params": {"task_count": 6, "processor_count": 6},
+                "count": 4,
+            },
+        ]
+        first = make_spec(entries).expand()
+        second = make_spec(entries).expand()
+        assert [item.label for item in first] == [item.label for item in second]
+        assert [item.configuration_dict() for item in first] == [
+            item.configuration_dict() for item in second
+        ]
+
+    def test_count_draws_distinct_seeds_from_campaign_seed(self):
+        entry = {
+            "generator": "random_dag",
+            "params": {"task_count": 6, "processor_count": 6},
+            "count": 5,
+        }
+        items = make_spec([entry], seed=1).expand()
+        other_seed = make_spec([entry], seed=2).expand()
+        names = {item.configuration.name for item in items}
+        assert len(names) == 5  # distinct instance seeds
+        assert names != {item.configuration.name for item in other_seed}
+
+    def test_explicit_configuration_dict(self):
+        config = producer_consumer_configuration(max_capacity=4)
+        spec = make_spec(
+            [{"configuration": serialization.configuration_to_dict(config)}]
+        )
+        items = spec.expand()
+        assert len(items) == 1
+        assert items[0].configuration.name == "producer-consumer"
+
+    def test_configuration_path_resolves_relative_to_campaign(self, tmp_path):
+        serialization.save_configuration(
+            producer_consumer_configuration(), tmp_path / "config.json"
+        )
+        campaign_path = tmp_path / "campaign.json"
+        campaign_path.write_text(
+            json.dumps(
+                {
+                    "name": "file-based",
+                    "entries": [{"configuration_path": "config.json"}],
+                }
+            )
+        )
+        spec = load_campaign(campaign_path)
+        items = spec.expand()
+        assert items[0].configuration.name == "producer-consumer"
+
+    def test_capacity_sweep_expands_per_buffer_limits(self):
+        spec = make_spec(
+            [{"generator": "producer_consumer", "capacity_sweep": "2:4"}]
+        )
+        items = spec.expand()
+        assert [item.capacity_limits for item in items] == [
+            {"bab": 2},
+            {"bab": 3},
+            {"bab": 4},
+        ]
+        assert items[0].label.endswith("@cap2")
+
+    def test_capacity_sweep_list_form(self):
+        spec = make_spec(
+            [{"generator": "producer_consumer", "capacity_sweep": [3, 5]}]
+        )
+        assert [item.capacity_limits["bab"] for item in spec.expand()] == [3, 5]
+
+    def test_capacity_sweep_comma_string_matches_cli_syntax(self):
+        # the campaign field and the CLI --capacities option share one parser
+        spec = make_spec(
+            [{"generator": "producer_consumer", "capacity_sweep": "2,4"}]
+        )
+        assert [item.capacity_limits["bab"] for item in spec.expand()] == [2, 4]
+
+
+class TestValidation:
+    def test_unknown_generator(self):
+        with pytest.raises(ModelError, match="unknown generator"):
+            make_spec([{"generator": "nonexistent"}])
+
+    def test_unknown_generator_parameter(self):
+        with pytest.raises(ModelError, match="no parameter"):
+            make_spec([{"generator": "chain", "params": {"bogus": 1}}])
+
+    def test_entry_needs_exactly_one_source(self):
+        with pytest.raises(ModelError, match="exactly one"):
+            make_spec([{"generator": "chain", "configuration_path": "x.json"}])
+        with pytest.raises(ModelError, match="exactly one"):
+            make_spec([{}])
+
+    def test_count_requires_seeded_generator(self):
+        with pytest.raises(ModelError, match="seeded generator"):
+            make_spec([{"generator": "chain", "count": 3}])
+
+    def test_count_conflicts_with_explicit_seed(self):
+        with pytest.raises(ModelError, match="mutually exclusive"):
+            make_spec(
+                [
+                    {
+                        "generator": "random_dag",
+                        "params": {"task_count": 4, "processor_count": 2, "seed": 1},
+                        "count": 3,
+                    }
+                ]
+            )
+
+    def test_params_and_sweep_must_not_overlap(self):
+        with pytest.raises(ModelError, match="both 'params' and 'sweep'"):
+            make_spec(
+                [
+                    {
+                        "generator": "chain",
+                        "params": {"stages": 3},
+                        "sweep": {"stages": [2, 3]},
+                    }
+                ]
+            )
+
+    def test_reversed_capacity_sweep(self):
+        with pytest.raises(ModelError, match="exceeds"):
+            make_spec([{"generator": "producer_consumer", "capacity_sweep": "5:2"}])
+
+    def test_non_integer_capacity_sweep(self):
+        with pytest.raises(ModelError, match="integers"):
+            make_spec([{"generator": "producer_consumer", "capacity_sweep": "a:b"}])
+
+    def test_empty_entries_rejected(self):
+        with pytest.raises(ModelError, match="non-empty"):
+            CampaignSpec.from_dict({"name": "empty", "entries": []})
+
+    def test_unknown_entry_field(self):
+        with pytest.raises(ModelError, match="unknown campaign entry fields"):
+            make_spec([{"generator": "chain", "frobnicate": True}])
+
+    def test_invalid_json_document(self):
+        with pytest.raises(ModelError, match="not valid JSON"):
+            CampaignSpec.from_json("{nope")
+
+    def test_newer_format_version_rejected(self):
+        with pytest.raises(ModelError, match="newer"):
+            CampaignSpec.from_dict(
+                {"format_version": 99, "entries": [{"generator": "chain"}]}
+            )
+
+
+class TestRoundTrip:
+    def test_to_dict_round_trips(self):
+        spec = make_spec(
+            [
+                {"generator": "chain", "sweep": {"stages": [2, 3]}},
+                {"generator": "producer_consumer", "capacity_sweep": [1, 2]},
+            ]
+        )
+        clone = CampaignSpec.from_dict(spec.to_dict())
+        assert [item.label for item in clone.expand()] == [
+            item.label for item in spec.expand()
+        ]
+
+    def test_registry_matches_generator_module(self):
+        # every registered generator is callable with defaults or documented params
+        assert set(GENERATORS) == {
+            "producer_consumer",
+            "chain",
+            "fork_join",
+            "ring",
+            "random_dag",
+            "multi_job",
+        }
+
+    def test_entry_to_dict_preserves_fields(self):
+        entry = CampaignEntry.from_dict(
+            {
+                "generator": "random_dag",
+                "params": {"task_count": 4, "processor_count": 2},
+                "count": 2,
+            }
+        )
+        data = entry.to_dict()
+        assert data["count"] == 2
+        assert data["params"]["task_count"] == 4

@@ -3,10 +3,11 @@
 from __future__ import annotations
 
 import json
+import re
 
 import pytest
 
-from repro.cli import EXIT_INFEASIBLE, EXIT_OK, EXIT_USAGE, main
+from repro.cli import EXIT_INFEASIBLE, EXIT_OK, EXIT_USAGE, _parse_capacity_range, main
 from repro.taskgraph import serialization
 from repro.taskgraph.generators import producer_consumer_configuration
 
@@ -87,6 +88,9 @@ class TestSweepCommand:
     def test_list_syntax(self, config_path, capsys):
         assert main(["sweep", config_path, "--capacities", "3,5"]) == EXIT_OK
 
+    def test_single_value(self, config_path, capsys):
+        assert main(["sweep", config_path, "--capacities", "4"]) == EXIT_OK
+
     def test_empty_range_is_usage_error(self, config_path):
         assert main(["sweep", config_path, "--capacities", ""]) == EXIT_USAGE
 
@@ -95,6 +99,155 @@ class TestSweepCommand:
             main(["sweep", infeasible_config_path, "--capacities", "1,1"])
             == EXIT_INFEASIBLE
         )
+
+
+class TestCapacityRangeHardening:
+    """Malformed --capacities input must be a clean usage error, not a traceback."""
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "10:1",      # reversed range
+            "1,,3",      # empty segment
+            ",2",        # leading empty segment
+            "a:b",       # non-integer bounds
+            "1:ten",     # non-integer high bound
+            "1,two,3",   # non-integer list entry
+            "0:3",       # non-positive capacity
+            "-2,4",      # negative capacity
+            ":",         # empty bounds
+        ],
+    )
+    def test_malformed_input_is_usage_error(self, config_path, text, capsys):
+        # --capacities=... keeps values starting with '-' out of argparse's
+        # flag detection, so every case exercises the range parser itself
+        assert main(["sweep", config_path, f"--capacities={text}"]) == EXIT_USAGE
+        assert "malformed capacity range" in capsys.readouterr().err
+
+    def test_parse_accepts_whitespace(self):
+        assert _parse_capacity_range(" 2:4 ") == [2, 3, 4]
+        assert _parse_capacity_range("2 : 4") == [2, 3, 4]
+        assert _parse_capacity_range("2, 4 ,8") == [2, 4, 8]
+
+
+@pytest.fixture
+def campaign_path(tmp_path):
+    path = tmp_path / "campaign.json"
+    path.write_text(
+        json.dumps(
+            {
+                "name": "cli-test",
+                "seed": 3,
+                "entries": [
+                    {"generator": "chain", "sweep": {"stages": [2, 3]}},
+                    {"generator": "producer_consumer", "capacity_sweep": "2:3"},
+                ],
+            }
+        )
+    )
+    return str(path)
+
+
+class TestBatchCommand:
+    def test_runs_campaign_and_prints_summary(self, campaign_path, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["batch", campaign_path, "--cache-dir", cache_dir]) == EXIT_OK
+        output = capsys.readouterr().out
+        assert "campaign 'cli-test': 4 instances" in output
+        assert "feasibility_rate" in output
+        assert "allocations_per_second" in output
+
+    def test_warm_cache_solves_nothing(self, campaign_path, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["batch", campaign_path, "--cache-dir", cache_dir]) == EXIT_OK
+        capsys.readouterr()
+        assert main(["batch", campaign_path, "--cache-dir", cache_dir]) == EXIT_OK
+        output = capsys.readouterr().out
+        assert re.search(r"cache_hits\s+4\b", output)
+        assert re.search(r"solved\s+0\b", output)
+
+    def test_no_cache_flag(self, campaign_path, capsys):
+        assert main(["batch", campaign_path, "--no-cache"]) == EXIT_OK
+        output = capsys.readouterr().out
+        assert "cache disabled" in output
+        assert re.search(r"cache_hits\s+0\b", output)
+
+    def test_per_item_table(self, campaign_path, capsys):
+        assert main(["batch", campaign_path, "--no-cache", "--per-item"]) == EXIT_OK
+        output = capsys.readouterr().out
+        assert "0:chain[stages=2]" in output
+        assert "1:producer_consumer@cap2" in output
+
+    def test_output_file(self, campaign_path, tmp_path, capsys):
+        out_file = tmp_path / "results.json"
+        assert (
+            main(["batch", campaign_path, "--no-cache", "--output", str(out_file)])
+            == EXIT_OK
+        )
+        payload = json.loads(out_file.read_text())
+        assert payload["campaign"]["name"] == "cli-test"
+        assert payload["summary"]["total"] == 4
+        assert len(payload["results"]) == 4
+        assert all(result["status"] == "ok" for result in payload["results"])
+
+    def test_all_infeasible_campaign_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "name": "bad",
+                    "entries": [
+                        {
+                            "generator": "producer_consumer",
+                            "params": {"period": 2.0, "max_capacity": 1},
+                        }
+                    ],
+                }
+            )
+        )
+        assert main(["batch", str(path), "--no-cache"]) == EXIT_INFEASIBLE
+
+    def test_missing_campaign_file(self, capsys):
+        assert main(["batch", "/nonexistent/campaign.json"]) == EXIT_USAGE
+
+    def test_malformed_campaign_is_an_error(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        assert main(["batch", str(path)]) == EXIT_INFEASIBLE
+        assert "error" in capsys.readouterr().err
+
+    def test_parallel_workers_match_serial(self, campaign_path, tmp_path, capsys):
+        out_serial = tmp_path / "serial.json"
+        out_parallel = tmp_path / "parallel.json"
+        assert (
+            main(["batch", campaign_path, "--no-cache", "--output", str(out_serial)])
+            == EXIT_OK
+        )
+        assert (
+            main(
+                [
+                    "batch",
+                    campaign_path,
+                    "--no-cache",
+                    "--workers",
+                    "2",
+                    "--output",
+                    str(out_parallel),
+                ]
+            )
+            == EXIT_OK
+        )
+        serial = json.loads(out_serial.read_text())
+        parallel = json.loads(out_parallel.read_text())
+
+        def deterministic(payload):
+            for result in payload["results"]:
+                result.pop("solve_seconds")
+            for key in ("cache_hits", "solved", "elapsed_seconds", "throughput"):
+                payload["summary"].pop(key)
+            return payload["results"], payload["summary"]
+
+        assert deterministic(serial) == deterministic(parallel)
 
 
 class TestParser:

@@ -123,3 +123,53 @@ class TestRunner:
         assert "Figure 3" in output
         assert "figure2" in results and "figure3" in results
         assert results["runtime_seconds"]["figure2"] > 0.0
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            run_all(engine="frobnicate")
+
+
+class TestBatchEngine:
+    def test_batch_sweep_matches_direct_sweep(self):
+        """The batch engine must reproduce the explorer sweep exactly."""
+        from repro.experiments import batch_capacity_sweep, figure2_from_curve
+
+        sweep = (1, 2, 3)
+        direct = run_figure2(capacity_sweep=sweep)
+        curve = batch_capacity_sweep(build_figure2_configuration(), sweep)
+        batch = figure2_from_curve(curve)
+        assert batch.rows() == direct.rows()
+        assert batch.reduction_rows() == direct.reduction_rows()
+
+    def test_batch_sweep_propagates_solver_failures(self, monkeypatch):
+        """Errors must not be silently mapped to infeasible figure points."""
+        import repro.batch.executor as executor_module
+        from repro.exceptions import AllocationError
+        from repro.experiments import batch_capacity_sweep
+
+        def broken_solve(payload):
+            return {
+                "label": payload["label"],
+                "key": payload["key"],
+                "status": "error",
+                "error": "synthetic failure",
+                "solve_seconds": 0.0,
+            }
+
+        monkeypatch.setattr(executor_module, "_solve_payload", broken_solve)
+        with pytest.raises(AllocationError, match="synthetic failure"):
+            batch_capacity_sweep(build_figure2_configuration(), (1, 2))
+
+    def test_run_all_with_batch_engine_and_cache(self, tmp_path):
+        stream = io.StringIO()
+        results = run_all(
+            stream=stream, engine="batch", cache_dir=str(tmp_path / "cache")
+        )
+        assert results["engine"] == "batch"
+        assert "Figure 2(a)" in stream.getvalue()
+        # a second run is served from the cache and reproduces the figures
+        rerun = run_all(
+            stream=io.StringIO(), engine="batch", cache_dir=str(tmp_path / "cache")
+        )
+        assert rerun["figure2"].rows() == results["figure2"].rows()
+        assert rerun["figure3"].rows() == results["figure3"].rows()
