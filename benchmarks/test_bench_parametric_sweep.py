@@ -1,0 +1,129 @@
+"""Benchmark: parametric warm-started sweeps vs rebuild-per-point.
+
+A 20-point capacity sweep over a random-DAG configuration is solved three
+ways:
+
+* **rebuild** — a fresh :class:`SocpFormulation` built, compiled and
+  cold-started per point (the pre-session behaviour);
+* **compile-once / cold-start** — one :class:`AllocationSession`, but every
+  point ignores the previous optimum (isolates the compile-once gain);
+* **warm-start** — the session default: one compilation, each point seeded
+  from its neighbour, phase I skipped whenever that seed stays strictly
+  feasible.
+
+Besides the timings, the benchmark asserts the acceptance criteria of the
+session API: a single compilation per sweep, phase I skipped on at least half
+the points, budgets equal to the rebuild path within 1e-6, and strictly less
+Newton work than the rebuild path (the deterministic counterpart of "faster").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AllocatorOptions, JointAllocator
+from repro.taskgraph.generators import random_dag_configuration
+
+SWEEP = tuple(range(3, 23))  # 20 points, clear of pinned lower bounds
+
+_reference_cache = {}
+
+
+def _configuration():
+    return random_dag_configuration(task_count=6, processor_count=6, seed=3)
+
+
+def _options():
+    return AllocatorOptions(run_simulation=False, verify=False)
+
+
+def _buffer_names(configuration):
+    return [buffer.name for _, buffer in configuration.all_buffers()]
+
+
+def _rebuild_sweep():
+    """The pre-session path: one full build/compile/cold-solve per point."""
+    configuration = _configuration()
+    allocator = JointAllocator(options=_options())
+    points = []
+    for limit in SWEEP:
+        limits = {name: int(limit) for name in _buffer_names(configuration)}
+        mapped = allocator.allocate(configuration, capacity_limits=limits)
+        points.append(mapped)
+    return points
+
+
+def _session_sweep(warm_start):
+    configuration = _configuration()
+    session = JointAllocator(options=_options()).session(configuration)
+    points = []
+    for limit in SWEEP:
+        limits = {name: int(limit) for name in _buffer_names(configuration)}
+        points.append(
+            session.allocate(capacity_limits=limits, warm_start=warm_start)
+        )
+    return points, session.stats
+
+
+def _reference_points():
+    """The rebuild-per-point results, computed once per benchmark session."""
+    if "points" not in _reference_cache:
+        _reference_cache["points"] = _rebuild_sweep()
+    return _reference_cache["points"]
+
+
+def _newton_total(mapped_points):
+    return sum(
+        int(mapped.solver_info["solve_stats"].get("newton_iterations", 0))
+        + int(mapped.solver_info["solve_stats"].get("phase1_newton_iterations", 0))
+        for mapped in mapped_points
+    )
+
+
+def _assert_equivalent(points, reference):
+    assert len(points) == len(reference)
+    for mapped, ref in zip(points, reference):
+        assert mapped.budgets == ref.budgets
+        assert mapped.buffer_capacities == ref.buffer_capacities
+        for task, budget in ref.relaxed_budgets.items():
+            assert mapped.relaxed_budgets[task] == pytest.approx(budget, abs=1e-6)
+
+
+def test_bench_sweep_rebuild_per_point(benchmark, record_series):
+    points = benchmark(_rebuild_sweep)
+    assert len(points) == len(SWEEP)
+    record_series(benchmark, "newton_iterations_total", _newton_total(points))
+    record_series(benchmark, "points", len(points))
+
+
+def test_bench_sweep_compile_once_cold(benchmark, record_series):
+    points, stats = benchmark(lambda: _session_sweep(warm_start=False))
+    _assert_equivalent(points, _reference_points())
+    assert stats.compiles == 1
+    record_series(benchmark, "newton_iterations_total", _newton_total(points))
+
+
+def test_bench_sweep_warm_start(benchmark, record_series):
+    points, stats = benchmark(lambda: _session_sweep(warm_start=True))
+    reference = _reference_points()
+    _assert_equivalent(points, reference)
+
+    # Acceptance criteria of the session API on this sweep.  `compiles`
+    # counts rebuild-fallback compilations too, so together with
+    # `rebuilds == 0` and `solves == len(SWEEP)` this pins "every point was
+    # solved through the one compiled problem".
+    assert stats.compiles == 1, "the sweep must compile exactly once"
+    assert stats.rebuilds == 0, "no point may fall back to a rebuild"
+    assert stats.solves == len(SWEEP)
+    assert stats.phase1_skipped >= len(SWEEP) // 2, (
+        f"phase I skipped on only {stats.phase1_skipped}/{len(SWEEP)} points"
+    )
+    warm_newton = _newton_total(points)
+    rebuild_newton = _newton_total(reference)
+    assert warm_newton < rebuild_newton, (
+        f"warm-started sweep spent {warm_newton} Newton iterations, "
+        f"rebuild path {rebuild_newton}"
+    )
+    record_series(benchmark, "newton_iterations_total", warm_newton)
+    record_series(benchmark, "rebuild_newton_iterations_total", rebuild_newton)
+    record_series(benchmark, "phase1_skipped", stats.phase1_skipped)

@@ -50,6 +50,7 @@ from repro.batch.executor import (
     BatchExecutor,
     ExecutorConfig,
     ItemResult,
+    SweepResult,
     make_cache,
     resolve_weights,
 )
@@ -65,6 +66,7 @@ __all__ = [
     "ItemResult",
     "NullCache",
     "ResultCache",
+    "SweepResult",
     "aggregate_results",
     "cache_key",
     "canonical_json",

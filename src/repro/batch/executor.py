@@ -110,6 +110,9 @@ class ItemResult:
     solve_seconds: float = 0.0
     error: Optional[str] = None
     from_cache: bool = False
+    #: Deterministic solver statistics (phase-I skipped, Newton iterations,
+    #: outer iterations) — everything needed by ``repro-map batch --stats``.
+    stats: Dict[str, object] = field(default_factory=dict)
 
     @property
     def feasible(self) -> bool:
@@ -137,12 +140,18 @@ class ItemResult:
             "backend_used": self.backend_used,
             "solve_seconds": self.solve_seconds,
             "error": self.error,
+            "stats": dict(self.stats),
         }
 
     def deterministic_dict(self) -> Dict[str, object]:
         """The payload without wall-clock fields (for equivalence checks)."""
         data = self.to_dict()
         del data["solve_seconds"]
+        data["stats"] = {
+            key: value
+            for key, value in dict(data["stats"]).items()
+            if key != "solve_time"
+        }
         return data
 
     @classmethod
@@ -173,6 +182,7 @@ class ItemResult:
             solve_seconds=float(data.get("solve_seconds", 0.0)),
             error=None if data.get("error") is None else str(data["error"]),
             from_cache=from_cache,
+            stats=dict(data.get("stats", {})),
         )
 
     def row(self) -> Dict[str, object]:
@@ -194,6 +204,18 @@ def _solve_payload(payload: Dict[str, object]) -> Dict[str, object]:
     Must stay importable at module top level so it pickles across the
     process pool.  Never raises: every failure mode maps to a terminal
     status so a single bad item cannot abort a campaign.
+
+    Two payload shapes are accepted:
+
+    * a single item (``capacity_limits``) — solved through
+      :meth:`JointAllocator.allocate` with backend fallback;
+    * a *sweep family* (``capacity_sweep``) — a whole capacity sweep over one
+      configuration, solved through the session API
+      (:meth:`~repro.core.tradeoff.TradeoffExplorer.sweep_capacity_limit`)
+      so the cone program compiles once and every point warm-starts from its
+      neighbour.  The result carries per-point payloads under ``"points"``
+      plus the aggregate session statistics; backend fallback does not apply
+      (a sweep must come from exactly one backend to stay explainable).
     """
     start = time.perf_counter()
     options = payload["options"]
@@ -207,12 +229,52 @@ def _solve_payload(payload: Dict[str, object]) -> Dict[str, object]:
         "objective_value": None,
         "backend_used": None,
         "error": None,
+        "stats": {},
     }
     try:
         configuration = serialization.configuration_from_dict(payload["configuration"])
         weights = resolve_weights(options["weights"])
     except Exception as error:  # noqa: BLE001 - malformed payloads become item errors
         base.update(status=STATUS_ERROR, error=str(error))
+        base["solve_seconds"] = time.perf_counter() - start
+        return base
+
+    if payload.get("capacity_sweep") is not None:
+        from repro.core.tradeoff import TradeoffExplorer
+
+        explorer = TradeoffExplorer(
+            weights=weights,
+            allocator_options=AllocatorOptions(
+                backend=options["backend"],
+                verify=options["verify"],
+                run_simulation=options["run_simulation"],
+            ),
+        )
+        try:
+            curve = explorer.sweep_capacity_limit(
+                configuration, [int(value) for value in payload["capacity_sweep"]]
+            )
+        except Exception as error:  # noqa: BLE001 - solver failures become family errors
+            base.update(status=STATUS_ERROR, error=f"{options['backend']}: {error}")
+            base["solve_seconds"] = time.perf_counter() - start
+            return base
+        base.update(
+            status=STATUS_OK,
+            backend_used=options["backend"],
+            stats=dict(curve.solver_stats),
+        )
+        base["points"] = [
+            {
+                "capacity_limit": point.capacity_limit,
+                "feasible": point.feasible,
+                "budgets": dict(point.budgets),
+                "relaxed_budgets": dict(point.relaxed_budgets),
+                "capacities": dict(point.capacities),
+                "objective_value": point.objective_value,
+                "stats": dict(point.solve_stats),
+            }
+            for point in curve.points
+        ]
         base["solve_seconds"] = time.perf_counter() - start
         return base
 
@@ -252,12 +314,52 @@ def _solve_payload(payload: Dict[str, object]) -> Dict[str, object]:
             relaxed_capacities=dict(mapped.relaxed_capacities),
             objective_value=mapped.objective_value,
             backend_used=str(mapped.solver_info.get("backend", backend)),
+            stats=dict(mapped.solver_info.get("solve_stats", {})),
         )
         base["solve_seconds"] = time.perf_counter() - start
         return base
     base.update(status=STATUS_ERROR, error=last_error)
     base["solve_seconds"] = time.perf_counter() - start
     return base
+
+
+@dataclass
+class SweepResult:
+    """The structured outcome of one capacity-sweep family.
+
+    ``points`` holds one payload per swept capacity bound (in sweep order)
+    with the same fields a :class:`~repro.core.tradeoff.TradeoffPoint`
+    carries; ``solver_stats`` is the aggregate of the solve session that
+    produced the family (compiles, phase-I skips, Newton iterations, …).
+    """
+
+    label: str
+    key: str
+    status: str
+    points: List[Dict[str, object]] = field(default_factory=list)
+    solver_stats: Dict[str, object] = field(default_factory=dict)
+    backend_used: Optional[str] = None
+    solve_seconds: float = 0.0
+    error: Optional[str] = None
+    from_cache: bool = False
+
+    @classmethod
+    def from_dict(
+        cls, data: Dict[str, object], label: str, key: str, from_cache: bool = False
+    ) -> "SweepResult":
+        return cls(
+            label=label,
+            key=key,
+            status=str(data["status"]),
+            points=[dict(point) for point in data.get("points", [])],
+            solver_stats=dict(data.get("stats", {})),
+            backend_used=(
+                None if data.get("backend_used") is None else str(data["backend_used"])
+            ),
+            solve_seconds=float(data.get("solve_seconds", 0.0)),
+            error=None if data.get("error") is None else str(data["error"]),
+            from_cache=from_cache,
+        )
 
 
 class BatchExecutor:
@@ -373,6 +475,50 @@ class BatchExecutor:
                     result_dict = self._store(result_dict)
                     for index, label in waiters[key]:
                         yield index, self._load(result_dict, label, key)
+
+    def run_sweep(
+        self,
+        configuration,
+        capacity_sweep: Sequence[int],
+        label: Optional[str] = None,
+    ) -> SweepResult:
+        """Solve a whole capacity sweep over one configuration as a family.
+
+        The family is the unit of work *and* of caching: its cache key covers
+        the configuration, the result-relevant options and the full sweep, so
+        a cached family reproduces the original run bit-for-bit.  The sweep
+        itself goes through the session API (compile once, warm-start each
+        point from its neighbour), which is why it runs inline rather than
+        through the process pool — the points of a family form one sequential
+        warm-start chain.  Backend fallback is not applied; a family solves
+        with exactly the configured backend or reports an error.
+        """
+        from repro.taskgraph import serialization as taskgraph_serialization
+
+        options = self.config.result_options()
+        # Families never apply backend fallback (see above), so the fallback
+        # list must not fragment the family cache: two configs differing only
+        # in fallback_backends produce bit-identical sweeps.
+        del options["fallback_backends"]
+        configuration_dict = taskgraph_serialization.configuration_to_dict(configuration)
+        sweep = [int(value) for value in capacity_sweep]
+        label = label or f"{configuration.name}@sweep"
+        key = cache_key(
+            configuration_dict, options, {"__capacity_sweep__": sweep}
+        )
+        cached = self.cache.get(key)
+        if cached is not None:
+            return SweepResult.from_dict(cached, label, key, from_cache=True)
+        payload = {
+            "label": label,
+            "key": key,
+            "configuration": configuration_dict,
+            "capacity_limits": None,
+            "capacity_sweep": sweep,
+            "options": options,
+        }
+        result_dict = self._store(_solve_payload(payload))
+        return SweepResult.from_dict(result_dict, label, key)
 
     # -- helpers ----------------------------------------------------------------
     def _store(self, result_dict: Dict[str, object]) -> Dict[str, object]:

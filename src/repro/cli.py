@@ -153,6 +153,29 @@ def _cmd_validate(arguments: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _render_solve_stats(stats: dict) -> str:
+    """Human-readable solver statistics block for ``--stats`` output.
+
+    Only values the caller actually measured are rendered: the session-backed
+    sweep reports compilations and rebuild fallbacks, the per-item batch path
+    does not (it has no session, so those numbers would be fabricated).
+    """
+    lines = ["solver statistics:"]
+    if "compiles" in stats:
+        lines.append(f"  compilations:        {stats['compiles']}")
+    lines.append(f"  solves:              {stats.get('solves', 0)}")
+    if "rebuilds" in stats:
+        lines.append(f"  rebuild fallbacks:   {stats['rebuilds']}")
+    lines.append(f"  warm-started solves: {stats.get('warm_started', 0)}")
+    lines.append(f"  phase I skipped:     {stats.get('phase1_skipped', 0)}")
+    lines.append(
+        f"  Newton iterations:   {stats.get('newton_iterations', 0)} "
+        f"(+{stats.get('phase1_newton_iterations', 0)} in phase I)"
+    )
+    lines.append(f"  solve time:          {float(stats.get('solve_time', 0.0)):.4f} s")
+    return "\n".join(lines)
+
+
 def _cmd_sweep(arguments: argparse.Namespace) -> int:
     configuration = _load_configuration(arguments.configuration)
     capacities = arguments.capacities
@@ -162,6 +185,9 @@ def _cmd_sweep(arguments: argparse.Namespace) -> int:
     )
     curve = explorer.sweep_capacity_limit(configuration, capacities)
     print(render_table(curve.as_table()))
+    if arguments.stats:
+        print()
+        print(_render_solve_stats(curve.solver_stats))
     return EXIT_OK if curve.feasible_points() else EXIT_INFEASIBLE
 
 
@@ -194,6 +220,32 @@ def _cmd_batch(arguments: argparse.Namespace) -> int:
         print(render_table(per_item_rows(results)))
         print()
     print(summary.render())
+    if arguments.stats:
+        # Only count work done by *this* run: cached results carry their
+        # original stats payload, but no solver ran for them here.  Every
+        # fresh item counts as a solve (infeasible verdicts and non-barrier
+        # backends included); the barrier-specific counters come from the
+        # items whose backend reported them.
+        fresh = [result for result in results if not result.from_cache]
+        totals = {
+            "solves": len(fresh),
+            "phase1_skipped": sum(
+                1 for result in fresh if result.stats.get("phase1_skipped")
+            ),
+            "warm_started": sum(
+                1 for result in fresh if result.stats.get("warm_started")
+            ),
+            "newton_iterations": sum(
+                int(result.stats.get("newton_iterations", 0)) for result in fresh
+            ),
+            "phase1_newton_iterations": sum(
+                int(result.stats.get("phase1_newton_iterations", 0))
+                for result in fresh
+            ),
+            "solve_time": sum(result.solve_seconds for result in fresh),
+        }
+        print()
+        print(_render_solve_stats(totals))
     if arguments.output:
         payload = {
             "campaign": spec.to_dict(),
@@ -255,6 +307,11 @@ def build_parser() -> argparse.ArgumentParser:
         default="1:10",
         help="capacity bounds to sweep, as 'low:high' or a comma-separated list (default 1:10)",
     )
+    sweep_parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print solver statistics (phase-I skips, Newton iterations, solve time)",
+    )
     add_common(sweep_parser)
     sweep_parser.set_defaults(handler=_cmd_sweep)
 
@@ -297,6 +354,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch_parser.add_argument(
         "--per-item", action="store_true", help="print one table row per instance"
+    )
+    batch_parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print aggregated solver statistics across the campaign's instances",
     )
     batch_parser.add_argument("--output", help="write the structured results JSON here")
     batch_parser.set_defaults(handler=_cmd_batch)

@@ -3,14 +3,26 @@
 * :class:`~repro.core.formulation.SocpFormulation` — Algorithm 1 as a cone program.
 * :class:`~repro.core.allocator.JointAllocator` / :func:`~repro.core.allocator.allocate`
   — solve, round conservatively, verify, and return a mapped configuration.
+* :class:`~repro.core.allocator.AllocationSession` /
+  :class:`~repro.core.formulation.ParametricSocpFormulation` — compile-once,
+  warm-started re-solve for families of allocations (trade-off sweeps).
 * :class:`~repro.core.tradeoff.TradeoffExplorer` — budget/buffer trade-off sweeps.
 * :class:`~repro.core.objective.ObjectiveWeights` — objective weighting presets.
 * :mod:`~repro.core.rounding` — conservative rounding rules.
 * :mod:`~repro.core.validation` — independent verification of mappings.
 """
 
-from repro.core.allocator import AllocatorOptions, JointAllocator, allocate
-from repro.core.formulation import FormulationVariables, SocpFormulation
+from repro.core.allocator import (
+    AllocationSession,
+    AllocatorOptions,
+    JointAllocator,
+    allocate,
+)
+from repro.core.formulation import (
+    FormulationVariables,
+    ParametricSocpFormulation,
+    SocpFormulation,
+)
 from repro.core.objective import ObjectiveWeights
 from repro.core.rounding import (
     round_budget,
@@ -23,10 +35,12 @@ from repro.core.tradeoff import TradeoffCurve, TradeoffExplorer, TradeoffPoint
 from repro.core.validation import VerificationReport, verify_mapping
 
 __all__ = [
+    "AllocationSession",
     "AllocatorOptions",
     "FormulationVariables",
     "JointAllocator",
     "ObjectiveWeights",
+    "ParametricSocpFormulation",
     "SocpFormulation",
     "TradeoffCurve",
     "TradeoffExplorer",

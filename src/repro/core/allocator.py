@@ -5,6 +5,12 @@ a :class:`~repro.taskgraph.configuration.Configuration`, builds and solves the
 SOCP of Algorithm 1, rounds the relaxed solution conservatively, verifies the
 result with independent dataflow analyses, and returns a
 :class:`~repro.taskgraph.configuration.MappedConfiguration`.
+
+For families of allocations over one configuration — trade-off sweeps that
+vary only capacity/budget limits — :meth:`JointAllocator.session` returns an
+:class:`AllocationSession` that compiles the cone program once and re-solves
+it per point with warm starts, instead of rebuilding everything from Python
+objects for every point.
 """
 
 from __future__ import annotations
@@ -18,10 +24,11 @@ from repro.exceptions import (
     NumericalError,
     UnboundedProblemError,
 )
-from repro.core.formulation import SocpFormulation
+from repro.core.formulation import ParametricSocpFormulation, SocpFormulation
 from repro.core.objective import ObjectiveWeights
 from repro.core.rounding import round_budgets, round_capacities
 from repro.core.validation import VerificationReport, verify_mapping
+from repro.solver.parametric import SessionStats, SolveSession
 from repro.solver.result import Solution, SolverStatus
 from repro.taskgraph.configuration import Configuration, MappedConfiguration
 
@@ -83,9 +90,32 @@ class JointAllocator:
         )
         solution = formulation.solve(backend=self.options.backend)
         self._check_status(solution, configuration)
+        return self._finalize(
+            configuration,
+            solution,
+            formulation.extract_budgets(solution),
+            formulation.extract_capacities(solution),
+        )
 
-        relaxed_budgets = formulation.extract_budgets(solution)
-        relaxed_capacities = formulation.extract_capacities(solution)
+    def session(self, configuration: Configuration) -> "AllocationSession":
+        """Open a compile-once allocation session over ``configuration``.
+
+        The session validates and compiles the configuration once; each
+        :meth:`AllocationSession.allocate` call then only rewrites the
+        capacity/budget limit parameters and re-solves, warm-starting from
+        the previous point's optimum.  Use it for trade-off sweeps and any
+        other family of allocations that differ only in their limits.
+        """
+        return AllocationSession(self, configuration)
+
+    def _finalize(
+        self,
+        configuration: Configuration,
+        solution: Solution,
+        relaxed_budgets: Dict[str, float],
+        relaxed_capacities: Dict[str, float],
+    ) -> MappedConfiguration:
+        """Round, package and (optionally) verify one optimal solution."""
         budgets = round_budgets(relaxed_budgets, configuration.granularity)
         capacities = round_capacities(relaxed_capacities)
 
@@ -101,6 +131,7 @@ class JointAllocator:
                 "status": solution.status.value,
                 "iterations": solution.iterations,
                 "solve_time": solution.solve_time,
+                "solve_stats": dict(solution.stats),
             },
         )
 
@@ -140,6 +171,102 @@ class JointAllocator:
             f"the solver failed on configuration {configuration.name!r}: "
             f"{solution.status.value} ({solution.message})"
         )
+
+
+class AllocationSession:
+    """Warm-started allocation over one configuration, compiled exactly once.
+
+    Created through :meth:`JointAllocator.session`.  The session builds and
+    compiles the SOCP a single time with the capacity/budget limits exposed
+    as parameters; every :meth:`allocate` call rewrites only those parameters
+    and re-solves, seeding the barrier method with the previous optimum so
+    that phase I is skipped whenever that point is still strictly feasible.
+
+    One structural case falls back to a per-point rebuild: a limit that lands
+    exactly on a variable's lower bound, which the formulation represents as
+    an equality row (counted in :attr:`stats` as a rebuild; the rebuilt
+    optimum still seeds the warm start of subsequent points).
+    """
+
+    def __init__(self, allocator: JointAllocator, configuration: Configuration) -> None:
+        configuration.validate()
+        self.allocator = allocator
+        self.configuration = configuration
+        self._parametric = ParametricSocpFormulation(
+            configuration, weights=allocator.weights
+        )
+        self._session = SolveSession(
+            self._parametric.parametric, backend=allocator.options.backend
+        )
+        self._initial = self._parametric.initial_point()
+
+    @property
+    def stats(self) -> SessionStats:
+        """Aggregate solve statistics across every point of the session."""
+        return self._session.stats
+
+    def allocate(
+        self,
+        capacity_limits: Optional[Mapping[str, int]] = None,
+        budget_limits: Optional[Mapping[str, float]] = None,
+        warm_start: bool = True,
+    ) -> MappedConfiguration:
+        """Re-solve for one set of limits; same contract as
+        :meth:`JointAllocator.allocate` for this session's configuration.
+
+        ``warm_start=False`` ignores the previous optimum for this point
+        (used by benchmarks to isolate the warm-start gain); the compiled
+        problem is still reused.
+        """
+        pinned = self._parametric.apply_limits(capacity_limits, budget_limits)
+        if pinned:
+            return self._rebuild_point(capacity_limits, budget_limits)
+        solution = self._session.solve(
+            initial_point=self._initial, warm_start=warm_start
+        )
+        self.allocator._check_status(solution, self.configuration)
+        formulation = self._parametric.formulation
+        return self.allocator._finalize(
+            self.configuration,
+            solution,
+            formulation.extract_budgets(solution),
+            formulation.extract_capacities(solution),
+        )
+
+    def _rebuild_point(
+        self,
+        capacity_limits: Optional[Mapping[str, int]],
+        budget_limits: Optional[Mapping[str, float]],
+    ) -> MappedConfiguration:
+        """Solve one point the rebuild way (limits baked into fresh bounds)."""
+        stats = self._session.stats
+        stats.rebuilds += 1
+        stats.compiles += 1
+        formulation = SocpFormulation(
+            self.configuration,
+            weights=self.allocator.weights,
+            capacity_limits=capacity_limits,
+            budget_limits=budget_limits,
+        )
+        solution = formulation.solve(backend=self.allocator.options.backend)
+        # Fold the rebuilt point's work into the session aggregates so that
+        # the reported statistics cover every point of the sweep.
+        stats.record_solution(solution)
+        self.allocator._check_status(solution, self.configuration)
+        mapped = self.allocator._finalize(
+            self.configuration,
+            solution,
+            formulation.extract_budgets(solution),
+            formulation.extract_capacities(solution),
+        )
+        mapped.solver_info["solve_stats"] = {
+            **mapped.solver_info.get("solve_stats", {}),
+            "rebuild": True,
+        }
+        # The rebuilt optimum is a valid (usually near-boundary) point of the
+        # parametric program too; let it seed the next point's warm start.
+        self._session.seed(solution.by_name())
+        return mapped
 
 
 def allocate(

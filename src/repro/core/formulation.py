@@ -37,7 +37,8 @@ from repro.dataflow.construction import (
     build_srdf_specification,
 )
 from repro.solver.expression import AffineExpression, Variable, linear_sum
-from repro.solver.problem import ConeProgram
+from repro.solver.parametric import ParametricProblem
+from repro.solver.problem import ConeProgram, bounds_collapse
 from repro.solver.result import Solution
 from repro.taskgraph.configuration import Configuration
 
@@ -161,6 +162,62 @@ class SocpFormulation:
             for name, expr in self.variables.start_times.items()
         }
 
+    # -- effective bounds ---------------------------------------------------------
+    def _budget_bounds(
+        self, graph, task, budget_limits: Mapping[str, float]
+    ) -> Tuple[float, float]:
+        """The effective ``β'(w)`` bounds under ``budget_limits``.
+
+        The single definition of the budget-bound arithmetic: variable
+        creation uses it at build time, and the parametric layer
+        (:class:`ParametricSocpFormulation`) re-evaluates it per sweep point —
+        both paths therefore raise the same :class:`InfeasibleProblemError`
+        for contradictory bounds.
+
+        ``β'(w) ≥ ̺·χ/µ`` is implied by Constraints (7)+(8) on the self-loop;
+        stating it as a bound tightens the relaxation the solver works with
+        without changing the optimum.
+        """
+        configuration = self.configuration
+        processor = configuration.platform.processor(task.processor)
+        rho = processor.replenishment_interval
+        lower = rho * task.wcet / graph.period
+        if task.min_budget is not None:
+            lower = max(lower, task.min_budget)
+        upper = processor.allocatable_capacity - configuration.granularity
+        if task.max_budget is not None:
+            upper = min(upper, task.max_budget)
+        if task.name in budget_limits:
+            upper = min(upper, float(budget_limits[task.name]))
+        if upper < lower - 1e-12:
+            raise InfeasibleProblemError(
+                f"task {task.name!r}: the budget upper bound {upper:.6g} is "
+                f"below the lower bound {lower:.6g} implied by the throughput "
+                f"requirement"
+            )
+        return lower, upper
+
+    def _capacity_bounds(
+        self, buffer, default_bound: float, capacity_limits: Mapping[str, int]
+    ) -> Tuple[float, float]:
+        """The effective ``γ'(b)`` bounds under ``capacity_limits``.
+
+        Like :meth:`_budget_bounds`, shared between build-time variable
+        creation and the parametric per-point re-evaluation.
+        """
+        lower = float(buffer.smallest_feasible_capacity)
+        upper = default_bound + buffer.initial_tokens
+        if buffer.max_capacity is not None:
+            upper = min(upper, float(buffer.max_capacity))
+        if buffer.name in capacity_limits:
+            upper = min(upper, float(capacity_limits[buffer.name]))
+        if upper < lower - 1e-12:
+            raise InfeasibleProblemError(
+                f"buffer {buffer.name!r}: the capacity upper bound {upper:.6g} "
+                f"is below the smallest feasible capacity {lower:.6g}"
+            )
+        return lower, upper
+
     # -- variable creation -------------------------------------------------------
     def _add_task_variables(self) -> None:
         configuration = self.configuration
@@ -168,26 +225,7 @@ class SocpFormulation:
             for task in graph.tasks:
                 processor = configuration.platform.processor(task.processor)
                 rho = processor.replenishment_interval
-
-                # β'(w) ≥ ̺·χ/µ is implied by Constraints (7)+(8) on the
-                # self-loop; stating it as a bound tightens the relaxation the
-                # solver works with without changing the optimum.
-                lower = rho * task.wcet / graph.period
-                if task.min_budget is not None:
-                    lower = max(lower, task.min_budget)
-
-                upper = processor.allocatable_capacity - configuration.granularity
-                if task.max_budget is not None:
-                    upper = min(upper, task.max_budget)
-                if task.name in self.budget_limits:
-                    upper = min(upper, float(self.budget_limits[task.name]))
-                if upper < lower - 1e-12:
-                    raise InfeasibleProblemError(
-                        f"task {task.name!r}: the budget upper bound {upper:.6g} is "
-                        f"below the lower bound {lower:.6g} implied by the throughput "
-                        f"requirement"
-                    )
-
+                lower, upper = self._budget_bounds(graph, task, self.budget_limits)
                 beta = self.program.add_variable(f"beta[{task.name}]", lower=lower, upper=upper)
                 lam = self.program.add_variable(
                     f"lambda[{task.name}]",
@@ -219,17 +257,9 @@ class SocpFormulation:
         for graph in self.configuration.task_graphs:
             default_bound = self._sufficient_capacity_bound(graph)
             for buffer in graph.buffers:
-                lower = float(buffer.smallest_feasible_capacity)
-                upper = default_bound + buffer.initial_tokens
-                if buffer.max_capacity is not None:
-                    upper = min(upper, float(buffer.max_capacity))
-                if buffer.name in self.capacity_limits:
-                    upper = min(upper, float(self.capacity_limits[buffer.name]))
-                if upper is not None and upper < lower - 1e-12:
-                    raise InfeasibleProblemError(
-                        f"buffer {buffer.name!r}: the capacity upper bound {upper:.6g} "
-                        f"is below the smallest feasible capacity {lower:.6g}"
-                    )
+                lower, upper = self._capacity_bounds(
+                    buffer, default_bound, self.capacity_limits
+                )
                 capacity = self.program.add_variable(
                     f"capacity[{buffer.name}]", lower=lower, upper=upper
                 )
@@ -351,3 +381,128 @@ class SocpFormulation:
                 if coefficient:
                     terms.append(self.variables.capacities[buffer.name] * coefficient)
         self.program.minimize(linear_sum(terms))
+
+
+class ParametricSocpFormulation:
+    """The SOCP of Algorithm 1 compiled once, with limits as parameters.
+
+    Where :class:`SocpFormulation` bakes the sweep's ``capacity_limits`` and
+    ``budget_limits`` into freshly built variable bounds — forcing a full
+    rebuild and recompile per sweep point — this wrapper builds the program
+    *without* the limits and registers the affected compiled rows as named
+    parameters of a :class:`~repro.solver.parametric.ParametricProblem`:
+
+    * ``capacity_limit[<buffer>]`` — the upper-bound row of ``γ'(b)``;
+    * ``budget_limit[<task>]`` — the upper-bound row of ``β'(w)``;
+    * ``reciprocal_floor[<task>]`` — the lower-bound row of ``λ(w)``, kept at
+      ``1 / β'_max`` so the relaxation stays exactly as tight as the rebuilt
+      program's.
+
+    :meth:`apply_limits` recomputes the same effective bounds the rebuild
+    path would (``min`` of the stored bounds and the sweep limit) and writes
+    them into the compiled problem.  One structural case cannot be expressed
+    by mutating right-hand sides: a limit that lands *exactly on* a
+    variable's lower bound, which the rebuild path turns into an equality
+    row.  ``apply_limits`` reports such pinned variables so the caller can
+    fall back to a one-off rebuild for that point.
+    """
+
+    def __init__(
+        self,
+        configuration: Configuration,
+        weights: Optional[ObjectiveWeights] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self.configuration = configuration
+        self.formulation = SocpFormulation(configuration, weights=weights, name=name)
+        self.formulation.build()
+        self.parametric = ParametricProblem(self.formulation.program)
+        # Variables whose static bounds already coincide compile to equality
+        # rows and expose no parametric slot; remember which registrations
+        # succeeded so apply_limits() can skip the rest.
+        self._budget_slots: Dict[str, bool] = {}
+        self._reciprocal_slots: Dict[str, bool] = {}
+        self._capacity_slots: Dict[str, bool] = {}
+        # Per-graph capacity default bounds depend only on the (immutable)
+        # configuration; compute them once instead of per sweep point.
+        self._capacity_default_bounds: Dict[str, float] = {
+            graph.name: self.formulation._sufficient_capacity_bound(graph)
+            for graph in configuration.task_graphs
+        }
+        variables = self.formulation.variables
+        for task_name, beta in variables.budgets.items():
+            self._budget_slots[task_name] = self._register(
+                f"budget_limit[{task_name}]", beta, upper=True
+            )
+            self._reciprocal_slots[task_name] = self._register(
+                f"reciprocal_floor[{task_name}]",
+                variables.reciprocals[task_name],
+                upper=False,
+            )
+        for buffer_name, capacity in variables.capacities.items():
+            self._capacity_slots[buffer_name] = self._register(
+                f"capacity_limit[{buffer_name}]", capacity, upper=True
+            )
+
+    def _register(self, slot: str, variable: Variable, upper: bool) -> bool:
+        try:
+            if upper:
+                self.parametric.register_upper_bound(slot, variable)
+            else:
+                self.parametric.register_lower_bound(slot, variable)
+        except FormulationError:
+            return False
+        return True
+
+    def initial_point(self) -> Dict[Variable, float]:
+        """The heuristic start point of the underlying formulation."""
+        return self.formulation.initial_point()
+
+    def apply_limits(
+        self,
+        capacity_limits: Optional[Mapping[str, int]] = None,
+        budget_limits: Optional[Mapping[str, float]] = None,
+    ) -> List[str]:
+        """Write the effective bounds for one sweep point into the program.
+
+        Re-evaluates the rebuild path's own bound arithmetic
+        (:meth:`SocpFormulation._budget_bounds` /
+        :meth:`SocpFormulation._capacity_bounds`) under the given limits —
+        including raising :class:`InfeasibleProblemError` when a limit falls
+        below a variable's lower bound, in the same variable order.  Returns
+        the names of variables the limits pin onto their lower bound (the
+        structural case that needs a rebuild, per
+        :func:`repro.solver.problem.bounds_collapse`); an empty list means
+        the compiled problem now describes exactly the limited program.
+        """
+        capacity_limits = dict(capacity_limits or {})
+        budget_limits = dict(budget_limits or {})
+        formulation = self.formulation
+        pinned: List[str] = []
+
+        for graph in self.configuration.task_graphs:
+            for task in graph.tasks:
+                lower, upper = formulation._budget_bounds(graph, task, budget_limits)
+                if not self._budget_slots[task.name]:
+                    continue
+                if bounds_collapse(lower, upper):
+                    pinned.append(f"beta[{task.name}]")
+                self.parametric.set(f"budget_limit[{task.name}]", upper)
+                if self._reciprocal_slots[task.name]:
+                    self.parametric.set(
+                        f"reciprocal_floor[{task.name}]", 1.0 / max(upper, 1e-12)
+                    )
+
+        for graph in self.configuration.task_graphs:
+            default_bound = self._capacity_default_bounds[graph.name]
+            for buffer in graph.buffers:
+                lower, upper = formulation._capacity_bounds(
+                    buffer, default_bound, capacity_limits
+                )
+                if not self._capacity_slots[buffer.name]:
+                    continue
+                if bounds_collapse(lower, upper):
+                    pinned.append(f"capacity[{buffer.name}]")
+                self.parametric.set(f"capacity_limit[{buffer.name}]", upper)
+
+        return pinned

@@ -4,6 +4,13 @@ The experiments of the paper explore the non-linear trade-off between budgets
 and buffer capacities by constraining the maximum buffer capacity and
 recording the minimal budgets the SOCP returns (Figures 2(a), 2(b), 3).
 :class:`TradeoffExplorer` automates that sweep for arbitrary configurations.
+
+Every sweep point solves the *same* cone program up to a handful of bound
+values, so the explorer drives an :class:`~repro.core.allocator.
+AllocationSession`: the program is built and compiled once per sweep and each
+point re-solves with the previous point's optimum as a warm start.  Per-point
+solver statistics land in :attr:`TradeoffPoint.solve_stats` and the session
+aggregate in :attr:`TradeoffCurve.solver_stats`.
 """
 
 from __future__ import annotations
@@ -27,6 +34,8 @@ class TradeoffPoint:
     relaxed_budgets: Dict[str, float] = field(default_factory=dict)
     capacities: Dict[str, int] = field(default_factory=dict)
     objective_value: Optional[float] = None
+    #: Per-point solver statistics (phase-I skipped, Newton iterations, …).
+    solve_stats: Dict[str, object] = field(default_factory=dict)
 
     @property
     def total_budget(self) -> float:
@@ -46,6 +55,9 @@ class TradeoffCurve:
 
     configuration_name: str
     points: List[TradeoffPoint] = field(default_factory=list)
+    #: Aggregate session statistics for the whole sweep
+    #: (:meth:`repro.solver.parametric.SessionStats.as_dict`).
+    solver_stats: Dict[str, object] = field(default_factory=dict)
 
     def feasible_points(self) -> List[TradeoffPoint]:
         return [point for point in self.points if point.feasible]
@@ -139,11 +151,24 @@ class TradeoffExplorer:
             buffer.name for _, buffer in configuration.all_buffers()
         ]
         curve = TradeoffCurve(configuration_name=configuration.name)
+        try:
+            session = self.allocator.session(configuration)
+        except InfeasibleProblemError:
+            # The *unlimited* program is already contradictory (e.g. a task's
+            # max_budget below its throughput-implied floor); capacity limits
+            # only tighten it, so every sweep point is infeasible.
+            curve.points = [
+                TradeoffPoint(capacity_limit=int(limit), feasible=False)
+                for limit in capacity_limits
+            ]
+            return curve
         for limit in capacity_limits:
             limits = {name: int(limit) for name in buffer_names}
             try:
-                mapped = self.allocator.allocate(configuration, capacity_limits=limits)
+                mapped = session.allocate(capacity_limits=limits)
             except InfeasibleProblemError:
+                # A genuinely infeasible point is part of the curve; solver
+                # failures (any other SolverError) propagate to the caller.
                 curve.points.append(TradeoffPoint(capacity_limit=int(limit), feasible=False))
                 continue
             curve.points.append(
@@ -154,8 +179,10 @@ class TradeoffExplorer:
                     relaxed_budgets=dict(mapped.relaxed_budgets),
                     capacities=dict(mapped.buffer_capacities),
                     objective_value=mapped.objective_value,
+                    solve_stats=dict(mapped.solver_info.get("solve_stats", {})),
                 )
             )
+        curve.solver_stats = session.stats.as_dict()
         return curve
 
     def minimal_capacity_for_budget(
@@ -170,19 +197,34 @@ class TradeoffExplorer:
         capacity bound, or ``None`` when even the largest bound is infeasible.
         This explores the trade-off from the other side: given scarce
         processor budget, how much buffering is needed?
+
+        Only genuine infeasibility (:class:`InfeasibleProblemError`) advances
+        the search to the next bound.  Any other
+        :class:`~repro.exceptions.SolverError` — numerical failure, an
+        unbounded program — propagates: silently treating a solver failure as
+        "needs more buffering" would corrupt the reported minimal capacity.
         """
         budget_limits = {
             task.name: float(budget_limit)
             for _, task in configuration.all_tasks()
         }
+        try:
+            session = self.allocator.session(configuration)
+        except InfeasibleProblemError:
+            # The unlimited program is already contradictory; no capacity
+            # bound can help.
+            return None
         for limit in sorted(int(v) for v in capacity_limits):
             limits = {
                 buffer.name: limit for _, buffer in configuration.all_buffers()
             }
             try:
-                return self.allocator.allocate(
-                    configuration, capacity_limits=limits, budget_limits=budget_limits
+                return session.allocate(
+                    capacity_limits=limits, budget_limits=budget_limits
                 )
             except InfeasibleProblemError:
+                # Definite answer for this bound; try the next one.  Solver
+                # failures (NumericalError, UnboundedProblemError, any other
+                # SolverError) deliberately propagate.
                 continue
         return None

@@ -8,10 +8,11 @@ The figure sweeps can run through two engines:
 
 * ``direct`` (default) — :class:`~repro.core.tradeoff.TradeoffExplorer`
   solves each capacity bound in-process, exactly as the seed did;
-* ``batch`` — the sweeps are expressed as campaign items and routed through
-  :class:`~repro.batch.executor.BatchExecutor`, which adds worker-process
-  fan-out (``--workers``) and the persistent result cache (``--cache-dir``).
-  Both engines produce identical figure data.
+* ``batch`` — the sweeps are submitted as sweep *families* to
+  :class:`~repro.batch.executor.BatchExecutor`, adding the persistent result
+  cache (``--cache-dir``).  Both engines produce identical figure data and
+  both solve each sweep through the session API: the cone program compiles
+  once per figure and every sweep point warm-starts from its neighbour.
 """
 
 from __future__ import annotations
@@ -49,52 +50,55 @@ def batch_capacity_sweep(
     """Run a capacity-bound sweep through the batch engine.
 
     Produces the same :class:`~repro.core.tradeoff.TradeoffCurve` a
-    :class:`~repro.core.tradeoff.TradeoffExplorer` sweep would, but the
-    individual allocations go through the batch executor, gaining its
-    parallelism and result cache.
-    """
-    from repro.batch import BatchExecutor, CampaignItem, ExecutorConfig, make_cache
+    :class:`~repro.core.tradeoff.TradeoffExplorer` sweep would — the sweep is
+    submitted as one *family* (:meth:`~repro.batch.executor.BatchExecutor.
+    run_sweep`), so the batch engine also compiles the cone program once and
+    warm-starts every point from its neighbour, and the whole family is one
+    entry in the persistent result cache.
 
-    buffer_names = [buffer.name for _, buffer in configuration.all_buffers()]
-    items = [
-        CampaignItem(
-            label=f"{configuration.name}@cap{limit}",
-            configuration=configuration,
-            capacity_limits={name: int(limit) for name in buffer_names},
-        )
-        for limit in capacity_sweep
-    ]
+    ``workers`` is accepted for interface stability but has no effect here:
+    a sweep family is one sequential warm-start chain, so it always solves
+    inline rather than fanning points out over the process pool (which the
+    per-item campaign path still uses).
+    """
+    from repro.batch import BatchExecutor, ExecutorConfig, make_cache
+
+    del workers  # families are sequential by construction; see docstring
     executor = BatchExecutor(
         # No backend fallback: the direct engine solves with exactly the
         # requested backend, so the batch engine must too — a silent retry
         # on another backend would make the figure data lie about its origin.
-        config=ExecutorConfig(workers=workers, backend=backend, fallback_backends=()),
+        config=ExecutorConfig(backend=backend, fallback_backends=()),
         cache=make_cache(cache_dir, enabled=cache_dir is not None),
     )
-    results = executor.run(items)
-    curve = TradeoffCurve(configuration_name=configuration.name)
-    for limit, result in zip(capacity_sweep, results):
-        if result.status not in ("ok", "infeasible"):
-            # The direct engine propagates solver failures as exceptions;
-            # mapping them to infeasible points would silently corrupt the
-            # figure data, so the batch engine must fail loudly too.
-            raise AllocationError(
-                f"batch sweep item {result.label!r} failed "
-                f"({result.status}): {result.error}"
-            )
-        if not result.feasible:
-            curve.points.append(
-                TradeoffPoint(capacity_limit=int(limit), feasible=False)
-            )
-            continue
+    result = executor.run_sweep(
+        configuration, capacity_sweep, label=f"{configuration.name}@sweep"
+    )
+    if result.status != "ok":
+        # The direct engine propagates solver failures as exceptions;
+        # mapping them to infeasible points would silently corrupt the
+        # figure data, so the batch engine must fail loudly too.
+        raise AllocationError(
+            f"batch sweep {result.label!r} failed "
+            f"({result.status}): {result.error}"
+        )
+    curve = TradeoffCurve(
+        configuration_name=configuration.name,
+        solver_stats=dict(result.solver_stats),
+    )
+    for point in result.points:
         curve.points.append(
             TradeoffPoint(
-                capacity_limit=int(limit),
-                feasible=True,
-                budgets=dict(result.budgets),
-                relaxed_budgets=dict(result.relaxed_budgets),
-                capacities=dict(result.buffer_capacities),
-                objective_value=result.objective_value,
+                capacity_limit=int(point["capacity_limit"]),
+                feasible=bool(point["feasible"]),
+                budgets=dict(point.get("budgets", {})),
+                relaxed_budgets=dict(point.get("relaxed_budgets", {})),
+                capacities={
+                    name: int(value)
+                    for name, value in dict(point.get("capacities", {})).items()
+                },
+                objective_value=point.get("objective_value"),
+                solve_stats=dict(point.get("stats", {})),
             )
         )
     return curve
@@ -155,7 +159,7 @@ def run_all(
     print("", file=stream)
     print("Figure 2(b): budget reduction per extra container", file=stream)
     print(render_table(figure2.reduction_rows()), file=stream)
-    print(f"(sweep solved in {elapsed2:.3f} s)", file=stream)
+    print(f"(sweep solved in {elapsed2:.3f} s{_stats_suffix(figure2.curve)})", file=stream)
     print("", file=stream)
 
     start = time.perf_counter()
@@ -164,11 +168,27 @@ def run_all(
     results["figure3"] = figure3
     print("Figure 3: three-task chain, per-task budgets vs. common capacity bound", file=stream)
     print(render_table(figure3.rows()), file=stream)
-    print(f"(sweep solved in {elapsed3:.3f} s)", file=stream)
+    print(f"(sweep solved in {elapsed3:.3f} s{_stats_suffix(figure3.curve)})", file=stream)
 
     results["runtime_seconds"] = {"figure2": elapsed2, "figure3": elapsed3}
+    results["solver_stats"] = {
+        "figure2": dict(figure2.curve.solver_stats) if figure2.curve else {},
+        "figure3": dict(figure3.curve.solver_stats) if figure3.curve else {},
+    }
     results["engine"] = engine
     return results
+
+
+def _stats_suffix(curve: Optional[TradeoffCurve]) -> str:
+    """Render a sweep's session statistics for the figure footer lines."""
+    if curve is None or not curve.solver_stats:
+        return ""
+    stats = curve.solver_stats
+    return (
+        f"; {stats.get('compiles', 0)} compile(s), "
+        f"phase I skipped on {stats.get('phase1_skipped', 0)}/{stats.get('solves', 0)} "
+        f"solves, {stats.get('newton_iterations', 0)} Newton iterations"
+    )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -189,7 +209,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--workers",
         type=int,
         default=1,
-        help="worker processes for the batch engine (default: 1)",
+        help="worker processes for the batch engine (kept for compatibility; "
+        "the figure sweeps run as single warm-start families and always "
+        "solve inline)",
     )
     parser.add_argument(
         "--cache-dir",

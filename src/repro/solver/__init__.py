@@ -12,6 +12,9 @@ with a self-contained modelling layer and solvers:
   families.
 * :class:`~repro.solver.barrier.BarrierSolver` — from-scratch log-barrier
   interior-point method (the default backend for cone programs).
+* :class:`~repro.solver.parametric.ParametricProblem` /
+  :class:`~repro.solver.parametric.SolveSession` — compile-once/solve-many
+  parametric re-solve with warm starts between solves.
 * scipy-based LP (:mod:`~repro.solver.linprog_backend`) and NLP
   (:mod:`~repro.solver.scipy_backend`) backends.
 """
@@ -26,6 +29,7 @@ from repro.solver.constraints import (
 )
 from repro.solver.expression import AffineExpression, Variable, linear_sum
 from repro.solver.barrier import BarrierOptions, BarrierSolver
+from repro.solver.parametric import ParametricProblem, SessionStats, SolveSession
 from repro.solver.problem import CompiledProblem, ConeProgram
 from repro.solver.result import Solution, SolverStatus
 
@@ -35,6 +39,9 @@ __all__ = [
     "BarrierSolver",
     "CompiledProblem",
     "ConeProgram",
+    "ParametricProblem",
+    "SessionStats",
+    "SolveSession",
     "EQUAL",
     "GREATER_EQUAL",
     "LESS_EQUAL",

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping, Optional, Union
 
 import numpy as np
 
@@ -17,19 +17,28 @@ from repro.solver.expression import Variable
 BACKENDS = ("auto", "barrier", "linprog", "scipy")
 
 
+#: Warm-start forms accepted by :func:`solve_compiled`: a point keyed by
+#: variable, or a dense vector already in compiled variable order (the form
+#: :class:`repro.solver.parametric.SolveSession` caches between solves).
+InitialPoint = Union[Mapping[Variable, float], np.ndarray]
+
+
 def _initial_vector(
-    problem: CompiledProblem, initial_point: Optional[Mapping[Variable, float]]
+    problem: CompiledProblem, initial_point: Optional[InitialPoint]
 ) -> Optional[np.ndarray]:
     if initial_point is None:
         return None
+    if isinstance(initial_point, np.ndarray):
+        return np.asarray(initial_point, dtype=float)
     return problem.vector_from_mapping(initial_point)
 
 
 def solve_compiled(
     problem: CompiledProblem,
     backend: str = "auto",
-    initial_point: Optional[Mapping[Variable, float]] = None,
+    initial_point: Optional[InitialPoint] = None,
     options: Optional[Dict[str, object]] = None,
+    interior_point: Optional[np.ndarray] = None,
 ) -> Solution:
     """Solve a compiled problem with the requested backend.
 
@@ -37,6 +46,10 @@ def solve_compiled(
     linear programs, the barrier interior-point method otherwise, and falls
     back to the scipy backend when the barrier method does not reach an
     optimal status.
+
+    ``interior_point`` is an optional well-interior hint for the barrier
+    backend (see :meth:`repro.solver.barrier.BarrierSolver.solve`); the other
+    backends ignore it.
     """
     if backend not in BACKENDS:
         raise FormulationError(
@@ -52,7 +65,12 @@ def solve_compiled(
 
         return solve_with_scipy(problem, initial_point=x0)
     if backend == "barrier":
-        return solve_with_barrier(problem, initial_point=x0, options=_barrier_options(options))
+        return solve_with_barrier(
+            problem,
+            initial_point=x0,
+            options=_barrier_options(options),
+            interior_point=interior_point,
+        )
 
     # backend == "auto"
     if not problem.hyperbolic and not problem.cones:
@@ -60,7 +78,12 @@ def solve_compiled(
         if solution.status in (SolverStatus.OPTIMAL, SolverStatus.INFEASIBLE, SolverStatus.UNBOUNDED):
             return solution
 
-    solution = solve_with_barrier(problem, initial_point=x0, options=_barrier_options(options))
+    solution = solve_with_barrier(
+        problem,
+        initial_point=x0,
+        options=_barrier_options(options),
+        interior_point=interior_point,
+    )
     if solution.status in (SolverStatus.OPTIMAL, SolverStatus.UNBOUNDED):
         return solution
 

@@ -45,6 +45,18 @@ from repro.solver.result import Solution, SolverStatus
 Constraint = Union[LinearConstraint, HyperbolicConstraint, SecondOrderConeConstraint]
 
 
+def bounds_collapse(lower: float, upper: float) -> bool:
+    """Bounds close enough that compilation emits an equality row.
+
+    The single definition shared by :meth:`ConeProgram.compile` and the
+    parametric layers (:class:`repro.core.formulation.
+    ParametricSocpFormulation` detects this case to fall back to a rebuild,
+    since an equality row cannot be produced by mutating inequality
+    right-hand sides).
+    """
+    return abs(upper - lower) <= 1e-12 * max(1.0, abs(lower))
+
+
 @dataclass
 class CompiledHyperbolic:
     """Numerical form of ``(p·x + p0)·(q·x + q0) ≥ bound``."""
@@ -317,7 +329,7 @@ class ConeProgram:
             if (
                 var.lower is not None
                 and var.upper is not None
-                and abs(var.upper - var.lower) <= 1e-12 * max(1.0, abs(var.lower))
+                and bounds_collapse(var.lower, var.upper)
             ):
                 row = np.zeros(n)
                 row[i] = 1.0
@@ -413,6 +425,24 @@ class ConeProgram:
         if self._sense == "max" and solution.objective is not None:
             solution.objective = -solution.objective
         return solution
+
+    def parametric(self) -> "ParametricProblem":  # noqa: F821 - forward ref
+        """Compile once and wrap the result for repeated parametric re-solve.
+
+        Returns a :class:`repro.solver.parametric.ParametricProblem`; register
+        named right-hand-side / bound parameters on it and drive it through a
+        :class:`repro.solver.parametric.SolveSession` to solve a family of
+        related programs without re-compiling.
+        """
+        from repro.solver.parametric import ParametricProblem
+
+        return ParametricProblem(self)
+
+    def session(self, backend: str = "auto", **options: object) -> "SolveSession":  # noqa: F821
+        """Shorthand for ``SolveSession(self.parametric(), backend, options)``."""
+        from repro.solver.parametric import SolveSession
+
+        return SolveSession(self.parametric(), backend=backend, options=options)
 
     # -- convenience -------------------------------------------------------------
     def sum(self, values: Sequence[ExpressionLike]) -> AffineExpression:

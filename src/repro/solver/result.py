@@ -6,6 +6,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional
 
+import numpy as np
+
 from repro.exceptions import FormulationError
 from repro.solver.expression import AffineExpression, ExpressionLike, Variable
 
@@ -46,6 +48,12 @@ class Solution:
         Wall-clock time spent inside the backend, in seconds.
     message:
         Free-form diagnostic message from the backend.
+    stats:
+        Backend-specific solve statistics.  The barrier backend records
+        ``phase1_skipped`` (the initial point was already strictly feasible),
+        ``phase1_newton_iterations``, ``newton_iterations`` (phase II) and
+        ``outer_iterations``; other backends leave the mapping empty.  All
+        values are JSON-serialisable.
     """
 
     status: SolverStatus
@@ -55,6 +63,11 @@ class Solution:
     iterations: int = 0
     solve_time: float = 0.0
     message: str = ""
+    stats: Dict[str, object] = field(default_factory=dict)
+    #: A well-interior point of the feasible region (the first-rung central
+    #: point of a barrier solve), used by solve sessions as a re-centering
+    #: hint for the next related solve.  Not part of the optimum.
+    interior_point: Optional["np.ndarray"] = None
 
     @property
     def is_optimal(self) -> bool:

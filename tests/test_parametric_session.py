@@ -1,0 +1,430 @@
+"""Tests of the parametric/warm-start solve stack.
+
+Covers all four layers of the compile-once pipeline:
+
+* solver — :class:`~repro.solver.parametric.ParametricProblem` /
+  :class:`~repro.solver.parametric.SolveSession`;
+* core — :class:`~repro.core.formulation.ParametricSocpFormulation` and
+  :meth:`~repro.core.allocator.JointAllocator.session`;
+* trade-off — session-backed sweeps equivalent to rebuild-per-point sweeps,
+  and the solver-failure propagation contract;
+* batch — sweep families through :meth:`~repro.batch.executor.BatchExecutor.
+  run_sweep`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AllocatorOptions, JointAllocator, TradeoffExplorer
+from repro.core.formulation import ParametricSocpFormulation
+from repro.exceptions import (
+    FormulationError,
+    InfeasibleProblemError,
+    NumericalError,
+)
+from repro.solver import ConeProgram, SolveSession, SolverStatus
+from repro.taskgraph.generators import (
+    chain_configuration,
+    producer_consumer_configuration,
+    random_dag_configuration,
+)
+
+
+# -- solver layer -------------------------------------------------------------
+class TestParametricProblem:
+    def _program(self):
+        program = ConeProgram("parametric-demo")
+        x = program.add_variable("x", lower=0.0, upper=10.0)
+        y = program.add_variable("y", lower=0.5, upper=10.0)
+        program.add_hyperbolic(x, y, bound=4.0)
+        program.add_less_equal(x + y, 12.0, name="sum")
+        program.minimize(x + 2.0 * y)
+        return program, x, y
+
+    def test_register_and_set_rhs(self):
+        program, x, _ = self._program()
+        parametric = program.parametric()
+        parametric.register_rhs("total", "sum")
+        parametric.register_upper_bound("xmax", x)
+        parametric.set("total", 8.0)
+        parametric.set("xmax", 5.0)
+        assert parametric.parameters == {"total": 8.0, "xmax": 5.0}
+        assert parametric.value("total") == pytest.approx(8.0)
+
+    def test_unknown_rows_and_parameters_are_rejected(self):
+        program, x, _ = self._program()
+        parametric = program.parametric()
+        with pytest.raises(FormulationError, match="no inequality row"):
+            parametric.register_rhs("nope", "missing-row")
+        parametric.register_upper_bound("xmax", x)
+        with pytest.raises(FormulationError, match="duplicate parameter"):
+            parametric.register_upper_bound("xmax", x)
+        with pytest.raises(FormulationError, match="unknown parameter"):
+            parametric.set("nope", 1.0)
+
+    def test_session_matches_fresh_solves(self):
+        """Re-solving after parameter updates must match cold rebuilds."""
+        program, x, _ = self._program()
+        session = program.session(backend="barrier")
+        session.parametric.register_upper_bound("xmax", x)
+        for limit in (10.0, 6.0, 2.5):
+            solution = session.solve(parameters={"xmax": limit})
+            fresh = ConeProgram("fresh")
+            fx = fresh.add_variable("x", lower=0.0, upper=limit)
+            fy = fresh.add_variable("y", lower=0.5, upper=10.0)
+            fresh.add_hyperbolic(fx, fy, bound=4.0)
+            fresh.add_less_equal(fx + fy, 12.0, name="sum")
+            fresh.minimize(fx + 2.0 * fy)
+            reference = fresh.solve(backend="barrier")
+            assert solution.is_optimal and reference.is_optimal
+            assert solution.objective == pytest.approx(reference.objective, abs=1e-6)
+        assert session.stats.compiles == 1
+        assert session.stats.solves == 3
+        assert session.stats.warm_started == 2
+
+    def test_warm_start_skips_phase_one(self):
+        program, x, _ = self._program()
+        session = program.session(backend="barrier")
+        session.parametric.register_upper_bound("xmax", x)
+        session.solve(parameters={"xmax": 10.0})
+        relaxed = session.solve(parameters={"xmax": 9.0})
+        assert relaxed.stats["phase1_skipped"] is True
+        assert relaxed.stats["warm_started"] is True
+        assert session.stats.phase1_skipped >= 1
+
+    def test_reset_forces_cold_solve(self):
+        program, x, _ = self._program()
+        session = program.session(backend="barrier")
+        session.parametric.register_upper_bound("xmax", x)
+        session.solve(parameters={"xmax": 10.0})
+        session.reset()
+        solution = session.solve(parameters={"xmax": 9.0})
+        assert solution.stats["warm_started"] is False
+
+    def test_infeasible_point_keeps_session_usable(self):
+        program, x, _ = self._program()
+        session = program.session(backend="barrier")
+        session.parametric.register_upper_bound("xmax", x)
+        assert session.solve(parameters={"xmax": 10.0}).is_optimal
+        # x·y ≥ 4 with x ≤ 0.3, y ≤ 10 is infeasible (0.3·10 < 4).
+        infeasible = session.solve(parameters={"xmax": 0.3})
+        assert infeasible.status is SolverStatus.INFEASIBLE
+        recovered = session.solve(parameters={"xmax": 10.0})
+        assert recovered.is_optimal
+
+
+# -- core layer ----------------------------------------------------------------
+class TestParametricSocpFormulation:
+    def test_limits_raise_like_the_rebuild_path(self):
+        configuration = producer_consumer_configuration()
+        parametric = ParametricSocpFormulation(configuration)
+        with pytest.raises(InfeasibleProblemError, match="budget upper bound"):
+            parametric.apply_limits(budget_limits={"wa": 0.5})
+        with pytest.raises(InfeasibleProblemError, match="smallest feasible"):
+            parametric.apply_limits(capacity_limits={"bab": 0})
+
+    def test_pinned_limits_are_reported(self):
+        configuration = producer_consumer_configuration()
+        parametric = ParametricSocpFormulation(configuration)
+        # Capacity 1 equals the buffer's smallest feasible capacity: the
+        # rebuild path represents that as an equality, so the parametric
+        # path must flag it instead of silently mis-modelling it.
+        pinned = parametric.apply_limits(capacity_limits={"bab": 1})
+        assert pinned == ["capacity[bab]"]
+        assert parametric.apply_limits(capacity_limits={"bab": 4}) == []
+
+
+class TestAllocationSession:
+    def test_session_matches_one_shot_allocate(self):
+        configuration = producer_consumer_configuration()
+        allocator = JointAllocator(options=AllocatorOptions(run_simulation=False))
+        session = allocator.session(configuration)
+        for limit in (5, 3, 8):
+            mapped = session.allocate(capacity_limits={"bab": limit})
+            reference = allocator.allocate(
+                configuration, capacity_limits={"bab": limit}
+            )
+            assert mapped.budgets == reference.budgets
+            assert mapped.buffer_capacities == reference.buffer_capacities
+            for task in reference.relaxed_budgets:
+                assert mapped.relaxed_budgets[task] == pytest.approx(
+                    reference.relaxed_budgets[task], abs=1e-6
+                )
+        assert session.stats.compiles == 1
+        assert session.stats.solves == 3
+
+    def test_solver_info_carries_solve_stats(self):
+        configuration = producer_consumer_configuration()
+        allocator = JointAllocator(options=AllocatorOptions(run_simulation=False))
+        session = allocator.session(configuration)
+        mapped = session.allocate(capacity_limits={"bab": 5})
+        stats = mapped.solver_info["solve_stats"]
+        assert "phase1_skipped" in stats
+        assert "newton_iterations" in stats
+
+    def test_pinned_point_falls_back_to_rebuild(self):
+        configuration = producer_consumer_configuration()
+        allocator = JointAllocator(options=AllocatorOptions(run_simulation=False))
+        session = allocator.session(configuration)
+        mapped = session.allocate(capacity_limits={"bab": 1})
+        assert mapped.solver_info["solve_stats"].get("rebuild") is True
+        # The rebuilt point's work is folded into the session aggregates: the
+        # extra compilation and solve must not be under-reported.
+        assert session.stats.rebuilds == 1
+        assert session.stats.compiles == 2
+        assert session.stats.solves == 1
+        assert session.stats.newton_iterations > 0
+        reference = allocator.allocate(configuration, capacity_limits={"bab": 1})
+        assert mapped.budgets == reference.budgets
+
+
+class TestWarmStartEquivalence:
+    """Property-style equivalence: session sweeps vs rebuild-per-point."""
+
+    CONFIGURATIONS = [
+        ("chain-4", lambda: chain_configuration(stages=4), range(1, 9)),
+        (
+            "dag-seed1",
+            lambda: random_dag_configuration(
+                task_count=5, processor_count=5, seed=1
+            ),
+            range(2, 12),
+        ),
+        (
+            "dag-seed7",
+            lambda: random_dag_configuration(
+                task_count=7, processor_count=7, seed=7
+            ),
+            range(2, 12),
+        ),
+        # A tight period makes the smallest capacity bounds infeasible, so
+        # the verdict equivalence is exercised too.
+        (
+            "pc-tight",
+            lambda: producer_consumer_configuration(period=3.5),
+            range(1, 8),
+        ),
+    ]
+
+    @pytest.mark.parametrize(
+        "name,build,sweep", CONFIGURATIONS, ids=[c[0] for c in CONFIGURATIONS]
+    )
+    def test_session_sweep_equals_rebuild_sweep(self, name, build, sweep):
+        configuration = build()
+        options = AllocatorOptions(run_simulation=False, verify=False)
+        explorer = TradeoffExplorer(allocator_options=options)
+        curve = explorer.sweep_capacity_limit(configuration, sweep)
+
+        allocator = JointAllocator(options=options)
+        buffer_names = [
+            buffer.name for _, buffer in configuration.all_buffers()
+        ]
+        for limit, point in zip(sweep, curve.points):
+            limits = {buffer: int(limit) for buffer in buffer_names}
+            try:
+                reference = allocator.allocate(configuration, capacity_limits=limits)
+            except InfeasibleProblemError:
+                assert point.feasible is False, (
+                    f"{name}@{limit}: session feasible, rebuild infeasible"
+                )
+                continue
+            assert point.feasible is True, (
+                f"{name}@{limit}: session infeasible, rebuild feasible"
+            )
+            for task, budget in reference.relaxed_budgets.items():
+                assert point.relaxed_budgets[task] == pytest.approx(
+                    budget, abs=1e-6
+                ), f"{name}@{limit}: budget[{task}]"
+            assert point.budgets == reference.budgets
+            assert point.capacities == reference.buffer_capacities
+
+    def test_compile_happens_exactly_once_per_sweep(self):
+        configuration = random_dag_configuration(
+            task_count=5, processor_count=5, seed=1
+        )
+        explorer = TradeoffExplorer(
+            allocator_options=AllocatorOptions(run_simulation=False, verify=False)
+        )
+        curve = explorer.sweep_capacity_limit(configuration, range(2, 12))
+        assert curve.solver_stats["compiles"] == 1
+        assert curve.solver_stats["solves"] == len(curve.feasible_points())
+
+    def test_phase_one_skipped_on_most_points(self):
+        configuration = random_dag_configuration(
+            task_count=6, processor_count=6, seed=3
+        )
+        explorer = TradeoffExplorer(
+            allocator_options=AllocatorOptions(run_simulation=False, verify=False)
+        )
+        curve = explorer.sweep_capacity_limit(configuration, range(3, 23))
+        stats = curve.solver_stats
+        assert stats["solves"] == 20
+        assert stats["phase1_skipped"] >= stats["solves"] // 2
+
+
+def _statically_infeasible_configuration():
+    """A configuration whose *unlimited* SOCP is already contradictory.
+
+    ``wa``'s max_budget (2) lies below the throughput-implied budget floor
+    ``ρ·χ/µ = 40·1/10 = 4``, so building the formulation raises
+    :class:`InfeasibleProblemError` before any capacity limit is applied.
+    """
+    from repro.taskgraph.buffer import Buffer
+    from repro.taskgraph.configuration import Configuration
+    from repro.taskgraph.graph import TaskGraph
+    from repro.taskgraph.platform import homogeneous_platform
+    from repro.taskgraph.task import Task
+
+    platform = homogeneous_platform(processor_count=2, replenishment_interval=40.0)
+    graph = TaskGraph(name="T1", period=10.0)
+    graph.add_task(Task(name="wa", wcet=1.0, processor="p1", max_budget=2.0))
+    graph.add_task(Task(name="wb", wcet=1.0, processor="p2"))
+    graph.add_buffer(Buffer(name="bab", source="wa", target="wb", memory="m1"))
+    return Configuration(
+        platform=platform, task_graphs=[graph], name="static-infeasible"
+    )
+
+
+class TestStaticallyInfeasibleConfigurations:
+    """Session construction failures must not change the sweep contracts."""
+
+    def test_sweep_yields_all_infeasible_points(self):
+        explorer = TradeoffExplorer(
+            allocator_options=AllocatorOptions(run_simulation=False)
+        )
+        curve = explorer.sweep_capacity_limit(
+            _statically_infeasible_configuration(), [5, 10]
+        )
+        assert [point.feasible for point in curve.points] == [False, False]
+        assert curve.capacity_limits() == [5, 10]
+
+    def test_minimal_capacity_returns_none(self):
+        explorer = TradeoffExplorer(
+            allocator_options=AllocatorOptions(run_simulation=False)
+        )
+        assert (
+            explorer.minimal_capacity_for_budget(
+                _statically_infeasible_configuration(),
+                budget_limit=10.0,
+                capacity_limits=[5, 10],
+            )
+            is None
+        )
+
+
+class TestSolverFailurePropagation:
+    """The satellite bugfix: only genuine infeasibility is swallowed."""
+
+    def _explorer_with_failing_session(self, monkeypatch, error):
+        explorer = TradeoffExplorer(
+            allocator_options=AllocatorOptions(run_simulation=False)
+        )
+
+        class FailingSession:
+            stats = None
+
+            def allocate(self, **kwargs):
+                raise error
+
+        monkeypatch.setattr(
+            type(explorer.allocator), "session", lambda self, cfg: FailingSession()
+        )
+        return explorer
+
+    def test_minimal_capacity_propagates_numerical_errors(self, monkeypatch):
+        explorer = self._explorer_with_failing_session(
+            monkeypatch, NumericalError("solver diverged")
+        )
+        with pytest.raises(NumericalError, match="solver diverged"):
+            explorer.minimal_capacity_for_budget(
+                producer_consumer_configuration(),
+                budget_limit=10.0,
+                capacity_limits=[1, 2, 3],
+            )
+
+    def test_minimal_capacity_continues_past_infeasibility(self, monkeypatch):
+        explorer = self._explorer_with_failing_session(
+            monkeypatch, InfeasibleProblemError("genuinely impossible")
+        )
+        result = explorer.minimal_capacity_for_budget(
+            producer_consumer_configuration(),
+            budget_limit=10.0,
+            capacity_limits=[1, 2],
+        )
+        assert result is None
+
+    def test_sweep_propagates_numerical_errors(self, monkeypatch):
+        explorer = self._explorer_with_failing_session(
+            monkeypatch, NumericalError("solver diverged")
+        )
+        with pytest.raises(NumericalError):
+            explorer.sweep_capacity_limit(
+                producer_consumer_configuration(), [1, 2]
+            )
+
+
+# -- batch layer ---------------------------------------------------------------
+class TestBatchSweepFamilies:
+    def test_run_sweep_returns_points_and_stats(self):
+        from repro.batch import BatchExecutor, ExecutorConfig
+
+        executor = BatchExecutor(
+            config=ExecutorConfig(fallback_backends=())
+        )
+        result = executor.run_sweep(
+            producer_consumer_configuration(), range(1, 6)
+        )
+        assert result.status == "ok"
+        assert [point["capacity_limit"] for point in result.points] == [1, 2, 3, 4, 5]
+        # Limit 1 pins the buffer's capacity onto its lower bound, which is a
+        # rebuild-fallback point — honestly counted as a second compilation.
+        assert result.solver_stats["rebuilds"] == 1
+        assert result.solver_stats["compiles"] == 2
+        assert all(point["feasible"] for point in result.points)
+
+    def test_run_sweep_family_is_cached_as_one_unit(self, tmp_path):
+        from repro.batch import BatchExecutor, ResultCache
+
+        cache = ResultCache(tmp_path / "cache")
+        configuration = producer_consumer_configuration()
+        cold = BatchExecutor(cache=cache).run_sweep(configuration, range(1, 6))
+        assert cold.from_cache is False
+        assert len(cache) == 1
+        warm = BatchExecutor(cache=cache).run_sweep(configuration, range(1, 6))
+        assert warm.from_cache is True
+        assert warm.points == cold.points
+        # A different sweep over the same configuration is a different family.
+        other = BatchExecutor(cache=cache).run_sweep(configuration, range(1, 4))
+        assert other.from_cache is False
+
+    def test_family_cache_key_ignores_fallback_backends(self, tmp_path):
+        """Families never apply fallback, so the fallback list must not
+        fragment the family cache."""
+        from repro.batch import BatchExecutor, ExecutorConfig, ResultCache
+
+        cache = ResultCache(tmp_path / "cache")
+        configuration = producer_consumer_configuration()
+        cold = BatchExecutor(
+            config=ExecutorConfig(fallback_backends=("scipy",)), cache=cache
+        ).run_sweep(configuration, range(1, 4))
+        warm = BatchExecutor(
+            config=ExecutorConfig(fallback_backends=()), cache=cache
+        ).run_sweep(configuration, range(1, 4))
+        assert cold.from_cache is False
+        assert warm.from_cache is True
+        assert warm.points == cold.points
+
+    def test_item_result_stats_round_trip(self):
+        from repro.batch.executor import ItemResult, STATUS_OK
+
+        result = ItemResult(
+            label="x",
+            key="k",
+            status=STATUS_OK,
+            budgets={"wa": 18.0},
+            stats={"phase1_skipped": True, "newton_iterations": 42},
+        )
+        clone = ItemResult.from_dict(result.to_dict())
+        assert clone.stats == result.stats
+        assert clone.deterministic_dict() == result.deterministic_dict()
