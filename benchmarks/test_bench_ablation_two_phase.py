@@ -9,7 +9,6 @@ pressure (room for at most 6 containers).
 
 from __future__ import annotations
 
-import math
 
 import pytest
 

@@ -7,7 +7,8 @@ Task Graphs"*, DATE 2010.
 The library is organised in layers:
 
 * :mod:`repro.taskgraph` — the application model (task graphs, FIFO buffers,
-  processors, memories, configurations).
+  processors, memories, configurations, multi-application workloads sharing
+  one platform).
 * :mod:`repro.dataflow` — the single-rate dataflow substrate (SRDF graphs,
   periodic admissible schedules, maximum cycle ratio, self-timed simulation,
   the two-actor-per-task construction for budget schedulers).
@@ -70,7 +71,9 @@ from repro.core import (
     TradeoffExplorer,
     TradeoffPoint,
     VerificationReport,
+    WorkloadSocpFormulation,
     allocate,
+    allocate_workload,
     verify_mapping,
 )
 from repro.exceptions import (
@@ -79,6 +82,7 @@ from repro.exceptions import (
     BindingError,
     FormulationError,
     GraphStructureError,
+    InfeasibleModelError,
     InfeasibleProblemError,
     ModelError,
     NumericalError,
@@ -92,12 +96,17 @@ from repro.taskgraph import (
     Configuration,
     ConfigurationBuilder,
     MappedConfiguration,
+    MappedWorkload,
     Memory,
     Platform,
     Processor,
     Task,
     TaskGraph,
+    Workload,
     homogeneous_platform,
+    load_workload,
+    random_workload,
+    save_workload,
 )
 
 __version__ = "1.0.0"
@@ -119,9 +128,11 @@ __all__ = [
     "ResultCache",
     "FormulationError",
     "GraphStructureError",
+    "InfeasibleModelError",
     "InfeasibleProblemError",
     "JointAllocator",
     "MappedConfiguration",
+    "MappedWorkload",
     "Memory",
     "ModelError",
     "NumericalError",
@@ -139,11 +150,17 @@ __all__ = [
     "TradeoffPoint",
     "UnboundedProblemError",
     "VerificationReport",
+    "Workload",
+    "WorkloadSocpFormulation",
     "aggregate_results",
     "allocate",
+    "allocate_workload",
     "homogeneous_platform",
     "load_campaign",
+    "load_workload",
+    "random_workload",
     "run_campaign",
+    "save_workload",
     "verify_mapping",
     "__version__",
 ]

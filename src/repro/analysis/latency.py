@@ -17,7 +17,7 @@ provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.exceptions import AnalysisError
 from repro.dataflow.construction import (

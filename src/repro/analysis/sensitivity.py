@@ -8,7 +8,7 @@ analysis (which buffer is most worth enlarging next) for general graphs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.exceptions import InfeasibleProblemError

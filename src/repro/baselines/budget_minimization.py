@@ -18,7 +18,7 @@ Two independent methods are provided:
 from __future__ import annotations
 
 import math
-from typing import Dict, Mapping, Optional
+from typing import Mapping, Optional
 
 from repro.exceptions import InfeasibleProblemError
 from repro.core.allocator import AllocatorOptions, JointAllocator

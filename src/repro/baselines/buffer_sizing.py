@@ -22,7 +22,6 @@ from repro.core.objective import ObjectiveWeights
 from repro.core.rounding import round_capacities
 from repro.dataflow.construction import (
     ActorRole,
-    QueueKind,
     build_srdf_specification,
 )
 from repro.solver.expression import AffineExpression, Variable, linear_sum

@@ -4,8 +4,8 @@ This layer turns the single-shot allocator into a high-throughput batch
 service:
 
 * :mod:`repro.batch.campaign` — declarative JSON campaign specifications
-  composing the synthetic generators and explicit configurations into
-  deterministic parameter sweeps.
+  composing the synthetic generators, explicit configurations and
+  multi-application workloads into deterministic parameter sweeps.
 * :mod:`repro.batch.executor` — the parallel engine: result-cache lookup,
   process-pool fan-out, per-item timeouts, solver-backend fallback, and
   streaming structured results.

@@ -26,7 +26,12 @@ The schema (``format_version`` 1)::
 
         // an explicit configuration, optionally swept over a common
         // per-buffer capacity bound ("low:high" or a list)
-        {"configuration_path": "configs/decoder.json", "capacity_sweep": "1:10"}
+        {"configuration_path": "configs/decoder.json", "capacity_sweep": "1:10"},
+
+        // a multi-application workload (inline or by path), solved jointly
+        // on its shared platform; capacity_sweep bounds every buffer of
+        // every application
+        {"workload_path": "workloads/set-top-box.json", "capacity_sweep": [2, 4, 8]}
       ]
     }
 
@@ -50,6 +55,12 @@ from typing import Dict, List, Mapping, Optional, Sequence, Union
 from repro.exceptions import ModelError
 from repro.taskgraph import serialization
 from repro.taskgraph.configuration import Configuration
+from repro.taskgraph.workload import (
+    Workload,
+    load_workload,
+    workload_from_dict,
+    workload_to_dict,
+)
 from repro.taskgraph.generators import (
     chain_configuration,
     fork_join_configuration,
@@ -74,15 +85,30 @@ GENERATORS = {
 
 @dataclass
 class CampaignItem:
-    """One allocation problem of an expanded campaign."""
+    """One allocation problem of an expanded campaign.
+
+    Either a single ``configuration`` (with optional flat ``capacity_limits``)
+    or a multi-application ``workload`` (with optional *per-application*
+    ``workload_capacity_limits``), never both.
+    """
 
     label: str
-    configuration: Configuration
+    configuration: Optional[Configuration] = None
     capacity_limits: Optional[Dict[str, int]] = None
+    workload: Optional[Workload] = None
+    workload_capacity_limits: Optional[Dict[str, Dict[str, int]]] = None
 
     def configuration_dict(self) -> Dict[str, object]:
         """The canonical dictionary form used for hashing and pickling."""
+        if self.workload is not None:
+            return workload_to_dict(self.workload)
         return serialization.configuration_to_dict(self.configuration)
+
+    def limits(self) -> Optional[Dict[str, object]]:
+        """The capacity limits in whichever shape this item carries."""
+        if self.workload is not None:
+            return self.workload_capacity_limits
+        return self.capacity_limits
 
 
 def parse_capacity_values(value: object) -> List[int]:
@@ -147,6 +173,8 @@ class CampaignEntry:
     count: Optional[int] = None
     configuration: Optional[Dict[str, object]] = None
     configuration_path: Optional[str] = None
+    workload: Optional[Dict[str, object]] = None
+    workload_path: Optional[str] = None
     capacity_sweep: Optional[List[int]] = None
 
     @classmethod
@@ -158,6 +186,8 @@ class CampaignEntry:
             "count",
             "configuration",
             "configuration_path",
+            "workload",
+            "workload_path",
             "capacity_sweep",
         }
         unknown = set(data) - known
@@ -165,13 +195,20 @@ class CampaignEntry:
             raise ModelError(f"unknown campaign entry fields: {sorted(unknown)}")
         sources = [
             key
-            for key in ("generator", "configuration", "configuration_path")
+            for key in (
+                "generator",
+                "configuration",
+                "configuration_path",
+                "workload",
+                "workload_path",
+            )
             if data.get(key) is not None
         ]
         if len(sources) != 1:
             raise ModelError(
                 "each campaign entry needs exactly one of 'generator', "
-                "'configuration' or 'configuration_path'"
+                "'configuration', 'configuration_path', 'workload' or "
+                "'workload_path'"
             )
         entry = cls(
             generator=data.get("generator"),
@@ -180,6 +217,8 @@ class CampaignEntry:
             count=None if data.get("count") is None else int(data["count"]),
             configuration=data.get("configuration"),
             configuration_path=data.get("configuration_path"),
+            workload=data.get("workload"),
+            workload_path=data.get("workload_path"),
             capacity_sweep=(
                 None
                 if data.get("capacity_sweep") is None
@@ -240,6 +279,10 @@ class CampaignEntry:
             data["configuration"] = self.configuration
         if self.configuration_path is not None:
             data["configuration_path"] = self.configuration_path
+        if self.workload is not None:
+            data["workload"] = self.workload
+        if self.workload_path is not None:
+            data["workload_path"] = self.workload_path
         if self.capacity_sweep is not None:
             data["capacity_sweep"] = list(self.capacity_sweep)
         return data
@@ -307,15 +350,28 @@ class CampaignSpec:
         rng = random.Random(f"{self.seed}:{entry_index}")
         return [rng.randrange(2**31) for _ in range(count)]
 
+    def _resolve_path(self, path_text: str) -> Path:
+        path = Path(path_text)
+        if not path.is_absolute() and self.base_dir is not None:
+            path = self.base_dir / path
+        return path
+
     def _entry_configurations(self, index: int, entry: CampaignEntry):
+        """Yield ``(label, Configuration | Workload)`` pairs for one entry."""
+        if entry.workload is not None or entry.workload_path is not None:
+            if entry.workload is not None:
+                workload = workload_from_dict(entry.workload)
+            else:
+                workload = load_workload(self._resolve_path(entry.workload_path))
+            yield f"{index}:{workload.name}", workload
+            return
         if entry.generator is None:
             if entry.configuration is not None:
                 configuration = serialization.configuration_from_dict(entry.configuration)
             else:
-                path = Path(entry.configuration_path)
-                if not path.is_absolute() and self.base_dir is not None:
-                    path = self.base_dir / path
-                configuration = serialization.load_configuration(path)
+                configuration = serialization.load_configuration(
+                    self._resolve_path(entry.configuration_path)
+                )
             yield f"{index}:{configuration.name}", configuration
             return
 
@@ -340,18 +396,19 @@ class CampaignSpec:
         """Expand the campaign into its deterministic, ordered list of items."""
         items: List[CampaignItem] = []
         for index, entry in enumerate(self.entries):
-            for label, configuration in self._entry_configurations(index, entry):
-                if entry.capacity_sweep is None:
-                    items.append(CampaignItem(label=label, configuration=configuration))
+            for label, subject in self._entry_configurations(index, entry):
+                if isinstance(subject, Workload):
+                    items.extend(self._workload_items(label, subject, entry))
                     continue
-                buffer_names = [
-                    buffer.name for _, buffer in configuration.all_buffers()
-                ]
+                if entry.capacity_sweep is None:
+                    items.append(CampaignItem(label=label, configuration=subject))
+                    continue
+                buffer_names = [buffer.name for _, buffer in subject.all_buffers()]
                 for limit in entry.capacity_sweep:
                     items.append(
                         CampaignItem(
                             label=f"{label}@cap{limit}",
-                            configuration=configuration,
+                            configuration=subject,
                             capacity_limits={name: int(limit) for name in buffer_names},
                         )
                     )
@@ -360,6 +417,25 @@ class CampaignSpec:
         if duplicates:
             raise ModelError(f"campaign expands to duplicate labels: {sorted(duplicates)}")
         return items
+
+    @staticmethod
+    def _workload_items(label: str, workload: Workload, entry: CampaignEntry):
+        """Expand one workload subject, applying ``capacity_sweep`` to every
+        buffer of every application."""
+        if entry.capacity_sweep is None:
+            yield CampaignItem(label=label, workload=workload)
+            return
+        for limit in entry.capacity_sweep:
+            yield CampaignItem(
+                label=f"{label}@cap{limit}",
+                workload=workload,
+                workload_capacity_limits={
+                    application.name: {
+                        name: int(limit) for name in application.buffer_names()
+                    }
+                    for application in workload.applications
+                },
+            )
 
 
 def load_campaign(path: Union[str, Path]) -> CampaignSpec:

@@ -205,10 +205,14 @@ def _solve_payload(payload: Dict[str, object]) -> Dict[str, object]:
     process pool.  Never raises: every failure mode maps to a terminal
     status so a single bad item cannot abort a campaign.
 
-    Two payload shapes are accepted:
+    Three payload shapes are accepted:
 
     * a single item (``capacity_limits``) — solved through
       :meth:`JointAllocator.allocate` with backend fallback;
+    * a *workload* item (``workload``) — a multi-application workload solved
+      jointly through :meth:`JointAllocator.allocate_workload` (per-app
+      budgets/capacities are reported flattened as
+      ``"<application>/<name>"``), with the same backend fallback;
     * a *sweep family* (``capacity_sweep``) — a whole capacity sweep over one
       configuration, solved through the session API
       (:meth:`~repro.core.tradeoff.TradeoffExplorer.sweep_capacity_limit`)
@@ -231,6 +235,9 @@ def _solve_payload(payload: Dict[str, object]) -> Dict[str, object]:
         "error": None,
         "stats": {},
     }
+    if payload.get("workload") is not None:
+        return _solve_workload_payload(payload, base, start)
+
     try:
         configuration = serialization.configuration_from_dict(payload["configuration"])
         weights = resolve_weights(options["weights"])
@@ -278,13 +285,7 @@ def _solve_payload(payload: Dict[str, object]) -> Dict[str, object]:
         base["solve_seconds"] = time.perf_counter() - start
         return base
 
-    attempts = [options["backend"]] + [
-        backend
-        for backend in options["fallback_backends"]
-        if backend != options["backend"]
-    ]
-    last_error: Optional[str] = None
-    for backend in attempts:
+    def solve(backend: str) -> Dict[str, object]:
         allocator = JointAllocator(
             weights=weights,
             options=AllocatorOptions(
@@ -293,34 +294,108 @@ def _solve_payload(payload: Dict[str, object]) -> Dict[str, object]:
                 run_simulation=options["run_simulation"],
             ),
         )
+        mapped = allocator.allocate(
+            configuration, capacity_limits=payload.get("capacity_limits")
+        )
+        return {
+            "budgets": dict(mapped.budgets),
+            "buffer_capacities": dict(mapped.buffer_capacities),
+            "relaxed_budgets": dict(mapped.relaxed_budgets),
+            "relaxed_capacities": dict(mapped.relaxed_capacities),
+            "objective_value": mapped.objective_value,
+            "backend_used": str(mapped.solver_info.get("backend", backend)),
+            "stats": dict(mapped.solver_info.get("solve_stats", {})),
+        }
+
+    return _run_with_backend_fallback(base, options, start, solve)
+
+
+def _run_with_backend_fallback(
+    base: Dict[str, object],
+    options: Dict[str, object],
+    start: float,
+    solve: Callable[[str], Dict[str, object]],
+) -> Dict[str, object]:
+    """Try ``solve(backend)`` over the configured backend chain.
+
+    The single definition of the per-item fallback contract, shared by the
+    single-configuration and workload payload shapes: infeasibility
+    (including the validation screens' :class:`~repro.exceptions.
+    InfeasibleModelError`) is a definite answer that ends the item
+    immediately, any other failure moves on to the next fallback backend,
+    and exhausting the chain yields a terminal error status.  ``solve``
+    returns the result fields merged into ``base`` on success.
+    """
+    attempts = [options["backend"]] + [
+        backend
+        for backend in options["fallback_backends"]
+        if backend != options["backend"]
+    ]
+    last_error: Optional[str] = None
+    for backend in attempts:
         try:
-            mapped = allocator.allocate(
-                configuration, capacity_limits=payload.get("capacity_limits")
-            )
+            fields = solve(backend)
         except InfeasibleProblemError as error:
             # Infeasibility is a definite answer, not a solver failure:
             # trying another backend would only burn time.
             base.update(status=STATUS_INFEASIBLE, error=str(error), backend_used=backend)
-            base["solve_seconds"] = time.perf_counter() - start
-            return base
+            break
         except Exception as error:  # noqa: BLE001 - numerical failures trigger fallback
             last_error = f"{backend}: {error}"
             continue
-        base.update(
-            status=STATUS_OK,
-            budgets=dict(mapped.budgets),
-            buffer_capacities=dict(mapped.buffer_capacities),
-            relaxed_budgets=dict(mapped.relaxed_budgets),
-            relaxed_capacities=dict(mapped.relaxed_capacities),
-            objective_value=mapped.objective_value,
-            backend_used=str(mapped.solver_info.get("backend", backend)),
-            stats=dict(mapped.solver_info.get("solve_stats", {})),
-        )
-        base["solve_seconds"] = time.perf_counter() - start
-        return base
-    base.update(status=STATUS_ERROR, error=last_error)
+        base.update(status=STATUS_OK, **fields)
+        break
+    else:
+        base.update(status=STATUS_ERROR, error=last_error)
     base["solve_seconds"] = time.perf_counter() - start
     return base
+
+
+def _solve_workload_payload(
+    payload: Dict[str, object], base: Dict[str, object], start: float
+) -> Dict[str, object]:
+    """Solve one serialised workload item (joint multi-application allocation).
+
+    Same terminal-status and backend-fallback contract as the
+    single-configuration branch of :func:`_solve_payload`; per-application
+    results are flattened into the item fields with
+    ``"<application>/<name>"`` keys so :class:`ItemResult` and the
+    aggregation layer work unchanged.
+    """
+    from repro.taskgraph.workload import workload_from_dict
+
+    options = payload["options"]
+    try:
+        workload = workload_from_dict(payload["workload"])
+        weights = resolve_weights(options["weights"])
+    except Exception as error:  # noqa: BLE001 - malformed payloads become item errors
+        base.update(status=STATUS_ERROR, error=str(error))
+        base["solve_seconds"] = time.perf_counter() - start
+        return base
+
+    def solve(backend: str) -> Dict[str, object]:
+        allocator = JointAllocator(
+            weights=weights,
+            options=AllocatorOptions(
+                backend=backend,
+                verify=options["verify"],
+                run_simulation=options["run_simulation"],
+            ),
+        )
+        mapped = allocator.allocate_workload(
+            workload, capacity_limits=payload.get("capacity_limits")
+        )
+        return {
+            "budgets": mapped.flattened("budgets"),
+            "buffer_capacities": mapped.flattened("buffer_capacities"),
+            "relaxed_budgets": mapped.flattened("relaxed_budgets"),
+            "relaxed_capacities": mapped.flattened("relaxed_capacities"),
+            "objective_value": mapped.objective_value,
+            "backend_used": str(mapped.solver_info.get("backend", backend)),
+            "stats": dict(mapped.solver_info.get("solve_stats", {})),
+        }
+
+    return _run_with_backend_fallback(base, options, start, solve)
 
 
 @dataclass
@@ -403,7 +478,7 @@ class BatchExecutor:
         waiters: Dict[str, List[Tuple[int, str]]] = {}
         for index, item in enumerate(items):
             configuration_dict = item.configuration_dict()
-            key = cache_key(configuration_dict, options, item.capacity_limits)
+            key = cache_key(configuration_dict, options, item.limits())
             if key in waiters:
                 waiters[key].append((index, item.label))
                 continue
@@ -412,18 +487,17 @@ class BatchExecutor:
                 yield index, self._load(cached, item.label, key, from_cache=True)
                 continue
             waiters[key] = [(index, item.label)]
-            pending.append(
-                (
-                    key,
-                    {
-                        "label": item.label,
-                        "key": key,
-                        "configuration": configuration_dict,
-                        "capacity_limits": item.capacity_limits,
-                        "options": options,
-                    },
-                )
-            )
+            payload: Dict[str, object] = {
+                "label": item.label,
+                "key": key,
+                "capacity_limits": item.limits(),
+                "options": options,
+            }
+            if item.workload is not None:
+                payload["workload"] = configuration_dict
+            else:
+                payload["configuration"] = configuration_dict
+            pending.append((key, payload))
 
         if self.config.workers <= 1 or len(pending) <= 1:
             if self.config.timeout is not None and pending:

@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.exceptions import BindingError, ModelError
+from repro.exceptions import BindingError
 from repro.taskgraph.buffer import Buffer
 from repro.taskgraph.configuration import Configuration
 from repro.taskgraph.graph import TaskGraph

@@ -6,6 +6,9 @@ writing Python:
 * ``repro-map allocate <config.json>`` — run the joint budget/buffer
   computation on a configuration stored as JSON and print (or write) the
   mapped configuration.
+* ``repro-map allocate-workload <workload.json>`` — jointly allocate a
+  multi-application workload on its shared platform and print the per-
+  application mappings plus the per-processor budget split.
 * ``repro-map sweep <config.json> --capacities 1:10`` — reproduce a
   budget-vs-buffer trade-off sweep for an arbitrary configuration.
 * ``repro-map experiments`` — regenerate the paper's figures.
@@ -102,6 +105,19 @@ def _parse_capacity_range(text: str) -> List[int]:
 
 
 # -- sub-commands ----------------------------------------------------------------
+def _single_solve_stats(solver_info: dict) -> dict:
+    """The ``--stats`` totals for one solve, from a mapping's solver_info."""
+    stats = dict(solver_info.get("solve_stats", {}))
+    return {
+        "solves": 1,
+        "warm_started": 1 if stats.get("warm_started") else 0,
+        "phase1_skipped": 1 if stats.get("phase1_skipped") else 0,
+        "newton_iterations": int(stats.get("newton_iterations", 0)),
+        "phase1_newton_iterations": int(stats.get("phase1_newton_iterations", 0)),
+        "solve_time": float(solver_info.get("solve_time", 0.0) or 0.0),
+    }
+
+
 def _cmd_allocate(arguments: argparse.Namespace) -> int:
     configuration = _load_configuration(arguments.configuration)
     allocator = JointAllocator(
@@ -129,6 +145,50 @@ def _cmd_allocate(arguments: argparse.Namespace) -> int:
                 for name, capacity in sorted(mapped.buffer_capacities.items())
             ]
         ))
+    if arguments.stats:
+        print()
+        print(_render_solve_stats(_single_solve_stats(mapped.solver_info)))
+    return EXIT_OK
+
+
+def _cmd_allocate_workload(arguments: argparse.Namespace) -> int:
+    from repro.taskgraph.workload import load_workload, mapped_workload_to_dict
+
+    workload = load_workload(arguments.workload)
+    allocator = JointAllocator(
+        weights=_weights(arguments.weights),
+        options=AllocatorOptions(backend=arguments.backend),
+    )
+    try:
+        mapped = allocator.allocate_workload(workload)
+    except InfeasibleProblemError as error:
+        print(f"infeasible: {error}", file=sys.stderr)
+        return EXIT_INFEASIBLE
+
+    if arguments.output:
+        payload = mapped_workload_to_dict(mapped)
+        Path(arguments.output).write_text(json.dumps(payload, indent=2, sort_keys=True))
+        print(f"mapped workload written to {arguments.output}")
+    else:
+        budget_rows = [
+            {"application": app_name, "task": task_name, "budget": budget}
+            for app_name, app_mapped in mapped.applications.items()
+            for task_name, budget in sorted(app_mapped.budgets.items())
+        ]
+        capacity_rows = [
+            {"application": app_name, "buffer": buffer_name, "capacity": capacity}
+            for app_name, app_mapped in mapped.applications.items()
+            for buffer_name, capacity in sorted(app_mapped.buffer_capacities.items())
+        ]
+        print(render_table(budget_rows))
+        print()
+        print(render_table(capacity_rows))
+        print()
+        print("budget split per shared processor:")
+        print(render_table(mapped.budget_split_rows()))
+    if arguments.stats:
+        print()
+        print(_render_solve_stats(_single_solve_stats(mapped.solver_info)))
     return EXIT_OK
 
 
@@ -288,8 +348,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     allocate_parser.add_argument("configuration", help="path to a configuration JSON file")
     allocate_parser.add_argument("--output", help="write the mapped configuration JSON here")
+    allocate_parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print solver statistics (phase-I skips, Newton iterations, solve time)",
+    )
     add_common(allocate_parser)
     allocate_parser.set_defaults(handler=_cmd_allocate)
+
+    allocate_workload_parser = subparsers.add_parser(
+        "allocate-workload",
+        help="jointly allocate a multi-application workload on its shared platform",
+        description="Solve the block-structured cone program of a workload "
+        "(several applications sharing one platform) and report per-"
+        "application budgets/capacities plus the per-processor budget split.",
+    )
+    allocate_workload_parser.add_argument(
+        "workload", help="path to a workload JSON file"
+    )
+    allocate_workload_parser.add_argument(
+        "--output", help="write the mapped workload JSON here"
+    )
+    allocate_workload_parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print solver statistics (phase-I skips, Newton iterations, solve time)",
+    )
+    add_common(allocate_workload_parser)
+    allocate_workload_parser.set_defaults(handler=_cmd_allocate_workload)
 
     validate_parser = subparsers.add_parser(
         "validate", help="validate a configuration and run the feasibility screen"

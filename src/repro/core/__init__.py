@@ -6,6 +6,12 @@
 * :class:`~repro.core.allocator.AllocationSession` /
   :class:`~repro.core.formulation.ParametricSocpFormulation` — compile-once,
   warm-started re-solve for families of allocations (trade-off sweeps).
+* :class:`~repro.core.formulation.FormulationBlock` /
+  :class:`~repro.core.formulation.WorkloadSocpFormulation` — per-application
+  formulation blocks joined by shared capacity rows;
+  :meth:`~repro.core.allocator.JointAllocator.allocate_workload` and
+  :class:`~repro.core.allocator.WorkloadSession` solve whole multi-application
+  workloads on one shared platform.
 * :class:`~repro.core.tradeoff.TradeoffExplorer` — budget/buffer trade-off sweeps.
 * :class:`~repro.core.objective.ObjectiveWeights` — objective weighting presets.
 * :mod:`~repro.core.rounding` — conservative rounding rules.
@@ -16,12 +22,17 @@ from repro.core.allocator import (
     AllocationSession,
     AllocatorOptions,
     JointAllocator,
+    WorkloadSession,
     allocate,
+    allocate_workload,
 )
 from repro.core.formulation import (
+    FormulationBlock,
     FormulationVariables,
     ParametricSocpFormulation,
+    ParametricWorkloadFormulation,
     SocpFormulation,
+    WorkloadSocpFormulation,
 )
 from repro.core.objective import ObjectiveWeights
 from repro.core.rounding import (
@@ -37,16 +48,21 @@ from repro.core.validation import VerificationReport, verify_mapping
 __all__ = [
     "AllocationSession",
     "AllocatorOptions",
+    "FormulationBlock",
     "FormulationVariables",
     "JointAllocator",
     "ObjectiveWeights",
     "ParametricSocpFormulation",
+    "ParametricWorkloadFormulation",
     "SocpFormulation",
     "TradeoffCurve",
     "TradeoffExplorer",
     "TradeoffPoint",
     "VerificationReport",
+    "WorkloadSession",
+    "WorkloadSocpFormulation",
     "allocate",
+    "allocate_workload",
     "round_budget",
     "round_budgets",
     "round_capacities",

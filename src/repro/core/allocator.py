@@ -11,6 +11,15 @@ vary only capacity/budget limits — :meth:`JointAllocator.session` returns an
 :class:`AllocationSession` that compiles the cone program once and re-solves
 it per point with warm starts, instead of rebuilding everything from Python
 objects for every point.
+
+Multi-application workloads go through the same machinery:
+:meth:`JointAllocator.allocate_workload` solves the block-structured program
+of a :class:`~repro.taskgraph.workload.Workload` (one formulation block per
+application, coupled through the shared processor/memory rows) and returns a
+:class:`~repro.taskgraph.workload.MappedWorkload` with per-application
+rounding, verification and budget-split reporting;
+:meth:`JointAllocator.workload_session` is the compile-once counterpart for
+families of workload allocations.
 """
 
 from __future__ import annotations
@@ -24,13 +33,19 @@ from repro.exceptions import (
     NumericalError,
     UnboundedProblemError,
 )
-from repro.core.formulation import ParametricSocpFormulation, SocpFormulation
+from repro.core.formulation import (
+    ParametricSocpFormulation,
+    ParametricWorkloadFormulation,
+    SocpFormulation,
+    WorkloadSocpFormulation,
+)
 from repro.core.objective import ObjectiveWeights
 from repro.core.rounding import round_budgets, round_capacities
 from repro.core.validation import VerificationReport, verify_mapping
 from repro.solver.parametric import SessionStats, SolveSession
 from repro.solver.result import Solution, SolverStatus
 from repro.taskgraph.configuration import Configuration, MappedConfiguration
+from repro.taskgraph.workload import MappedWorkload, Workload
 
 
 @dataclass
@@ -89,7 +104,7 @@ class JointAllocator:
             budget_limits=budget_limits,
         )
         solution = formulation.solve(backend=self.options.backend)
-        self._check_status(solution, configuration)
+        self._check_status(solution, configuration.name)
         return self._finalize(
             configuration,
             solution,
@@ -107,6 +122,54 @@ class JointAllocator:
         other family of allocations that differ only in their limits.
         """
         return AllocationSession(self, configuration)
+
+    def allocate_workload(
+        self,
+        workload: Workload,
+        capacity_limits: Optional[Mapping[str, Mapping[str, int]]] = None,
+        budget_limits: Optional[Mapping[str, Mapping[str, float]]] = None,
+        weights: Optional[ObjectiveWeights] = None,
+    ) -> MappedWorkload:
+        """Jointly allocate every application of a workload on the shared platform.
+
+        One block-structured cone program is built and solved: per-application
+        variables and throughput constraints, coupled only through the shared
+        processor and memory capacity rows.  The result is rounded and
+        verified per application (each with its own granularity and dataflow
+        analyses) and packaged as a
+        :class:`~repro.taskgraph.workload.MappedWorkload`.
+
+        Parameters
+        ----------
+        workload:
+            The input workload (validated before solving).
+        capacity_limits, budget_limits:
+            Optional *per-application* additional upper bounds: mappings from
+            application name to the per-buffer / per-task limit maps
+            :meth:`allocate` takes.
+        weights:
+            Objective weighting; overrides the allocator-level default.
+        """
+        workload.validate()
+        formulation = WorkloadSocpFormulation(
+            workload,
+            weights=weights or self.weights,
+            capacity_limits=capacity_limits,
+            budget_limits=budget_limits,
+        )
+        solution = formulation.solve(backend=self.options.backend)
+        self._check_status(solution, workload.name)
+        return self._finalize_workload(workload, formulation, solution)
+
+    def workload_session(self, workload: Workload) -> "WorkloadSession":
+        """Open a compile-once allocation session over ``workload``.
+
+        The multi-application counterpart of :meth:`session`: the
+        block-structured program compiles once, and each
+        :meth:`WorkloadSession.allocate` call rewrites only the
+        per-application limit parameters and re-solves with a warm start.
+        """
+        return WorkloadSession(self, workload)
 
     def _finalize(
         self,
@@ -144,6 +207,59 @@ class JointAllocator:
                 )
         return mapped
 
+    def _finalize_workload(
+        self,
+        workload: Workload,
+        formulation: WorkloadSocpFormulation,
+        solution: Solution,
+    ) -> MappedWorkload:
+        """Round per application, package and (optionally) verify one optimum."""
+        relaxed_budgets = formulation.budgets_by_application(solution)
+        relaxed_capacities = formulation.capacities_by_application(solution)
+        solver_info = {
+            "backend": solution.backend,
+            "status": solution.status.value,
+            "iterations": solution.iterations,
+            "solve_time": solution.solve_time,
+            "solve_stats": dict(solution.stats),
+        }
+        applications: Dict[str, MappedConfiguration] = {}
+        for application in workload.applications:
+            configuration = application.configuration
+            budgets = round_budgets(
+                relaxed_budgets[application.name], configuration.granularity
+            )
+            capacities = round_capacities(relaxed_capacities[application.name])
+            applications[application.name] = MappedConfiguration(
+                configuration=configuration,
+                budgets=budgets,
+                buffer_capacities=capacities,
+                relaxed_budgets=relaxed_budgets[application.name],
+                relaxed_capacities=relaxed_capacities[application.name],
+                # The application's own share of the joint objective (its
+                # blocks' terms evaluated at the shared optimum), comparable
+                # to a stand-alone allocate() of the same application.
+                objective_value=formulation.block(application.name).objective_value(
+                    solution
+                ),
+                solver_info=dict(solver_info),
+            )
+        mapped = MappedWorkload(
+            workload=workload,
+            applications=applications,
+            objective_value=solution.objective,
+            solver_info=solver_info,
+        )
+        if self.options.verify:
+            report = self.verify_workload(mapped)
+            mapped.solver_info["verification"] = report.summary()
+            if not report.is_valid and self.options.raise_on_verification_failure:
+                raise AllocationError(
+                    "the rounded workload mapping failed verification:\n"
+                    + report.summary()
+                )
+        return mapped
+
     def verify(self, mapped: MappedConfiguration) -> VerificationReport:
         """Verify a mapped configuration with independent dataflow analyses."""
         return verify_mapping(
@@ -152,28 +268,144 @@ class JointAllocator:
             run_simulation=self.options.run_simulation,
         )
 
+    def verify_workload(self, mapped: MappedWorkload) -> VerificationReport:
+        """Verify a mapped workload: every application plus the shared resources.
+
+        Each application's mapping runs through the full independent
+        verification (periodic schedule existence, self-timed simulation,
+        value checks) against *its own* task graphs; on top of that, the
+        budgets and buffer footprints summed over every application are
+        checked against the shared processor and memory capacities — the
+        coupling the per-application checks cannot see.
+        """
+        report = VerificationReport()
+        for name, app_mapped in mapped.applications.items():
+            app_report = self.verify(app_mapped)
+            report.checked_graphs += app_report.checked_graphs
+            for graph_name, period in app_report.minimum_periods.items():
+                report.minimum_periods[f"{name}/{graph_name}"] = period
+            for issue in app_report.issues:
+                report.add_issue(f"application {name!r}: {issue}")
+        platform = mapped.workload.platform
+        for processor_name, processor in platform.processors.items():
+            total = mapped.total_budget(processor_name) + processor.scheduling_overhead
+            if total > processor.replenishment_interval + 1e-9:
+                report.add_issue(
+                    f"processor {processor_name!r}: the applications' budgets plus "
+                    f"overhead use {total:.6g} of the replenishment interval "
+                    f"{processor.replenishment_interval:.6g}"
+                )
+        for memory_name, memory in platform.memories.items():
+            if not memory.is_bounded:
+                continue
+            usage = mapped.total_storage(memory_name)
+            if usage > memory.capacity + 1e-9:
+                report.add_issue(
+                    f"memory {memory_name!r}: the applications' buffers use "
+                    f"{usage:.6g} of only {memory.capacity:.6g} available"
+                )
+        return report
+
     @staticmethod
-    def _check_status(solution: Solution, configuration: Configuration) -> None:
+    def _check_status(solution: Solution, name: str) -> None:
         if solution.status is SolverStatus.OPTIMAL:
             return
         if solution.status is SolverStatus.INFEASIBLE:
             raise InfeasibleProblemError(
                 f"no budgets and buffer capacities satisfy the throughput "
-                f"requirements of configuration {configuration.name!r} within its "
+                f"requirements of {name!r} within its "
                 f"processor and memory capacities"
             )
         if solution.status is SolverStatus.UNBOUNDED:
             raise UnboundedProblemError(
-                f"the optimisation problem for configuration {configuration.name!r} "
+                f"the optimisation problem for {name!r} "
                 f"is unbounded; check the objective weights"
             )
         raise NumericalError(
-            f"the solver failed on configuration {configuration.name!r}: "
+            f"the solver failed on {name!r}: "
             f"{solution.status.value} ({solution.message})"
         )
 
 
-class AllocationSession:
+class _LimitSession:
+    """Shared control flow of compile-once, warm-started allocation sessions.
+
+    Subclasses provide the parametric formulation (built once in their
+    constructor), the per-point rebuild formulation and the finalisation of
+    an optimal solution; everything else — the pinned-bound rebuild fallback,
+    warm-start seeding, statistics accounting — lives here exactly once, so
+    single-configuration and workload sessions cannot diverge.
+    """
+
+    allocator: JointAllocator
+    _parametric: object
+
+    def _open(self, allocator: JointAllocator, parametric, subject_name: str) -> None:
+        self.allocator = allocator
+        self._parametric = parametric
+        self._subject_name = subject_name
+        self._session = SolveSession(
+            parametric.parametric, backend=allocator.options.backend
+        )
+        self._initial = parametric.initial_point()
+
+    # -- subclass hooks ----------------------------------------------------------
+    def _build_formulation(self, capacity_limits, budget_limits):
+        raise NotImplementedError
+
+    def _finalize(self, formulation, solution: Solution):
+        raise NotImplementedError
+
+    # -- shared session protocol -------------------------------------------------
+    @property
+    def stats(self) -> SessionStats:
+        """Aggregate solve statistics across every point of the session."""
+        return self._session.stats
+
+    def allocate(
+        self,
+        capacity_limits=None,
+        budget_limits=None,
+        warm_start: bool = True,
+    ):
+        """Re-solve for one set of limits.
+
+        ``warm_start=False`` ignores the previous optimum for this point
+        (used by benchmarks to isolate the warm-start gain); the compiled
+        problem is still reused.
+        """
+        pinned = self._parametric.apply_limits(capacity_limits, budget_limits)
+        if pinned:
+            return self._rebuild_point(capacity_limits, budget_limits)
+        solution = self._session.solve(
+            initial_point=self._initial, warm_start=warm_start
+        )
+        self.allocator._check_status(solution, self._subject_name)
+        return self._finalize(self._parametric.formulation, solution)
+
+    def _rebuild_point(self, capacity_limits, budget_limits):
+        """Solve one point the rebuild way (limits baked into fresh bounds)."""
+        stats = self._session.stats
+        stats.rebuilds += 1
+        stats.compiles += 1
+        formulation = self._build_formulation(capacity_limits, budget_limits)
+        solution = formulation.solve(backend=self.allocator.options.backend)
+        # Fold the rebuilt point's work into the session aggregates so that
+        # the reported statistics cover every point of the sweep.
+        stats.record_solution(solution)
+        self.allocator._check_status(solution, self._subject_name)
+        mapped = self._finalize(formulation, solution)
+        mapped.solver_info["solve_stats"] = {
+            **mapped.solver_info.get("solve_stats", {}),
+            "rebuild": True,
+        }
+        # The rebuilt optimum is a valid (usually near-boundary) point of the
+        # parametric program too; let it seed the next point's warm start.
+        self._session.seed(solution.by_name())
+        return mapped
+
+
+class AllocationSession(_LimitSession):
     """Warm-started allocation over one configuration, compiled exactly once.
 
     Created through :meth:`JointAllocator.session`.  The session builds and
@@ -186,46 +418,29 @@ class AllocationSession:
     exactly on a variable's lower bound, which the formulation represents as
     an equality row (counted in :attr:`stats` as a rebuild; the rebuilt
     optimum still seeds the warm start of subsequent points).
+
+    :meth:`allocate` has the same contract as :meth:`JointAllocator.allocate`
+    for this session's configuration (flat per-buffer / per-task limit maps).
     """
 
     def __init__(self, allocator: JointAllocator, configuration: Configuration) -> None:
         configuration.validate()
-        self.allocator = allocator
         self.configuration = configuration
-        self._parametric = ParametricSocpFormulation(
-            configuration, weights=allocator.weights
+        self._open(
+            allocator,
+            ParametricSocpFormulation(configuration, weights=allocator.weights),
+            configuration.name,
         )
-        self._session = SolveSession(
-            self._parametric.parametric, backend=allocator.options.backend
+
+    def _build_formulation(self, capacity_limits, budget_limits) -> SocpFormulation:
+        return SocpFormulation(
+            self.configuration,
+            weights=self.allocator.weights,
+            capacity_limits=capacity_limits,
+            budget_limits=budget_limits,
         )
-        self._initial = self._parametric.initial_point()
 
-    @property
-    def stats(self) -> SessionStats:
-        """Aggregate solve statistics across every point of the session."""
-        return self._session.stats
-
-    def allocate(
-        self,
-        capacity_limits: Optional[Mapping[str, int]] = None,
-        budget_limits: Optional[Mapping[str, float]] = None,
-        warm_start: bool = True,
-    ) -> MappedConfiguration:
-        """Re-solve for one set of limits; same contract as
-        :meth:`JointAllocator.allocate` for this session's configuration.
-
-        ``warm_start=False`` ignores the previous optimum for this point
-        (used by benchmarks to isolate the warm-start gain); the compiled
-        problem is still reused.
-        """
-        pinned = self._parametric.apply_limits(capacity_limits, budget_limits)
-        if pinned:
-            return self._rebuild_point(capacity_limits, budget_limits)
-        solution = self._session.solve(
-            initial_point=self._initial, warm_start=warm_start
-        )
-        self.allocator._check_status(solution, self.configuration)
-        formulation = self._parametric.formulation
+    def _finalize(self, formulation, solution: Solution) -> MappedConfiguration:
         return self.allocator._finalize(
             self.configuration,
             solution,
@@ -233,40 +448,65 @@ class AllocationSession:
             formulation.extract_capacities(solution),
         )
 
-    def _rebuild_point(
+    def allocate(
         self,
-        capacity_limits: Optional[Mapping[str, int]],
-        budget_limits: Optional[Mapping[str, float]],
+        capacity_limits: Optional[Mapping[str, int]] = None,
+        budget_limits: Optional[Mapping[str, float]] = None,
+        warm_start: bool = True,
     ) -> MappedConfiguration:
-        """Solve one point the rebuild way (limits baked into fresh bounds)."""
-        stats = self._session.stats
-        stats.rebuilds += 1
-        stats.compiles += 1
-        formulation = SocpFormulation(
-            self.configuration,
+        return super().allocate(capacity_limits, budget_limits, warm_start)
+
+
+class WorkloadSession(_LimitSession):
+    """Warm-started allocation over one workload, compiled exactly once.
+
+    Created through :meth:`JointAllocator.workload_session`.  The session
+    builds and compiles the block-structured program a single time with every
+    application's capacity/budget limits exposed as namespaced parameters;
+    every :meth:`allocate` call rewrites only those parameters and re-solves,
+    seeding the barrier method with the previous optimum — the compile-once
+    and phase-I-skip behaviour of :class:`AllocationSession` carries over to
+    the multi-application case unchanged (both ride the same
+    :class:`_LimitSession` control flow).
+
+    As in the single-configuration session, a limit landing exactly on a
+    variable's lower bound falls back to a per-point rebuild (counted in
+    :attr:`stats`; the rebuilt optimum still seeds subsequent warm starts).
+
+    :meth:`allocate` has the same contract as
+    :meth:`JointAllocator.allocate_workload` for this session's workload
+    (*per-application* limit maps).
+    """
+
+    def __init__(self, allocator: JointAllocator, workload: Workload) -> None:
+        workload.validate()
+        self.workload = workload
+        self._open(
+            allocator,
+            ParametricWorkloadFormulation(workload, weights=allocator.weights),
+            workload.name,
+        )
+
+    def _build_formulation(
+        self, capacity_limits, budget_limits
+    ) -> WorkloadSocpFormulation:
+        return WorkloadSocpFormulation(
+            self.workload,
             weights=self.allocator.weights,
             capacity_limits=capacity_limits,
             budget_limits=budget_limits,
         )
-        solution = formulation.solve(backend=self.allocator.options.backend)
-        # Fold the rebuilt point's work into the session aggregates so that
-        # the reported statistics cover every point of the sweep.
-        stats.record_solution(solution)
-        self.allocator._check_status(solution, self.configuration)
-        mapped = self.allocator._finalize(
-            self.configuration,
-            solution,
-            formulation.extract_budgets(solution),
-            formulation.extract_capacities(solution),
-        )
-        mapped.solver_info["solve_stats"] = {
-            **mapped.solver_info.get("solve_stats", {}),
-            "rebuild": True,
-        }
-        # The rebuilt optimum is a valid (usually near-boundary) point of the
-        # parametric program too; let it seed the next point's warm start.
-        self._session.seed(solution.by_name())
-        return mapped
+
+    def _finalize(self, formulation, solution: Solution) -> MappedWorkload:
+        return self.allocator._finalize_workload(self.workload, formulation, solution)
+
+    def allocate(
+        self,
+        capacity_limits: Optional[Mapping[str, Mapping[str, int]]] = None,
+        budget_limits: Optional[Mapping[str, Mapping[str, float]]] = None,
+        warm_start: bool = True,
+    ) -> MappedWorkload:
+        return super().allocate(capacity_limits, budget_limits, warm_start)
 
 
 def allocate(
@@ -279,3 +519,16 @@ def allocate(
     options = AllocatorOptions(backend=backend, verify=verify)
     allocator = JointAllocator(weights=weights, options=options)
     return allocator.allocate(configuration)
+
+
+def allocate_workload(
+    workload: Workload,
+    weights: Optional[ObjectiveWeights] = None,
+    backend: str = "auto",
+    verify: bool = True,
+) -> MappedWorkload:
+    """Functional convenience wrapper around
+    :meth:`JointAllocator.allocate_workload`."""
+    options = AllocatorOptions(backend=backend, verify=verify)
+    allocator = JointAllocator(weights=weights, options=options)
+    return allocator.allocate_workload(workload)

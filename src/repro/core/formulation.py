@@ -1,4 +1,4 @@
-"""The SOCP formulation of Algorithm 1.
+"""The SOCP formulation of Algorithm 1, assembled from per-application blocks.
 
 Given a configuration, :class:`SocpFormulation` builds the second-order cone
 program of the paper:
@@ -19,6 +19,20 @@ program of the paper:
 * **Constraint (10)** per bounded memory: the relaxed capacities plus one
   container of rounding slack per buffer fit in the memory.
 * **Objective (5)**: minimise the weighted sum of budgets and capacities.
+
+Block structure
+---------------
+
+The program is not built monolithically: every application contributes one
+:class:`FormulationBlock` holding its variables, its cone constraints
+(Constraints (6)–(8)) and its objective terms, all namespaced per
+application.  The applications are coupled **only** through the shared
+capacity rows — Constraint (9) per processor and Constraint (10) per bounded
+memory — which the assembler sums over every block.  A single-configuration
+:class:`SocpFormulation` is exactly the 1-block special case (with an empty
+namespace, so variable and constraint names are unchanged);
+:class:`WorkloadSocpFormulation` assembles one block per application of a
+:class:`~repro.taskgraph.workload.Workload`.
 """
 
 from __future__ import annotations
@@ -32,7 +46,6 @@ import networkx as nx
 from repro.exceptions import FormulationError, InfeasibleProblemError
 from repro.core.objective import ObjectiveWeights
 from repro.dataflow.construction import (
-    QueueKind,
     SrdfSpecification,
     build_srdf_specification,
 )
@@ -41,6 +54,8 @@ from repro.solver.parametric import ParametricProblem
 from repro.solver.problem import ConeProgram, bounds_collapse
 from repro.solver.result import Solution
 from repro.taskgraph.configuration import Configuration
+from repro.taskgraph.platform import Platform
+from repro.taskgraph.workload import Workload
 
 
 @dataclass
@@ -53,8 +68,433 @@ class FormulationVariables:
     start_times: Dict[str, AffineExpression] = field(default_factory=dict)
 
 
-class SocpFormulation:
-    """Builder of the joint budget / buffer-size cone program (Algorithm 1)."""
+# -- shared bound arithmetic -------------------------------------------------------
+def effective_budget_bounds(
+    configuration: Configuration,
+    graph,
+    task,
+    budget_limits: Mapping[str, float],
+) -> Tuple[float, float]:
+    """The effective ``β'(w)`` bounds under ``budget_limits``.
+
+    The single definition of the budget-bound arithmetic: block assembly uses
+    it at build time, and the parametric layer re-evaluates it per sweep
+    point — both paths therefore raise the same
+    :class:`InfeasibleProblemError` for contradictory bounds.
+
+    ``β'(w) ≥ ̺·χ/µ`` is implied by Constraints (7)+(8) on the self-loop;
+    stating it as a bound tightens the relaxation the solver works with
+    without changing the optimum.
+    """
+    processor = configuration.platform.processor(task.processor)
+    rho = processor.replenishment_interval
+    lower = rho * task.wcet / graph.period
+    if task.min_budget is not None:
+        lower = max(lower, task.min_budget)
+    upper = processor.allocatable_capacity - configuration.granularity
+    if task.max_budget is not None:
+        upper = min(upper, task.max_budget)
+    if task.name in budget_limits:
+        upper = min(upper, float(budget_limits[task.name]))
+    if upper < lower - 1e-12:
+        raise InfeasibleProblemError(
+            f"task {task.name!r}: the budget upper bound {upper:.6g} is "
+            f"below the lower bound {lower:.6g} implied by the throughput "
+            f"requirement"
+        )
+    return lower, upper
+
+
+def effective_capacity_bounds(
+    buffer, default_bound: float, capacity_limits: Mapping[str, int]
+) -> Tuple[float, float]:
+    """The effective ``γ'(b)`` bounds under ``capacity_limits``.
+
+    Like :func:`effective_budget_bounds`, shared between build-time variable
+    creation and the parametric per-point re-evaluation.
+    """
+    lower = float(buffer.smallest_feasible_capacity)
+    upper = default_bound + buffer.initial_tokens
+    if buffer.max_capacity is not None:
+        upper = min(upper, float(buffer.max_capacity))
+    if buffer.name in capacity_limits:
+        upper = min(upper, float(capacity_limits[buffer.name]))
+    if upper < lower - 1e-12:
+        raise InfeasibleProblemError(
+            f"buffer {buffer.name!r}: the capacity upper bound {upper:.6g} "
+            f"is below the smallest feasible capacity {lower:.6g}"
+        )
+    return lower, upper
+
+
+def sufficient_capacity_bound(configuration: Configuration, graph) -> float:
+    """A buffer capacity that is always enough for this task graph.
+
+    Any simple cycle of the constructed SRDF graph visits each task's
+    actor pair at most once, and each pair contributes at most
+    ``̺(p) + ̺(p)·χ(w)/β_min(w) = ̺(p) + µ`` to the cycle's duration
+    (using the throughput-implied budget lower bound).  A space queue
+    carrying ``⌈Σ(̺(p) + µ)/µ⌉`` tokens therefore satisfies Constraint (1)
+    on every cycle through it regardless of the other variables, so
+    capping capacities at this value (plus the initial tokens) never cuts
+    off the optimum while keeping the feasible region bounded.
+    """
+    total = 0.0
+    for task in graph.tasks:
+        processor = configuration.platform.processor(task.processor)
+        total += processor.replenishment_interval + graph.period
+    return math.ceil(total / graph.period) + 1.0
+
+
+class FormulationBlock:
+    """The per-application slice of the cone program.
+
+    A block owns everything that is private to one application: its decision
+    variables (budgets, reciprocals, capacities, start times), the precedence
+    and hyperbolic constraints of its SRDF graphs, and its objective terms.
+    Variable and constraint names are qualified with the block's ``namespace``
+    (empty for the single-configuration case, the application name in
+    workloads), so blocks from different applications never collide even when
+    their task names do.
+
+    Blocks expose their per-resource usage (:meth:`processor_budget_terms`,
+    :meth:`memory_usage_terms`) so the assembler can join them through the
+    shared capacity rows — the only coupling between applications.
+    """
+
+    def __init__(
+        self,
+        configuration: Configuration,
+        weights: ObjectiveWeights,
+        capacity_limits: Optional[Mapping[str, int]] = None,
+        budget_limits: Optional[Mapping[str, float]] = None,
+        namespace: str = "",
+    ) -> None:
+        self.configuration = configuration
+        self.weights = weights
+        self.capacity_limits = dict(capacity_limits or {})
+        self.budget_limits = dict(budget_limits or {})
+        self.namespace = namespace
+        self.specifications: Dict[str, SrdfSpecification] = {
+            graph.name: build_srdf_specification(graph)
+            for graph in configuration.task_graphs
+        }
+        self.variables = FormulationVariables()
+        self._capacity_defaults: Dict[str, float] = {}
+
+    def qualify(self, name: str) -> str:
+        """The program-level (namespaced) name of a model entity."""
+        return f"{self.namespace}/{name}" if self.namespace else name
+
+    def capacity_default_bound(self, graph) -> float:
+        """Per-graph sufficient capacity bound, cached (the graph is immutable)."""
+        if graph.name not in self._capacity_defaults:
+            self._capacity_defaults[graph.name] = sufficient_capacity_bound(
+                self.configuration, graph
+            )
+        return self._capacity_defaults[graph.name]
+
+    # -- variable creation -------------------------------------------------------
+    def add_task_variables(self, program: ConeProgram) -> None:
+        configuration = self.configuration
+        for graph in configuration.task_graphs:
+            for task in graph.tasks:
+                processor = configuration.platform.processor(task.processor)
+                rho = processor.replenishment_interval
+                lower, upper = effective_budget_bounds(
+                    configuration, graph, task, self.budget_limits
+                )
+                beta = program.add_variable(
+                    f"beta[{self.qualify(task.name)}]", lower=lower, upper=upper
+                )
+                lam = program.add_variable(
+                    f"lambda[{self.qualify(task.name)}]",
+                    lower=1.0 / max(upper, 1e-12),
+                    upper=graph.period / (rho * task.wcet),
+                )
+                self.variables.budgets[task.name] = beta
+                self.variables.reciprocals[task.name] = lam
+
+    def add_capacity_variables(self, program: ConeProgram) -> None:
+        for graph in self.configuration.task_graphs:
+            default_bound = self.capacity_default_bound(graph)
+            for buffer in graph.buffers:
+                lower, upper = effective_capacity_bounds(
+                    buffer, default_bound, self.capacity_limits
+                )
+                capacity = program.add_variable(
+                    f"capacity[{self.qualify(buffer.name)}]", lower=lower, upper=upper
+                )
+                self.variables.capacities[buffer.name] = capacity
+
+    def add_start_time_variables(self, program: ConeProgram) -> None:
+        """One start-time variable per actor, pinning one per weak component.
+
+        Start times only appear in difference constraints, so each weakly
+        connected component of the SRDF graph has a translation symmetry;
+        pinning one actor per component to 0 removes it (the objective does
+        not involve start times, so no optimality is lost).
+        """
+        for spec in self.specifications.values():
+            component_graph = nx.Graph()
+            component_graph.add_nodes_from(spec.actor_names())
+            for queue in spec.queues:
+                component_graph.add_edge(queue.source, queue.target)
+            for component in nx.connected_components(component_graph):
+                reference = sorted(component)[0]
+                self.variables.start_times[reference] = AffineExpression({}, 0.0)
+                for actor_name in sorted(component):
+                    if actor_name == reference:
+                        continue
+                    var = program.add_variable(f"s[{self.qualify(actor_name)}]")
+                    self.variables.start_times[actor_name] = AffineExpression({var: 1.0})
+
+    # -- constraints -----------------------------------------------------------------
+    def _queue_token_expression(self, graph_name: str, queue) -> AffineExpression:
+        """The token count ``δ(e)`` of a queue as an affine expression."""
+        if queue.fixed_tokens is not None:
+            return AffineExpression({}, float(queue.fixed_tokens))
+        graph = self.configuration.task_graph(graph_name)
+        buffer = graph.buffer(queue.buffer)
+        capacity = self.variables.capacities[buffer.name]
+        return AffineExpression({capacity: 1.0}, -float(buffer.initial_tokens))
+
+    def add_precedence_constraints(self, program: ConeProgram) -> None:
+        configuration = self.configuration
+        for graph_name, spec in self.specifications.items():
+            graph = configuration.task_graph(graph_name)
+            period = graph.period
+            for queue in spec.queues:
+                task = graph.task(queue.source_task)
+                processor = configuration.platform.processor(task.processor)
+                rho = processor.replenishment_interval
+                s_source = self.variables.start_times[queue.source]
+                s_target = self.variables.start_times[queue.target]
+
+                if queue.in_queue_set_e1:
+                    # Constraint (6): s_j ≥ s_i + ̺ − β'
+                    beta = self.variables.budgets[task.name]
+                    rhs = s_source + rho - beta
+                    program.add_greater_equal(
+                        s_target, rhs, name=f"e1[{self.qualify(queue.name)}]"
+                    )
+                else:
+                    # Constraint (7): s_j ≥ s_i + ̺·χ·λ − δ(e)·µ
+                    lam = self.variables.reciprocals[task.name]
+                    tokens = self._queue_token_expression(graph_name, queue)
+                    rhs = s_source + lam * (rho * task.wcet) - tokens * period
+                    program.add_greater_equal(
+                        s_target, rhs, name=f"e2[{self.qualify(queue.name)}]"
+                    )
+
+    def add_reciprocal_constraints(self, program: ConeProgram) -> None:
+        for task_name, beta in self.variables.budgets.items():
+            lam = self.variables.reciprocals[task_name]
+            # Constraint (8): λ·β' ≥ 1
+            program.add_hyperbolic(
+                lam, beta, 1.0, name=f"recip[{self.qualify(task_name)}]"
+            )
+
+    # -- coupling contributions ---------------------------------------------------
+    def processor_budget_terms(
+        self, processor_name: str
+    ) -> Tuple[List[Variable], float]:
+        """This block's contribution to Constraint (9) on one processor.
+
+        Returns the budget variables of the block's tasks bound to the
+        processor and the constant slack they carry (one granule of rounding
+        slack per task, at *this application's* granularity).
+        """
+        tasks = self.configuration.tasks_on_processor(processor_name)
+        budgets = [self.variables.budgets[task.name] for task in tasks]
+        return budgets, self.configuration.granularity * len(tasks)
+
+    def memory_usage_terms(self, memory_name: str) -> List[AffineExpression]:
+        """This block's contribution to Constraint (10) on one memory.
+
+        The +1 per buffer pre-charges the conservative rounding of the
+        capacity.
+        """
+        buffers = self.configuration.buffers_in_memory(memory_name)
+        return [
+            (self.variables.capacities[buffer.name] + 1.0) * buffer.container_size
+            for buffer in buffers
+        ]
+
+    def objective_terms(self) -> List[AffineExpression]:
+        """This block's terms of Objective (5)."""
+        terms: List[AffineExpression] = []
+        for graph in self.configuration.task_graphs:
+            for task in graph.tasks:
+                coefficient = self.weights.budget_coefficient(task)
+                if coefficient:
+                    terms.append(self.variables.budgets[task.name] * coefficient)
+            for buffer in graph.buffers:
+                coefficient = self.weights.capacity_coefficient(buffer)
+                if coefficient:
+                    terms.append(self.variables.capacities[buffer.name] * coefficient)
+        return terms
+
+    def objective_value(self, solution: Solution) -> float:
+        """This block's share of Objective (5) at a solution.
+
+        The per-application objective is well defined because every objective
+        term belongs to exactly one block; the shares sum to the joint
+        optimum.
+        """
+        return sum(solution.value(term) for term in self.objective_terms())
+
+    # -- warm start and extraction ------------------------------------------------
+    def initial_point_into(self, values: Dict[Variable, float]) -> None:
+        """Write this block's heuristic warm-start values into ``values``.
+
+        The point strictly satisfies every hyperbolic constraint (``λ·β > 1``)
+        and the simple bound constraints; phase I of the barrier solver
+        repairs any remaining linear infeasibility.
+        """
+        configuration = self.configuration
+        for graph in configuration.task_graphs:
+            for task in graph.tasks:
+                processor = configuration.platform.processor(task.processor)
+                beta_var = self.variables.budgets[task.name]
+                lower = beta_var.lower if beta_var.lower is not None else 1e-3
+                upper = (
+                    beta_var.upper
+                    if beta_var.upper is not None
+                    else processor.replenishment_interval
+                )
+                beta0 = min(max(0.5 * (lower + upper), lower * 1.01), upper * 0.999)
+                values[beta_var] = beta0
+                values[self.variables.reciprocals[task.name]] = 1.05 / beta0
+            for buffer in graph.buffers:
+                cap_var = self.variables.capacities[buffer.name]
+                lower = cap_var.lower if cap_var.lower is not None else 1.0
+                upper = cap_var.upper if cap_var.upper is not None else lower + 8.0
+                values[cap_var] = 0.5 * (lower + upper)
+
+    def extract_budgets(self, solution: Solution) -> Dict[str, float]:
+        """Relaxed budgets ``β'(w)`` at a solution, keyed by bare task names."""
+        return {
+            name: solution.value(var) for name, var in self.variables.budgets.items()
+        }
+
+    def extract_capacities(self, solution: Solution) -> Dict[str, float]:
+        """Relaxed capacities ``γ'(b)`` at a solution, keyed by bare buffer names."""
+        return {
+            name: solution.value(var)
+            for name, var in self.variables.capacities.items()
+        }
+
+    def extract_start_times(self, solution: Solution) -> Dict[str, float]:
+        """Start times ``s(v)`` of this block's SRDF actors at a solution."""
+        return {
+            name: solution.value(expr)
+            for name, expr in self.variables.start_times.items()
+        }
+
+
+class _BlockAssembly:
+    """Shared assembly of per-application blocks into one cone program.
+
+    Subclasses provide ``self.blocks`` (the per-application
+    :class:`FormulationBlock` list), ``self.platform`` (the shared platform)
+    and ``self.program`` before calling :meth:`build`.  The assembler adds
+    every block's variables and cone constraints, then joins the blocks
+    through the shared capacity rows (Constraints (9) and (10)) and the
+    summed objective.
+    """
+
+    blocks: List[FormulationBlock]
+    platform: Platform
+    program: ConeProgram
+    _built: bool
+
+    # -- public API ------------------------------------------------------------
+    def build(self) -> ConeProgram:
+        """Construct the cone program; idempotent."""
+        if self._built:
+            return self.program
+        for block in self.blocks:
+            block.add_task_variables(self.program)
+        for block in self.blocks:
+            block.add_capacity_variables(self.program)
+        for block in self.blocks:
+            block.add_start_time_variables(self.program)
+        for block in self.blocks:
+            block.add_precedence_constraints(self.program)
+        for block in self.blocks:
+            block.add_reciprocal_constraints(self.program)
+        self._add_processor_coupling()
+        self._add_memory_coupling()
+        self._set_objective()
+        self._built = True
+        return self.program
+
+    def initial_point(self) -> Dict[Variable, float]:
+        """A heuristic warm-start point covering every block."""
+        if not self._built:
+            self.build()
+        values: Dict[Variable, float] = {}
+        for block in self.blocks:
+            block.initial_point_into(values)
+        return values
+
+    def solve(self, backend: str = "auto", **options: object) -> Solution:
+        """Build (if necessary) and solve the cone program."""
+        program = self.build()
+        return program.solve(
+            backend=backend, initial_point=self.initial_point(), **options
+        )
+
+    # -- coupling rows ----------------------------------------------------------
+    def _add_processor_coupling(self) -> None:
+        """Constraint (9): all applications' budgets share each processor."""
+        for processor_name, processor in self.platform.processors.items():
+            budgets: List[Variable] = []
+            slack = processor.scheduling_overhead
+            for block in self.blocks:
+                block_budgets, block_slack = block.processor_budget_terms(
+                    processor_name
+                )
+                budgets.extend(block_budgets)
+                slack += block_slack
+            if not budgets:
+                continue
+            total = linear_sum(budgets) + slack
+            self.program.add_less_equal(
+                total,
+                processor.replenishment_interval,
+                name=f"processor[{processor_name}]",
+            )
+
+    def _add_memory_coupling(self) -> None:
+        """Constraint (10): all applications' buffers share each bounded memory."""
+        for memory_name, memory in self.platform.memories.items():
+            if not memory.is_bounded:
+                continue
+            usage_terms: List[AffineExpression] = []
+            for block in self.blocks:
+                usage_terms.extend(block.memory_usage_terms(memory_name))
+            if not usage_terms:
+                continue
+            self.program.add_less_equal(
+                linear_sum(usage_terms), memory.capacity, name=f"memory[{memory_name}]"
+            )
+
+    def _set_objective(self) -> None:
+        terms: List[AffineExpression] = []
+        for block in self.blocks:
+            terms.extend(block.objective_terms())
+        self.program.minimize(linear_sum(terms))
+
+
+class SocpFormulation(_BlockAssembly):
+    """Builder of the joint budget / buffer-size cone program (Algorithm 1).
+
+    The single-configuration case: exactly one :class:`FormulationBlock` with
+    an empty namespace, so variable names (``beta[task]``, ``capacity[buf]``,
+    ``s[actor]``) and constraint names are the same as they always were.
+    """
 
     def __init__(
         self,
@@ -86,363 +526,166 @@ class SocpFormulation:
         self.capacity_limits = dict(capacity_limits or {})
         self.budget_limits = dict(budget_limits or {})
         self.name = name or f"socp[{configuration.name}]"
-        self.specifications: Dict[str, SrdfSpecification] = {
-            graph.name: build_srdf_specification(graph)
-            for graph in configuration.task_graphs
-        }
+        self.platform = configuration.platform
+        self.blocks = [
+            FormulationBlock(
+                configuration,
+                self.weights,
+                capacity_limits=self.capacity_limits,
+                budget_limits=self.budget_limits,
+                namespace="",
+            )
+        ]
+        self.specifications = self.blocks[0].specifications
+        self.variables = self.blocks[0].variables
         self.program = ConeProgram(name=self.name)
-        self.variables = FormulationVariables()
         self._built = False
-
-    # -- public API ------------------------------------------------------------
-    def build(self) -> ConeProgram:
-        """Construct the cone program; idempotent."""
-        if self._built:
-            return self.program
-        self._add_task_variables()
-        self._add_capacity_variables()
-        self._add_start_time_variables()
-        self._add_precedence_constraints()
-        self._add_reciprocal_constraints()
-        self._add_processor_constraints()
-        self._add_memory_constraints()
-        self._set_objective()
-        self._built = True
-        return self.program
-
-    def initial_point(self) -> Dict[Variable, float]:
-        """A heuristic warm-start point.
-
-        The point strictly satisfies every hyperbolic constraint (``λ·β > 1``)
-        and the simple bound constraints; phase I of the barrier solver
-        repairs any remaining linear infeasibility.
-        """
-        if not self._built:
-            self.build()
-        values: Dict[Variable, float] = {}
-        configuration = self.configuration
-        for graph in configuration.task_graphs:
-            for task in graph.tasks:
-                processor = configuration.platform.processor(task.processor)
-                beta_var = self.variables.budgets[task.name]
-                lower = beta_var.lower if beta_var.lower is not None else 1e-3
-                upper = beta_var.upper if beta_var.upper is not None else processor.replenishment_interval
-                beta0 = min(max(0.5 * (lower + upper), lower * 1.01), upper * 0.999)
-                values[beta_var] = beta0
-                values[self.variables.reciprocals[task.name]] = 1.05 / beta0
-            for buffer in graph.buffers:
-                cap_var = self.variables.capacities[buffer.name]
-                lower = cap_var.lower if cap_var.lower is not None else 1.0
-                upper = cap_var.upper if cap_var.upper is not None else lower + 8.0
-                values[cap_var] = 0.5 * (lower + upper)
-        return values
-
-    def solve(self, backend: str = "auto", **options: object) -> Solution:
-        """Build (if necessary) and solve the cone program."""
-        program = self.build()
-        return program.solve(
-            backend=backend, initial_point=self.initial_point(), **options
-        )
 
     # -- solution extraction ------------------------------------------------------
     def extract_budgets(self, solution: Solution) -> Dict[str, float]:
         """Relaxed budgets ``β'(w)`` at a solution."""
-        return {name: solution.value(var) for name, var in self.variables.budgets.items()}
+        return self.blocks[0].extract_budgets(solution)
 
     def extract_capacities(self, solution: Solution) -> Dict[str, float]:
         """Relaxed capacities ``γ'(b)`` at a solution."""
-        return {
-            name: solution.value(var) for name, var in self.variables.capacities.items()
-        }
+        return self.blocks[0].extract_capacities(solution)
 
     def extract_start_times(self, solution: Solution) -> Dict[str, float]:
         """Start times ``s(v)`` of all SRDF actors at a solution."""
-        return {
-            name: solution.value(expr)
-            for name, expr in self.variables.start_times.items()
-        }
-
-    # -- effective bounds ---------------------------------------------------------
-    def _budget_bounds(
-        self, graph, task, budget_limits: Mapping[str, float]
-    ) -> Tuple[float, float]:
-        """The effective ``β'(w)`` bounds under ``budget_limits``.
-
-        The single definition of the budget-bound arithmetic: variable
-        creation uses it at build time, and the parametric layer
-        (:class:`ParametricSocpFormulation`) re-evaluates it per sweep point —
-        both paths therefore raise the same :class:`InfeasibleProblemError`
-        for contradictory bounds.
-
-        ``β'(w) ≥ ̺·χ/µ`` is implied by Constraints (7)+(8) on the self-loop;
-        stating it as a bound tightens the relaxation the solver works with
-        without changing the optimum.
-        """
-        configuration = self.configuration
-        processor = configuration.platform.processor(task.processor)
-        rho = processor.replenishment_interval
-        lower = rho * task.wcet / graph.period
-        if task.min_budget is not None:
-            lower = max(lower, task.min_budget)
-        upper = processor.allocatable_capacity - configuration.granularity
-        if task.max_budget is not None:
-            upper = min(upper, task.max_budget)
-        if task.name in budget_limits:
-            upper = min(upper, float(budget_limits[task.name]))
-        if upper < lower - 1e-12:
-            raise InfeasibleProblemError(
-                f"task {task.name!r}: the budget upper bound {upper:.6g} is "
-                f"below the lower bound {lower:.6g} implied by the throughput "
-                f"requirement"
-            )
-        return lower, upper
-
-    def _capacity_bounds(
-        self, buffer, default_bound: float, capacity_limits: Mapping[str, int]
-    ) -> Tuple[float, float]:
-        """The effective ``γ'(b)`` bounds under ``capacity_limits``.
-
-        Like :meth:`_budget_bounds`, shared between build-time variable
-        creation and the parametric per-point re-evaluation.
-        """
-        lower = float(buffer.smallest_feasible_capacity)
-        upper = default_bound + buffer.initial_tokens
-        if buffer.max_capacity is not None:
-            upper = min(upper, float(buffer.max_capacity))
-        if buffer.name in capacity_limits:
-            upper = min(upper, float(capacity_limits[buffer.name]))
-        if upper < lower - 1e-12:
-            raise InfeasibleProblemError(
-                f"buffer {buffer.name!r}: the capacity upper bound {upper:.6g} "
-                f"is below the smallest feasible capacity {lower:.6g}"
-            )
-        return lower, upper
-
-    # -- variable creation -------------------------------------------------------
-    def _add_task_variables(self) -> None:
-        configuration = self.configuration
-        for graph in configuration.task_graphs:
-            for task in graph.tasks:
-                processor = configuration.platform.processor(task.processor)
-                rho = processor.replenishment_interval
-                lower, upper = self._budget_bounds(graph, task, self.budget_limits)
-                beta = self.program.add_variable(f"beta[{task.name}]", lower=lower, upper=upper)
-                lam = self.program.add_variable(
-                    f"lambda[{task.name}]",
-                    lower=1.0 / max(upper, 1e-12),
-                    upper=graph.period / (rho * task.wcet),
-                )
-                self.variables.budgets[task.name] = beta
-                self.variables.reciprocals[task.name] = lam
-
-    def _sufficient_capacity_bound(self, graph) -> float:
-        """A buffer capacity that is always enough for this task graph.
-
-        Any simple cycle of the constructed SRDF graph visits each task's
-        actor pair at most once, and each pair contributes at most
-        ``̺(p) + ̺(p)·χ(w)/β_min(w) = ̺(p) + µ`` to the cycle's duration
-        (using the throughput-implied budget lower bound).  A space queue
-        carrying ``⌈Σ(̺(p) + µ)/µ⌉`` tokens therefore satisfies Constraint (1)
-        on every cycle through it regardless of the other variables, so
-        capping capacities at this value (plus the initial tokens) never cuts
-        off the optimum while keeping the feasible region bounded.
-        """
-        total = 0.0
-        for task in graph.tasks:
-            processor = self.configuration.platform.processor(task.processor)
-            total += processor.replenishment_interval + graph.period
-        return math.ceil(total / graph.period) + 1.0
-
-    def _add_capacity_variables(self) -> None:
-        for graph in self.configuration.task_graphs:
-            default_bound = self._sufficient_capacity_bound(graph)
-            for buffer in graph.buffers:
-                lower, upper = self._capacity_bounds(
-                    buffer, default_bound, self.capacity_limits
-                )
-                capacity = self.program.add_variable(
-                    f"capacity[{buffer.name}]", lower=lower, upper=upper
-                )
-                self.variables.capacities[buffer.name] = capacity
-
-    def _add_start_time_variables(self) -> None:
-        """One start-time variable per actor, pinning one per weak component.
-
-        Start times only appear in difference constraints, so each weakly
-        connected component of the SRDF graph has a translation symmetry;
-        pinning one actor per component to 0 removes it (the objective does
-        not involve start times, so no optimality is lost).
-        """
-        for spec in self.specifications.values():
-            component_graph = nx.Graph()
-            component_graph.add_nodes_from(spec.actor_names())
-            for queue in spec.queues:
-                component_graph.add_edge(queue.source, queue.target)
-            for component in nx.connected_components(component_graph):
-                reference = sorted(component)[0]
-                self.variables.start_times[reference] = AffineExpression({}, 0.0)
-                for actor_name in sorted(component):
-                    if actor_name == reference:
-                        continue
-                    var = self.program.add_variable(f"s[{actor_name}]")
-                    self.variables.start_times[actor_name] = AffineExpression({var: 1.0})
-
-    # -- constraints -----------------------------------------------------------------
-    def _queue_token_expression(self, graph_name: str, queue) -> AffineExpression:
-        """The token count ``δ(e)`` of a queue as an affine expression."""
-        if queue.fixed_tokens is not None:
-            return AffineExpression({}, float(queue.fixed_tokens))
-        graph = self.configuration.task_graph(graph_name)
-        buffer = graph.buffer(queue.buffer)
-        capacity = self.variables.capacities[buffer.name]
-        return AffineExpression({capacity: 1.0}, -float(buffer.initial_tokens))
-
-    def _add_precedence_constraints(self) -> None:
-        configuration = self.configuration
-        for graph_name, spec in self.specifications.items():
-            graph = configuration.task_graph(graph_name)
-            period = graph.period
-            for queue in spec.queues:
-                task = graph.task(queue.source_task)
-                processor = configuration.platform.processor(task.processor)
-                rho = processor.replenishment_interval
-                s_source = self.variables.start_times[queue.source]
-                s_target = self.variables.start_times[queue.target]
-
-                if queue.in_queue_set_e1:
-                    # Constraint (6): s_j ≥ s_i + ̺ − β'
-                    beta = self.variables.budgets[task.name]
-                    rhs = s_source + rho - beta
-                    self.program.add_greater_equal(
-                        s_target, rhs, name=f"e1[{queue.name}]"
-                    )
-                else:
-                    # Constraint (7): s_j ≥ s_i + ̺·χ·λ − δ(e)·µ
-                    lam = self.variables.reciprocals[task.name]
-                    tokens = self._queue_token_expression(graph_name, queue)
-                    rhs = s_source + lam * (rho * task.wcet) - tokens * period
-                    self.program.add_greater_equal(
-                        s_target, rhs, name=f"e2[{queue.name}]"
-                    )
-
-    def _add_reciprocal_constraints(self) -> None:
-        for task_name, beta in self.variables.budgets.items():
-            lam = self.variables.reciprocals[task_name]
-            # Constraint (8): λ·β' ≥ 1
-            self.program.add_hyperbolic(lam, beta, 1.0, name=f"recip[{task_name}]")
-
-    def _add_processor_constraints(self) -> None:
-        configuration = self.configuration
-        g = configuration.granularity
-        for processor_name, processor in configuration.platform.processors.items():
-            tasks = configuration.tasks_on_processor(processor_name)
-            if not tasks:
-                continue
-            # Constraint (9): ̺ ≥ o + Σ (β' + g)
-            total = linear_sum(
-                [self.variables.budgets[task.name] for task in tasks]
-            ) + g * len(tasks) + processor.scheduling_overhead
-            self.program.add_less_equal(
-                total,
-                processor.replenishment_interval,
-                name=f"processor[{processor_name}]",
-            )
-
-    def _add_memory_constraints(self) -> None:
-        configuration = self.configuration
-        for memory_name, memory in configuration.platform.memories.items():
-            if not memory.is_bounded:
-                continue
-            buffers = configuration.buffers_in_memory(memory_name)
-            if not buffers:
-                continue
-            # Constraint (10): ς ≥ Σ (γ' + 1)·ζ, the +1 pre-charging the
-            # conservative rounding of the capacity.
-            usage = linear_sum(
-                [
-                    (self.variables.capacities[buffer.name] + 1.0) * buffer.container_size
-                    for buffer in buffers
-                ]
-            )
-            self.program.add_less_equal(
-                usage, memory.capacity, name=f"memory[{memory_name}]"
-            )
-
-    def _set_objective(self) -> None:
-        configuration = self.configuration
-        terms = []
-        for graph in configuration.task_graphs:
-            for task in graph.tasks:
-                coefficient = self.weights.budget_coefficient(task)
-                if coefficient:
-                    terms.append(self.variables.budgets[task.name] * coefficient)
-            for buffer in graph.buffers:
-                coefficient = self.weights.capacity_coefficient(buffer)
-                if coefficient:
-                    terms.append(self.variables.capacities[buffer.name] * coefficient)
-        self.program.minimize(linear_sum(terms))
+        return self.blocks[0].extract_start_times(solution)
 
 
-class ParametricSocpFormulation:
-    """The SOCP of Algorithm 1 compiled once, with limits as parameters.
+class WorkloadSocpFormulation(_BlockAssembly):
+    """The joint cone program over every application of a workload.
 
-    Where :class:`SocpFormulation` bakes the sweep's ``capacity_limits`` and
-    ``budget_limits`` into freshly built variable bounds — forcing a full
-    rebuild and recompile per sweep point — this wrapper builds the program
-    *without* the limits and registers the affected compiled rows as named
-    parameters of a :class:`~repro.solver.parametric.ParametricProblem`:
+    One :class:`FormulationBlock` per application, namespaced by the
+    application name; the blocks are coupled only through the shared
+    processor and memory capacity rows.  A one-application workload builds a
+    program that is structurally identical to the application's own
+    :class:`SocpFormulation` (same variables, bounds and constraints in the
+    same order — only the names carry the application prefix), so both solve
+    to the same optimum.
 
-    * ``capacity_limit[<buffer>]`` — the upper-bound row of ``γ'(b)``;
-    * ``budget_limit[<task>]`` — the upper-bound row of ``β'(w)``;
-    * ``reciprocal_floor[<task>]`` — the lower-bound row of ``λ(w)``, kept at
-      ``1 / β'_max`` so the relaxation stays exactly as tight as the rebuilt
-      program's.
-
-    :meth:`apply_limits` recomputes the same effective bounds the rebuild
-    path would (``min`` of the stored bounds and the sweep limit) and writes
-    them into the compiled problem.  One structural case cannot be expressed
-    by mutating right-hand sides: a limit that lands *exactly on* a
-    variable's lower bound, which the rebuild path turns into an equality
-    row.  ``apply_limits`` reports such pinned variables so the caller can
-    fall back to a one-off rebuild for that point.
+    ``capacity_limits`` and ``budget_limits`` are *per application*:
+    mappings from application name to the per-buffer / per-task limit
+    mappings :class:`SocpFormulation` takes.
     """
 
     def __init__(
         self,
-        configuration: Configuration,
+        workload: Workload,
         weights: Optional[ObjectiveWeights] = None,
+        capacity_limits: Optional[Mapping[str, Mapping[str, int]]] = None,
+        budget_limits: Optional[Mapping[str, Mapping[str, float]]] = None,
         name: Optional[str] = None,
     ) -> None:
-        self.configuration = configuration
-        self.formulation = SocpFormulation(configuration, weights=weights, name=name)
+        self.workload = workload
+        self.weights = weights or ObjectiveWeights()
+        self.capacity_limits = _per_application_limits(workload, capacity_limits)
+        self.budget_limits = _per_application_limits(workload, budget_limits)
+        self.name = name or f"socp[{workload.name}]"
+        self.platform = workload.platform
+        self._blocks_by_application = {
+            application.name: FormulationBlock(
+                application.configuration,
+                self.weights,
+                capacity_limits=self.capacity_limits.get(application.name),
+                budget_limits=self.budget_limits.get(application.name),
+                namespace=application.name,
+            )
+            for application in workload.applications
+        }
+        self.blocks = list(self._blocks_by_application.values())
+        self.program = ConeProgram(name=self.name)
+        self._built = False
+
+    def block(self, application: str) -> FormulationBlock:
+        try:
+            return self._blocks_by_application[application]
+        except KeyError:
+            raise FormulationError(
+                f"no application named {application!r} in workload "
+                f"{self.workload.name!r}"
+            ) from None
+
+    # -- solution extraction ------------------------------------------------------
+    def budgets_by_application(
+        self, solution: Solution
+    ) -> Dict[str, Dict[str, float]]:
+        """Relaxed budgets per application, keyed by bare task names."""
+        return {
+            block.namespace: block.extract_budgets(solution) for block in self.blocks
+        }
+
+    def capacities_by_application(
+        self, solution: Solution
+    ) -> Dict[str, Dict[str, float]]:
+        """Relaxed capacities per application, keyed by bare buffer names."""
+        return {
+            block.namespace: block.extract_capacities(solution)
+            for block in self.blocks
+        }
+
+
+def _per_application_limits(
+    workload: Workload, limits: Optional[Mapping[str, Mapping[str, float]]]
+) -> Dict[str, Dict[str, float]]:
+    """Validate per-application limit maps against the workload's applications."""
+    if not limits:
+        return {}
+    known = set(workload.application_names)
+    unknown = sorted(set(limits) - known)
+    if unknown:
+        raise FormulationError(
+            f"limits reference unknown application(s) {unknown}; workload "
+            f"{workload.name!r} has {sorted(known)}"
+        )
+    return {name: dict(values) for name, values in limits.items()}
+
+
+class _ParametricAssembly:
+    """Shared parametric plumbing over the blocks of an assembled formulation.
+
+    Registers one parameter slot per variable-bound row the sweeps mutate —
+    per block, so per-application limits of a workload get their own
+    namespaced slots:
+
+    * ``capacity_limit[<qualified buffer>]`` — the upper-bound row of ``γ'(b)``;
+    * ``budget_limit[<qualified task>]`` — the upper-bound row of ``β'(w)``;
+    * ``reciprocal_floor[<qualified task>]`` — the lower-bound row of ``λ(w)``,
+      kept at ``1 / β'_max`` so the relaxation stays exactly as tight as the
+      rebuilt program's.
+
+    Variables whose static bounds already coincide compile to equality rows
+    and expose no parametric slot; the registration records which slots exist
+    so the per-point application skips the rest.
+    """
+
+    formulation: _BlockAssembly
+    parametric: ParametricProblem
+
+    def _register_blocks(self) -> None:
         self.formulation.build()
         self.parametric = ParametricProblem(self.formulation.program)
-        # Variables whose static bounds already coincide compile to equality
-        # rows and expose no parametric slot; remember which registrations
-        # succeeded so apply_limits() can skip the rest.
         self._budget_slots: Dict[str, bool] = {}
         self._reciprocal_slots: Dict[str, bool] = {}
         self._capacity_slots: Dict[str, bool] = {}
-        # Per-graph capacity default bounds depend only on the (immutable)
-        # configuration; compute them once instead of per sweep point.
-        self._capacity_default_bounds: Dict[str, float] = {
-            graph.name: self.formulation._sufficient_capacity_bound(graph)
-            for graph in configuration.task_graphs
-        }
-        variables = self.formulation.variables
-        for task_name, beta in variables.budgets.items():
-            self._budget_slots[task_name] = self._register(
-                f"budget_limit[{task_name}]", beta, upper=True
-            )
-            self._reciprocal_slots[task_name] = self._register(
-                f"reciprocal_floor[{task_name}]",
-                variables.reciprocals[task_name],
-                upper=False,
-            )
-        for buffer_name, capacity in variables.capacities.items():
-            self._capacity_slots[buffer_name] = self._register(
-                f"capacity_limit[{buffer_name}]", capacity, upper=True
-            )
+        for block in self.formulation.blocks:
+            for task_name, beta in block.variables.budgets.items():
+                qualified = block.qualify(task_name)
+                self._budget_slots[qualified] = self._register(
+                    f"budget_limit[{qualified}]", beta, upper=True
+                )
+                self._reciprocal_slots[qualified] = self._register(
+                    f"reciprocal_floor[{qualified}]",
+                    block.variables.reciprocals[task_name],
+                    upper=False,
+                )
+            for buffer_name, capacity in block.variables.capacities.items():
+                qualified = block.qualify(buffer_name)
+                self._capacity_slots[qualified] = self._register(
+                    f"capacity_limit[{qualified}]", capacity, upper=True
+                )
 
     def _register(self, slot: str, variable: Variable, upper: bool) -> bool:
         try:
@@ -458,6 +701,77 @@ class ParametricSocpFormulation:
         """The heuristic start point of the underlying formulation."""
         return self.formulation.initial_point()
 
+    def _apply_block_budget_limits(
+        self,
+        block: FormulationBlock,
+        budget_limits: Mapping[str, float],
+        pinned: List[str],
+    ) -> None:
+        for graph in block.configuration.task_graphs:
+            for task in graph.tasks:
+                lower, upper = effective_budget_bounds(
+                    block.configuration, graph, task, budget_limits
+                )
+                qualified = block.qualify(task.name)
+                if not self._budget_slots[qualified]:
+                    continue
+                if bounds_collapse(lower, upper):
+                    pinned.append(f"beta[{qualified}]")
+                self.parametric.set(f"budget_limit[{qualified}]", upper)
+                if self._reciprocal_slots[qualified]:
+                    self.parametric.set(
+                        f"reciprocal_floor[{qualified}]", 1.0 / max(upper, 1e-12)
+                    )
+
+    def _apply_block_capacity_limits(
+        self,
+        block: FormulationBlock,
+        capacity_limits: Mapping[str, int],
+        pinned: List[str],
+    ) -> None:
+        for graph in block.configuration.task_graphs:
+            default_bound = block.capacity_default_bound(graph)
+            for buffer in graph.buffers:
+                lower, upper = effective_capacity_bounds(
+                    buffer, default_bound, capacity_limits
+                )
+                qualified = block.qualify(buffer.name)
+                if not self._capacity_slots[qualified]:
+                    continue
+                if bounds_collapse(lower, upper):
+                    pinned.append(f"capacity[{qualified}]")
+                self.parametric.set(f"capacity_limit[{qualified}]", upper)
+
+
+class ParametricSocpFormulation(_ParametricAssembly):
+    """The SOCP of Algorithm 1 compiled once, with limits as parameters.
+
+    Where :class:`SocpFormulation` bakes the sweep's ``capacity_limits`` and
+    ``budget_limits`` into freshly built variable bounds — forcing a full
+    rebuild and recompile per sweep point — this wrapper builds the program
+    *without* the limits and registers the affected compiled rows as named
+    parameters of a :class:`~repro.solver.parametric.ParametricProblem`.
+
+    :meth:`apply_limits` recomputes the same effective bounds the rebuild
+    path would (:func:`effective_budget_bounds` /
+    :func:`effective_capacity_bounds` — ``min`` of the stored bounds and the
+    sweep limit) and writes them into the compiled problem.  One structural
+    case cannot be expressed by mutating right-hand sides: a limit that lands
+    *exactly on* a variable's lower bound, which the rebuild path turns into
+    an equality row.  ``apply_limits`` reports such pinned variables so the
+    caller can fall back to a one-off rebuild for that point.
+    """
+
+    def __init__(
+        self,
+        configuration: Configuration,
+        weights: Optional[ObjectiveWeights] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self.configuration = configuration
+        self.formulation = SocpFormulation(configuration, weights=weights, name=name)
+        self._register_blocks()
+
     def apply_limits(
         self,
         capacity_limits: Optional[Mapping[str, int]] = None,
@@ -466,43 +780,65 @@ class ParametricSocpFormulation:
         """Write the effective bounds for one sweep point into the program.
 
         Re-evaluates the rebuild path's own bound arithmetic
-        (:meth:`SocpFormulation._budget_bounds` /
-        :meth:`SocpFormulation._capacity_bounds`) under the given limits —
-        including raising :class:`InfeasibleProblemError` when a limit falls
-        below a variable's lower bound, in the same variable order.  Returns
-        the names of variables the limits pin onto their lower bound (the
-        structural case that needs a rebuild, per
+        (:func:`effective_budget_bounds` / :func:`effective_capacity_bounds`)
+        under the given limits — including raising
+        :class:`InfeasibleProblemError` when a limit falls below a variable's
+        lower bound, in the same variable order.  Returns the names of
+        variables the limits pin onto their lower bound (the structural case
+        that needs a rebuild, per
         :func:`repro.solver.problem.bounds_collapse`); an empty list means
         the compiled problem now describes exactly the limited program.
         """
-        capacity_limits = dict(capacity_limits or {})
-        budget_limits = dict(budget_limits or {})
-        formulation = self.formulation
         pinned: List[str] = []
+        block = self.formulation.blocks[0]
+        self._apply_block_budget_limits(block, dict(budget_limits or {}), pinned)
+        self._apply_block_capacity_limits(block, dict(capacity_limits or {}), pinned)
+        return pinned
 
-        for graph in self.configuration.task_graphs:
-            for task in graph.tasks:
-                lower, upper = formulation._budget_bounds(graph, task, budget_limits)
-                if not self._budget_slots[task.name]:
-                    continue
-                if bounds_collapse(lower, upper):
-                    pinned.append(f"beta[{task.name}]")
-                self.parametric.set(f"budget_limit[{task.name}]", upper)
-                if self._reciprocal_slots[task.name]:
-                    self.parametric.set(
-                        f"reciprocal_floor[{task.name}]", 1.0 / max(upper, 1e-12)
-                    )
 
-        for graph in self.configuration.task_graphs:
-            default_bound = self._capacity_default_bounds[graph.name]
-            for buffer in graph.buffers:
-                lower, upper = formulation._capacity_bounds(
-                    buffer, default_bound, capacity_limits
-                )
-                if not self._capacity_slots[buffer.name]:
-                    continue
-                if bounds_collapse(lower, upper):
-                    pinned.append(f"capacity[{buffer.name}]")
-                self.parametric.set(f"capacity_limit[{buffer.name}]", upper)
+class ParametricWorkloadFormulation(_ParametricAssembly):
+    """A workload's cone program compiled once, with per-application limits
+    as parameters.
 
+    The multi-application counterpart of :class:`ParametricSocpFormulation`:
+    one compiled program over every block, with each application's capacity
+    and budget limits exposed as namespaced parameter slots, so
+    warm-started :class:`~repro.solver.parametric.SolveSession`\\ s work on
+    workloads exactly as they do on single configurations.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        weights: Optional[ObjectiveWeights] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self.workload = workload
+        self.formulation = WorkloadSocpFormulation(workload, weights=weights, name=name)
+        self._register_blocks()
+
+    def apply_limits(
+        self,
+        capacity_limits: Optional[Mapping[str, Mapping[str, int]]] = None,
+        budget_limits: Optional[Mapping[str, Mapping[str, float]]] = None,
+    ) -> List[str]:
+        """Write one sweep point's per-application limits into the program.
+
+        ``capacity_limits`` / ``budget_limits`` map application names to the
+        per-buffer / per-task limit maps of that application; applications not
+        mentioned keep (or return to) their unlimited bounds.  Returns the
+        qualified names of pinned variables, as in
+        :meth:`ParametricSocpFormulation.apply_limits`.
+        """
+        capacity_limits = _per_application_limits(self.workload, capacity_limits)
+        budget_limits = _per_application_limits(self.workload, budget_limits)
+        pinned: List[str] = []
+        for block in self.formulation.blocks:
+            self._apply_block_budget_limits(
+                block, budget_limits.get(block.namespace, {}), pinned
+            )
+        for block in self.formulation.blocks:
+            self._apply_block_capacity_limits(
+                block, capacity_limits.get(block.namespace, {}), pinned
+            )
         return pinned

@@ -13,7 +13,7 @@ buffer sizes".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Dict
 
 from repro.taskgraph.buffer import Buffer
 from repro.taskgraph.task import Task

@@ -18,10 +18,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.exceptions import InfeasibleProblemError
+from repro.exceptions import InfeasibleProblemError, ModelError
 from repro.core.allocator import AllocatorOptions, JointAllocator
 from repro.core.objective import ObjectiveWeights
 from repro.taskgraph.configuration import Configuration, MappedConfiguration
+from repro.taskgraph.workload import Workload
 
 
 @dataclass
@@ -178,6 +179,83 @@ class TradeoffExplorer:
                     budgets=dict(mapped.budgets),
                     relaxed_budgets=dict(mapped.relaxed_budgets),
                     capacities=dict(mapped.buffer_capacities),
+                    objective_value=mapped.objective_value,
+                    solve_stats=dict(mapped.solver_info.get("solve_stats", {})),
+                )
+            )
+        curve.solver_stats = session.stats.as_dict()
+        return curve
+
+    def sweep_application_capacity(
+        self,
+        workload: Workload,
+        application: str,
+        capacity_limits: Sequence[int],
+        buffers: Optional[Iterable[str]] = None,
+    ) -> TradeoffCurve:
+        """Sweep one application's buffer-capacity bound inside a loaded platform.
+
+        The rest of the workload stays untouched: every sweep point re-solves
+        the *whole* block-structured program (the other applications' budgets
+        may shift, since all applications share the processor capacity rows),
+        but only the named application's buffers are constrained.  This is the
+        admission-style question of the paper's setting: how much budget does
+        one application need at each buffering level, given the platform is
+        already shared?
+
+        The sweep runs through a :class:`~repro.core.allocator.
+        WorkloadSession`, so the program compiles once and every point
+        warm-starts from its neighbour.  Budgets and capacities in the
+        returned points are keyed ``"<application>/<name>"`` across *all*
+        applications of the workload.
+
+        Parameters
+        ----------
+        workload:
+            The multi-application workload to sweep.
+        application:
+            Name of the application whose buffers are constrained.
+        capacity_limits:
+            The capacity bounds to apply (in containers); each bound is
+            applied to every buffer in ``buffers`` (default: all of the
+            application's buffers).
+        """
+        app = workload.application(application)
+        buffer_names = list(buffers) if buffers is not None else app.buffer_names()
+        unknown = sorted(set(buffer_names) - set(app.buffer_names()))
+        if unknown:
+            # A misspelled buffer would otherwise sweep the unconstrained
+            # program silently, point after point.
+            raise ModelError(
+                f"application {application!r} has no buffer(s) {unknown}"
+            )
+        curve = TradeoffCurve(configuration_name=f"{workload.name}:{application}")
+        try:
+            session = self.allocator.workload_session(workload)
+        except InfeasibleProblemError:
+            # The *unlimited* workload program is already contradictory;
+            # capacity limits only tighten it.
+            curve.points = [
+                TradeoffPoint(capacity_limit=int(limit), feasible=False)
+                for limit in capacity_limits
+            ]
+            return curve
+        for limit in capacity_limits:
+            limits = {application: {name: int(limit) for name in buffer_names}}
+            try:
+                mapped = session.allocate(capacity_limits=limits)
+            except InfeasibleProblemError:
+                curve.points.append(
+                    TradeoffPoint(capacity_limit=int(limit), feasible=False)
+                )
+                continue
+            curve.points.append(
+                TradeoffPoint(
+                    capacity_limit=int(limit),
+                    feasible=True,
+                    budgets=mapped.flattened("budgets"),
+                    relaxed_budgets=mapped.flattened("relaxed_budgets"),
+                    capacities=mapped.flattened("buffer_capacities"),
                     objective_value=mapped.objective_value,
                     solve_stats=dict(mapped.solver_info.get("solve_stats", {})),
                 )

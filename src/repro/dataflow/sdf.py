@@ -19,7 +19,7 @@ their tokens, with initial tokens distributed first.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.exceptions import GraphStructureError, ModelError

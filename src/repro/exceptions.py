@@ -41,6 +41,20 @@ class InfeasibleProblemError(SolverError):
     """
 
 
+class InfeasibleModelError(ModelError, InfeasibleProblemError):
+    """A load screen proved that no feasible allocation exists.
+
+    Raised by the validation screens (per-configuration and combined workload
+    processor/memory load checks) when the throughput-implied lower bounds
+    alone already exceed a capacity: the input is a well-formed model *and* a
+    definitively infeasible problem.  Deriving from both
+    :class:`ModelError` and :class:`InfeasibleProblemError` lets validation
+    callers keep treating it as a modelling verdict while allocation layers
+    (sweeps, batch items) handle it exactly like solver-reported
+    infeasibility — a terminal answer, not a failure to retry.
+    """
+
+
 class UnboundedProblemError(SolverError):
     """The optimisation problem is unbounded below."""
 

@@ -10,12 +10,12 @@ configuration.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List
 
-from repro.exceptions import AllocationError, ModelError
+from repro.exceptions import AllocationError
 from repro.scheduling.latency_rate import LatencyRateServer
 from repro.scheduling.tdm import TdmScheduler, TdmSlotTable, build_slot_table
-from repro.taskgraph.configuration import Configuration, MappedConfiguration
+from repro.taskgraph.configuration import MappedConfiguration
 from repro.taskgraph.platform import Processor
 
 

@@ -15,8 +15,8 @@ central modelling assumption of the paper (inherited from its reference
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.exceptions import ModelError, SimulationError
 from repro.scheduling.latency_rate import LatencyRateServer

@@ -25,7 +25,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.exceptions import FormulationError, SolverError
+from repro.exceptions import FormulationError
 from repro.solver.constraints import (
     EQUAL,
     GREATER_EQUAL,
@@ -40,7 +40,7 @@ from repro.solver.expression import (
     Variable,
     linear_sum,
 )
-from repro.solver.result import Solution, SolverStatus
+from repro.solver.result import Solution
 
 Constraint = Union[LinearConstraint, HyperbolicConstraint, SecondOrderConeConstraint]
 

@@ -12,20 +12,45 @@ from repro.taskgraph.configuration import Configuration, MappedConfiguration
 from repro.taskgraph.graph import TaskGraph
 from repro.taskgraph.platform import Memory, Platform, Processor, homogeneous_platform
 from repro.taskgraph.task import Task
-from repro.taskgraph import generators, serialization, validate
+from repro.taskgraph.workload import (
+    Application,
+    MappedWorkload,
+    Workload,
+    load_workload,
+    random_workload,
+    save_workload,
+    workload_from_configurations,
+    workload_from_dict,
+    workload_from_json,
+    workload_to_dict,
+    workload_to_json,
+)
+from repro.taskgraph import generators, serialization, validate, workload
 
 __all__ = [
+    "Application",
     "Buffer",
     "Configuration",
     "ConfigurationBuilder",
     "MappedConfiguration",
+    "MappedWorkload",
     "Memory",
     "Platform",
     "Processor",
     "Task",
     "TaskGraph",
+    "Workload",
     "generators",
     "homogeneous_platform",
+    "load_workload",
+    "random_workload",
+    "save_workload",
     "serialization",
     "validate",
+    "workload",
+    "workload_from_configurations",
+    "workload_from_dict",
+    "workload_from_json",
+    "workload_to_dict",
+    "workload_to_json",
 ]

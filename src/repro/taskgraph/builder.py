@@ -22,7 +22,7 @@ examples and experiments:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.exceptions import ModelError
 from repro.taskgraph.buffer import Buffer

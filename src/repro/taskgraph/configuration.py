@@ -11,12 +11,12 @@ per buffer.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
-from repro.exceptions import BindingError, ModelError
+from repro.exceptions import ModelError
 from repro.taskgraph.buffer import Buffer
 from repro.taskgraph.graph import TaskGraph
-from repro.taskgraph.platform import Memory, Platform, Processor
+from repro.taskgraph.platform import Platform
 from repro.taskgraph.task import Task
 
 

@@ -26,7 +26,7 @@ from repro.exceptions import ModelError
 from repro.taskgraph.buffer import Buffer
 from repro.taskgraph.configuration import Configuration
 from repro.taskgraph.graph import TaskGraph
-from repro.taskgraph.platform import Memory, Platform, Processor, homogeneous_platform
+from repro.taskgraph.platform import homogeneous_platform
 from repro.taskgraph.task import Task
 
 #: Parameter values of the paper's experiments (all in Mcycles).

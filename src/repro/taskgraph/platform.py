@@ -9,7 +9,7 @@ buffers placed in it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, Optional
 
 from repro.exceptions import BindingError, ModelError

@@ -10,7 +10,7 @@ output FIFO buffers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.exceptions import ModelError

@@ -17,7 +17,12 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.exceptions import BindingError, GraphStructureError, ModelError
+from repro.exceptions import (
+    BindingError,
+    GraphStructureError,
+    InfeasibleModelError,
+    ModelError,
+)
 from repro.taskgraph.configuration import Configuration
 from repro.taskgraph.graph import TaskGraph
 from repro.taskgraph.platform import Platform
@@ -80,28 +85,58 @@ def validate_configuration(configuration: Configuration) -> None:
     _check_memory_lower_bounds(configuration)
 
 
-def _check_processor_load(configuration: Configuration) -> None:
-    """Reject configurations whose minimum possible load already exceeds capacity.
+def processor_load_lower_bound(
+    processor, processor_name: str, configurations
+) -> float:
+    """Lower bound on a processor's budget demand across configurations.
 
     The budget of task ``w`` must satisfy ``̺(p)·χ(w)/β(w) ≤ µ(T)``, i.e.
     ``β(w) ≥ ̺(p)·χ(w)/µ(T)``.  Summing this lower bound (plus one granule of
-    rounding slack per task, cf. Constraint (9)) over the tasks of a processor
-    gives a quick necessary condition for feasibility.
+    rounding slack per task at its configuration's granularity, cf.
+    Constraint (9)) over the tasks bound to the processor gives a quick
+    necessary condition for feasibility.  The single definition of the
+    screen's arithmetic, shared by the per-configuration check and the
+    combined-workload check of :meth:`repro.taskgraph.workload.Workload.
+    validate` (which passes one configuration per application).
     """
-    platform = configuration.platform
-    g = configuration.granularity
-    for processor_name, processor in platform.processors.items():
-        lower_bound = processor.scheduling_overhead
+    lower_bound = processor.scheduling_overhead
+    for configuration in configurations:
         for graph in configuration.task_graphs:
             for task in graph.tasks:
                 if task.processor != processor_name:
                     continue
-                minimum_budget = processor.replenishment_interval * task.wcet / graph.period
+                minimum_budget = (
+                    processor.replenishment_interval * task.wcet / graph.period
+                )
                 if task.min_budget is not None:
                     minimum_budget = max(minimum_budget, task.min_budget)
-                lower_bound += minimum_budget + g
+                lower_bound += minimum_budget + configuration.granularity
+    return lower_bound
+
+
+def memory_minimal_storage(memory_name: str, configurations) -> float:
+    """Total storage of the smallest feasible buffer capacities in one memory.
+
+    Like :func:`processor_load_lower_bound`, shared between the
+    per-configuration screen and the combined-workload screen.
+    """
+    minimal_storage = 0.0
+    for configuration in configurations:
+        for _, buffer in configuration.all_buffers():
+            if buffer.memory != memory_name:
+                continue
+            minimal_storage += buffer.storage_for(buffer.smallest_feasible_capacity)
+    return minimal_storage
+
+
+def _check_processor_load(configuration: Configuration) -> None:
+    """Reject configurations whose minimum possible load already exceeds capacity."""
+    for processor_name, processor in configuration.platform.processors.items():
+        lower_bound = processor_load_lower_bound(
+            processor, processor_name, [configuration]
+        )
         if lower_bound > processor.replenishment_interval + 1e-9:
-            raise ModelError(
+            raise InfeasibleModelError(
                 f"processor {processor_name!r} is overloaded: the throughput "
                 f"requirements alone need at least {lower_bound:.6g} budget per "
                 f"replenishment interval of {processor.replenishment_interval:.6g}"
@@ -110,17 +145,12 @@ def _check_processor_load(configuration: Configuration) -> None:
 
 def _check_memory_lower_bounds(configuration: Configuration) -> None:
     """Reject configurations whose minimal buffer capacities do not fit in memory."""
-    platform = configuration.platform
-    for memory_name, memory in platform.memories.items():
+    for memory_name, memory in configuration.platform.memories.items():
         if not memory.is_bounded:
             continue
-        minimal_storage = 0.0
-        for _, buffer in configuration.all_buffers():
-            if buffer.memory != memory_name:
-                continue
-            minimal_storage += buffer.storage_for(buffer.smallest_feasible_capacity)
+        minimal_storage = memory_minimal_storage(memory_name, [configuration])
         if minimal_storage > memory.capacity + 1e-9:
-            raise ModelError(
+            raise InfeasibleModelError(
                 f"memory {memory_name!r} is too small: the smallest feasible buffer "
                 f"capacities already need {minimal_storage:.6g} of {memory.capacity:.6g}"
             )

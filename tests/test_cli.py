@@ -65,6 +65,74 @@ class TestAllocateCommand:
         )
 
 
+class TestAllocateStatsFlag:
+    def test_stats_block_is_printed(self, config_path, capsys):
+        assert main(["allocate", config_path, "--stats"]) == EXIT_OK
+        output = capsys.readouterr().out
+        assert "solver statistics:" in output
+        assert "Newton iterations:" in output
+        assert re.search(r"solves:\s+1", output)
+
+    def test_stats_off_by_default(self, config_path, capsys):
+        assert main(["allocate", config_path]) == EXIT_OK
+        assert "solver statistics:" not in capsys.readouterr().out
+
+
+@pytest.fixture
+def workload_path(tmp_path):
+    from repro.taskgraph.generators import chain_configuration
+    from repro.taskgraph.workload import Workload, save_workload
+
+    video = chain_configuration(stages=2)
+    workload = Workload(video.platform, name="duo")
+    workload.add_application("video", video)
+    workload.add_application("audio", chain_configuration(stages=2, period=20.0))
+    path = tmp_path / "workload.json"
+    save_workload(workload, path)
+    return str(path)
+
+
+class TestAllocateWorkloadCommand:
+    def test_prints_per_application_mapping_and_split(self, workload_path, capsys):
+        assert main(["allocate-workload", workload_path]) == EXIT_OK
+        output = capsys.readouterr().out
+        assert "video" in output and "audio" in output
+        assert "budget split per shared processor:" in output
+        assert "utilisation" in output
+
+    def test_writes_output_file(self, workload_path, tmp_path, capsys):
+        out_file = tmp_path / "mapped.json"
+        assert (
+            main(["allocate-workload", workload_path, "--output", str(out_file)])
+            == EXIT_OK
+        )
+        payload = json.loads(out_file.read_text())
+        assert set(payload["applications"]) == {"video", "audio"}
+        assert payload["workload"]["name"] == "duo"
+        assert "budget_split" in payload
+
+    def test_stats_flag(self, workload_path, capsys):
+        assert main(["allocate-workload", workload_path, "--stats"]) == EXIT_OK
+        assert "solver statistics:" in capsys.readouterr().out
+
+    def test_infeasible_workload_exit_code(self, tmp_path, capsys):
+        from repro.taskgraph.generators import chain_configuration
+        from repro.taskgraph.workload import Workload, save_workload
+
+        base = chain_configuration(stages=2, period=3.0)
+        workload = Workload(base.platform, name="crowded")
+        workload.add_application("a", base)
+        workload.add_application("b", chain_configuration(stages=2, period=3.0))
+        workload.add_application("c", chain_configuration(stages=2, period=3.0))
+        path = tmp_path / "crowded.json"
+        save_workload(workload, path)
+        assert main(["allocate-workload", str(path)]) == EXIT_INFEASIBLE
+        assert capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["allocate-workload", "/nonexistent/workload.json"]) == EXIT_USAGE
+
+
 class TestValidateCommand:
     def test_valid_configuration(self, config_path, capsys):
         assert main(["validate", config_path]) == EXIT_OK

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.exceptions import AllocationError, InfeasibleProblemError
+from repro.exceptions import InfeasibleProblemError
 from repro.core import (
     AllocatorOptions,
     JointAllocator,
@@ -13,7 +13,7 @@ from repro.core import (
     verify_mapping,
 )
 from repro.baselines.budget_minimization import producer_consumer_minimum_budget
-from repro.taskgraph import ConfigurationBuilder, MappedConfiguration
+from repro.taskgraph import MappedConfiguration
 from repro.taskgraph.generators import (
     chain_configuration,
     fork_join_configuration,

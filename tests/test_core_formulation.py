@@ -4,13 +4,11 @@ from __future__ import annotations
 
 import pytest
 
-from repro.exceptions import FormulationError
 from repro.core.formulation import SocpFormulation
 from repro.core.objective import ObjectiveWeights
 from repro.solver import SolverStatus
 from repro.taskgraph import ConfigurationBuilder
 from repro.taskgraph.generators import (
-    chain_configuration,
     producer_consumer_configuration,
     ring_configuration,
 )

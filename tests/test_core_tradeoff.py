@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import AllocatorOptions, ObjectiveWeights, TradeoffExplorer
+from repro.core import AllocatorOptions, TradeoffExplorer
 from repro.baselines.budget_minimization import producer_consumer_minimum_budget
 from repro.taskgraph.generators import chain_configuration, producer_consumer_configuration
 

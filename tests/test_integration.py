@@ -11,7 +11,7 @@ import pytest
 
 from repro.analysis import analyse_throughput, screen_configuration
 from repro.baselines import bisect_uniform_budget, run_two_phase, TwoPhaseOrder
-from repro.core import JointAllocator, ObjectiveWeights, allocate, verify_mapping
+from repro.core import ObjectiveWeights, allocate, verify_mapping
 from repro.dataflow.construction import build_srdf_specification, instantiate_srdf
 from repro.dataflow.simulation import meets_period
 from repro.scheduling import allocations_from_mapping

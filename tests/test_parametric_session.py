@@ -23,7 +23,7 @@ from repro.exceptions import (
     InfeasibleProblemError,
     NumericalError,
 )
-from repro.solver import ConeProgram, SolveSession, SolverStatus
+from repro.solver import ConeProgram, SolverStatus
 from repro.taskgraph.generators import (
     chain_configuration,
     producer_consumer_configuration,

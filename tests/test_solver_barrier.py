@@ -9,7 +9,6 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.solver import BarrierOptions, BarrierSolver, ConeProgram, SolverStatus

@@ -7,7 +7,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.exceptions import BindingError, ModelError
 from repro.taskgraph import (
-    Buffer,
     Configuration,
     ConfigurationBuilder,
     MappedConfiguration,

@@ -1,0 +1,230 @@
+"""Tests of the workload model: construction, validation, (de)serialisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import BindingError, ModelError
+from repro.taskgraph import (
+    Workload,
+    load_workload,
+    random_workload,
+    save_workload,
+    workload_from_configurations,
+    workload_from_dict,
+    workload_from_json,
+    workload_to_dict,
+    workload_to_json,
+)
+from repro.taskgraph.buffer import Buffer
+from repro.taskgraph.configuration import Configuration
+from repro.taskgraph.generators import (
+    chain_configuration,
+    producer_consumer_configuration,
+)
+from repro.taskgraph.graph import TaskGraph
+from repro.taskgraph.platform import homogeneous_platform
+from repro.taskgraph.task import Task
+
+
+def two_app_workload() -> Workload:
+    video = chain_configuration(stages=2)
+    audio = chain_configuration(stages=2, period=20.0)
+    workload = Workload(video.platform, name="set-top-box")
+    workload.add_application("video", video)
+    workload.add_application("audio", audio)
+    return workload
+
+
+class TestConstruction:
+    def test_applications_are_rehomed_onto_the_shared_platform(self):
+        shared = homogeneous_platform(processor_count=2, replenishment_interval=40.0)
+        app = producer_consumer_configuration()
+        workload = Workload(shared, name="wl")
+        application = workload.add_application("pc", app)
+        assert application.configuration.platform is shared
+        assert workload.application("pc").name == "pc"
+        assert len(workload) == 1
+
+    def test_duplicate_application_names_are_rejected(self):
+        workload = two_app_workload()
+        with pytest.raises(ModelError, match="duplicate application name"):
+            workload.add_application("video", chain_configuration(stages=2))
+
+    def test_empty_application_name_is_rejected(self):
+        shared = homogeneous_platform(processor_count=2, replenishment_interval=40.0)
+        with pytest.raises(ModelError, match="non-empty"):
+            Workload(shared).add_application("", producer_consumer_configuration())
+
+    def test_application_name_with_slash_is_rejected(self):
+        # "/" is the namespace separator of qualified variable names and
+        # flattened "app/name" result keys.
+        shared = homogeneous_platform(processor_count=2, replenishment_interval=40.0)
+        with pytest.raises(ModelError, match="must not contain '/'"):
+            Workload(shared).add_application(
+                "cam/left", producer_consumer_configuration()
+            )
+
+    def test_unknown_application_lookup_raises(self):
+        with pytest.raises(ModelError, match="no application named"):
+            two_app_workload().application("ghost")
+
+    def test_duplicate_task_names_across_applications_are_allowed(self):
+        # Two instances of the same pipeline: task names collide across
+        # applications, which the per-application namespacing supports.
+        workload = Workload(
+            chain_configuration(stages=2).platform, name="two-decoders"
+        )
+        workload.add_application("left", chain_configuration(stages=2))
+        workload.add_application("right", chain_configuration(stages=2))
+        workload.validate()
+        assert workload.application("left").task_names() == (
+            workload.application("right").task_names()
+        )
+
+    def test_from_configurations_uses_configuration_names(self):
+        workload = workload_from_configurations(
+            [chain_configuration(stages=2), producer_consumer_configuration()],
+            name="mixed",
+        )
+        assert set(workload.application_names) == {"chain-2", "producer-consumer"}
+
+
+class TestValidation:
+    def test_application_referencing_missing_processor_is_rejected(self):
+        shared = homogeneous_platform(processor_count=1, replenishment_interval=40.0)
+        app = producer_consumer_configuration()  # binds tasks to p1 and p2
+        with pytest.raises(BindingError, match="p2"):
+            Workload(shared).add_application("pc", app)
+
+    def test_application_referencing_missing_memory_is_rejected(self):
+        shared = homogeneous_platform(
+            processor_count=2, replenishment_interval=40.0, memory_count=1
+        )
+        graph = TaskGraph(name="t", period=10.0)
+        graph.add_task(Task(name="a", wcet=1.0, processor="p1"))
+        graph.add_task(Task(name="b", wcet=1.0, processor="p2"))
+        graph.add_buffer(
+            Buffer(name="ab", source="a", target="b", memory="m9")
+        )
+        app = Configuration(platform=shared, task_graphs=[graph])
+        with pytest.raises(BindingError, match="m9"):
+            Workload(shared).add_application("t", app)
+
+    def test_empty_workload_is_rejected(self):
+        shared = homogeneous_platform(processor_count=1, replenishment_interval=40.0)
+        with pytest.raises(ModelError, match="no applications"):
+            Workload(shared, name="empty").validate()
+
+    def test_combined_processor_overload_is_rejected(self):
+        # Each app alone fits (needs 20 + 1 granule of the 40-cycle
+        # interval), but three of them cannot share one processor.
+        def heavy_app():
+            graph = TaskGraph(name="t", period=10.0)
+            graph.add_task(Task(name="a", wcet=5.0, processor="p1"))
+            graph.add_task(Task(name="b", wcet=1.0, processor="p2"))
+            graph.add_buffer(Buffer(name="ab", source="a", target="b", memory="m1"))
+            return Configuration(
+                platform=homogeneous_platform(
+                    processor_count=2, replenishment_interval=40.0
+                ),
+                task_graphs=[graph],
+            )
+
+        shared = homogeneous_platform(processor_count=2, replenishment_interval=40.0)
+        workload = Workload(shared, name="overloaded")
+        for index in range(3):
+            app = heavy_app()
+            app.validate()  # each application is fine on its own
+            workload.add_application(f"app{index}", app)
+        with pytest.raises(ModelError, match="overloaded across the workload"):
+            workload.validate()
+        # The overload screen is a definite infeasibility verdict, so the
+        # allocation layers (sweeps, batch items) can treat it as one.
+        from repro.exceptions import InfeasibleProblemError
+
+        with pytest.raises(InfeasibleProblemError):
+            workload.validate()
+
+
+class TestSerialization:
+    def test_json_round_trip(self, tmp_path):
+        workload = two_app_workload()
+        text = workload_to_json(workload)
+        restored = workload_from_json(text)
+        assert workload_to_dict(restored) == workload_to_dict(workload)
+        assert restored.name == workload.name
+        assert restored.application_names == workload.application_names
+        assert (
+            restored.application("audio").granularity
+            == workload.application("audio").granularity
+        )
+
+        path = tmp_path / "workload.json"
+        save_workload(workload, path)
+        assert workload_to_dict(load_workload(path)) == workload_to_dict(workload)
+
+    def test_round_trip_preserves_periods_and_granularity(self):
+        workload = two_app_workload()
+        restored = workload_from_json(workload_to_json(workload))
+        audio = restored.application("audio").configuration
+        assert audio.task_graphs[0].period == pytest.approx(20.0)
+
+    def test_newer_format_version_is_rejected(self):
+        data = workload_to_dict(two_app_workload())
+        data["format_version"] = 99
+        with pytest.raises(ModelError, match="newer than supported"):
+            workload_from_dict(data)
+
+    def test_missing_platform_is_rejected(self):
+        data = workload_to_dict(two_app_workload())
+        del data["platform"]
+        with pytest.raises(ModelError, match="platform"):
+            workload_from_dict(data)
+
+    def test_empty_applications_list_is_rejected(self):
+        data = workload_to_dict(two_app_workload())
+        data["applications"] = []
+        with pytest.raises(ModelError, match="non-empty 'applications'"):
+            workload_from_dict(data)
+
+    def test_application_without_name_is_rejected(self):
+        data = workload_to_dict(two_app_workload())
+        del data["applications"][0]["name"]
+        with pytest.raises(ModelError, match="needs a 'name'"):
+            workload_from_dict(data)
+
+    def test_duplicate_application_names_in_document_are_rejected(self):
+        data = workload_to_dict(two_app_workload())
+        data["applications"][1]["name"] = data["applications"][0]["name"]
+        with pytest.raises(ModelError, match="duplicate application name"):
+            workload_from_dict(data)
+
+    def test_document_referencing_missing_processor_is_rejected(self):
+        data = workload_to_dict(two_app_workload())
+        data["applications"][0]["task_graphs"][0]["tasks"][0]["processor"] = "p9"
+        with pytest.raises(BindingError, match="p9"):
+            workload_from_dict(data)
+
+
+class TestGenerators:
+    def test_random_workload_is_deterministic(self):
+        first = random_workload(application_count=2, task_count=4, seed=7)
+        second = random_workload(application_count=2, task_count=4, seed=7)
+        assert workload_to_dict(first) == workload_to_dict(second)
+        third = random_workload(application_count=2, task_count=4, seed=8)
+        assert workload_to_dict(first) != workload_to_dict(third)
+
+    def test_random_workload_shares_one_platform(self):
+        workload = random_workload(application_count=3, task_count=4, seed=1)
+        assert len(workload) == 3
+        platforms = {
+            id(application.configuration.platform)
+            for application in workload.applications
+        }
+        assert len(platforms) == 1
+        workload.validate()
+
+    def test_random_workload_rejects_zero_applications(self):
+        with pytest.raises(ModelError):
+            random_workload(application_count=0)
