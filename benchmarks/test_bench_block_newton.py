@@ -1,0 +1,131 @@
+"""Benchmark: block-structured Newton solves vs dense solves on N-app workloads.
+
+The barrier solver's structured path factorises each application's diagonal
+Hessian block independently and folds the shared capacity rows in through a
+Schur complement, so one Newton step costs the sum of per-application cubes
+instead of the cube of the whole variable count.  This benchmark pins the
+scaling win on workloads of 1, 2, 4 and 8 applications sharing one platform:
+
+* the structured and dense backends must return **identical optima** (every
+  variable within 1e-8) — the structure is a pure performance change;
+* the structured backend must be **strictly faster** than the dense one on
+  the 4- and 8-application workloads (best-of-``REPEATS`` wall time over the
+  same compiled problem, elimination cache primed for both);
+* the structured path must engage automatically (no options) for workloads
+  of two or more applications.
+
+The per-size timings ride along in ``benchmark.extra_info`` so that
+``--benchmark-json`` artifacts record the dense/structured trajectory.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.core.formulation import WorkloadSocpFormulation
+from repro.solver.backends import solve_compiled
+from repro.taskgraph import Workload
+from repro.taskgraph.generators import random_dag_configuration
+
+#: Workload sizes of the scaling series; the strict speedup assertion applies
+#: from ASSERT_FASTER_FROM applications on (small systems are dominated by
+#: Python overhead, where the dense path is competitive).
+SIZES = (1, 2, 4, 8)
+ASSERT_FASTER_FROM = 4
+#: Best-of-REPEATS wall times: three repetitions absorb one-off noise spikes
+#: (the 4-app margin is ~2x, the 8-app one ~6x).
+REPEATS = 3
+#: The strict structured-faster-than-dense assertion holds comfortably on a
+#: quiet machine but is a wall-clock race on shared CI runners, whose smoke
+#: job collects timings for trend inspection, not gating — skip it there.
+STRICT_TIMING = not os.environ.get("CI")
+
+
+def _workload(app_count: int) -> Workload:
+    applications = [
+        random_dag_configuration(
+            task_count=6,
+            processor_count=6,
+            seed=3 + index,
+            wcet_range=(0.2, 0.8),
+        )
+        for index in range(app_count)
+    ]
+    workload = Workload(applications[0].platform, name=f"bench-{app_count}-apps")
+    for index, application in enumerate(applications):
+        workload.add_application(f"app{index}", application)
+    return workload
+
+
+def _compiled(app_count: int):
+    formulation = WorkloadSocpFormulation(_workload(app_count))
+    program = formulation.build()
+    compiled = program.compile()
+    initial = compiled.vector_from_mapping(formulation.initial_point())
+    return compiled, initial
+
+
+def _solve(compiled, initial, structured):
+    options = {} if structured is None else {"structured": structured}
+    return solve_compiled(
+        compiled, backend="barrier", initial_point=initial, options=options
+    )
+
+
+def _best_time(compiled, initial, structured):
+    """Best-of-REPEATS wall time and the last solution."""
+    best = float("inf")
+    solution = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        solution = _solve(compiled, initial, structured)
+        best = min(best, time.perf_counter() - start)
+    return best, solution
+
+
+def _newton_total(solution):
+    return int(solution.stats.get("newton_iterations", 0)) + int(
+        solution.stats.get("phase1_newton_iterations", 0)
+    )
+
+
+@pytest.mark.parametrize("app_count", SIZES)
+def test_bench_block_newton_scaling(app_count, benchmark, record_series):
+    compiled, initial = _compiled(app_count)
+    # Prime the (shared) equality-elimination cache so both backends time the
+    # Newton work, not the one-off SVDs.
+    _solve(compiled, initial, structured=False)
+
+    dense_time, dense = _best_time(compiled, initial, structured=False)
+    structured_time, structured = _best_time(compiled, initial, structured=None)
+
+    assert dense.is_optimal and structured.is_optimal
+    assert dense.stats["structured"] is False
+    # Auto engagement: the structured path switches on from 2 applications.
+    assert structured.stats["structured"] is (app_count >= 2)
+
+    # Identical optima: the structure only changes how the Newton systems are
+    # solved, never what they converge to.
+    point_s, point_d = structured.by_name(), dense.by_name()
+    assert structured.objective == pytest.approx(dense.objective, abs=1e-8)
+    for name, value in point_s.items():
+        assert value == pytest.approx(point_d[name], abs=1e-8), name
+
+    if STRICT_TIMING and app_count >= ASSERT_FASTER_FROM:
+        assert structured_time < dense_time, (
+            f"{app_count}-app workload: structured backend took "
+            f"{structured_time * 1e3:.1f} ms vs {dense_time * 1e3:.1f} ms dense"
+        )
+
+    record_series(benchmark, "variables", compiled.num_variables)
+    record_series(benchmark, "dense_seconds", dense_time)
+    record_series(benchmark, "structured_seconds", structured_time)
+    record_series(benchmark, "speedup", dense_time / max(structured_time, 1e-12))
+    record_series(benchmark, "newton_iterations_dense", _newton_total(dense))
+    record_series(
+        benchmark, "newton_iterations_structured", _newton_total(structured)
+    )
+    benchmark(lambda: _solve(compiled, initial, structured=None))

@@ -150,7 +150,9 @@ class ItemResult:
         data["stats"] = {
             key: value
             for key, value in dict(data["stats"]).items()
-            if key != "solve_time"
+            # The barrier backend reports wall-clock per-phase timings
+            # (*_time) alongside its deterministic counters; drop them all.
+            if key != "solve_time" and not key.endswith("_time")
         }
         return data
 

@@ -108,7 +108,7 @@ def _parse_capacity_range(text: str) -> List[int]:
 def _single_solve_stats(solver_info: dict) -> dict:
     """The ``--stats`` totals for one solve, from a mapping's solver_info."""
     stats = dict(solver_info.get("solve_stats", {}))
-    return {
+    totals = {
         "solves": 1,
         "warm_started": 1 if stats.get("warm_started") else 0,
         "phase1_skipped": 1 if stats.get("phase1_skipped") else 0,
@@ -116,6 +116,12 @@ def _single_solve_stats(solver_info: dict) -> dict:
         "phase1_newton_iterations": int(stats.get("phase1_newton_iterations", 0)),
         "solve_time": float(solver_info.get("solve_time", 0.0) or 0.0),
     }
+    if "structured" in stats:
+        totals["structured"] = bool(stats["structured"])
+    timings = solver_info.get("timings")
+    if timings:
+        totals["timings"] = dict(timings)
+    return totals
 
 
 def _cmd_allocate(arguments: argparse.Namespace) -> int:
@@ -232,7 +238,20 @@ def _render_solve_stats(stats: dict) -> str:
         f"  Newton iterations:   {stats.get('newton_iterations', 0)} "
         f"(+{stats.get('phase1_newton_iterations', 0)} in phase I)"
     )
+    if "structured" in stats:
+        lines.append(
+            "  Newton backend:      "
+            + ("block-structured (Schur)" if stats["structured"] else "dense")
+        )
     lines.append(f"  solve time:          {float(stats.get('solve_time', 0.0)):.4f} s")
+    timings = stats.get("timings")
+    if timings:
+        lines.append("  phase breakdown:")
+        for phase in ("compile", "phase1", "centering", "rounding"):
+            if phase in timings:
+                lines.append(
+                    f"    {phase + ':':<18} {float(timings[phase]):.4f} s"
+                )
     return "\n".join(lines)
 
 

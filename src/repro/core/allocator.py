@@ -24,6 +24,7 @@ families of workload allocations.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional
 
@@ -46,6 +47,22 @@ from repro.solver.parametric import SessionStats, SolveSession
 from repro.solver.result import Solution, SolverStatus
 from repro.taskgraph.configuration import Configuration, MappedConfiguration
 from repro.taskgraph.workload import MappedWorkload, Workload
+
+
+def _phase_timings(solution: Solution, rounding_time: float) -> Dict[str, float]:
+    """Per-phase wall-clock breakdown of one allocation.
+
+    Combines the compile time recorded by :meth:`ConeProgram.solve`, the
+    barrier backend's phase-I / centering split, and the rounding time
+    measured by the allocator, all in seconds.  Reported through
+    ``solver_info["timings"]`` and rendered by ``repro-map … --stats``.
+    """
+    return {
+        "compile": float(solution.stats.get("compile_time", 0.0)),
+        "phase1": float(solution.stats.get("phase1_time", 0.0)),
+        "centering": float(solution.stats.get("centering_time", 0.0)),
+        "rounding": float(rounding_time),
+    }
 
 
 @dataclass
@@ -179,8 +196,10 @@ class JointAllocator:
         relaxed_capacities: Dict[str, float],
     ) -> MappedConfiguration:
         """Round, package and (optionally) verify one optimal solution."""
+        rounding_start = time.perf_counter()
         budgets = round_budgets(relaxed_budgets, configuration.granularity)
         capacities = round_capacities(relaxed_capacities)
+        rounding_time = time.perf_counter() - rounding_start
 
         mapped = MappedConfiguration(
             configuration=configuration,
@@ -195,6 +214,7 @@ class JointAllocator:
                 "iterations": solution.iterations,
                 "solve_time": solution.solve_time,
                 "solve_stats": dict(solution.stats),
+                "timings": _phase_timings(solution, rounding_time),
             },
         )
 
@@ -224,6 +244,7 @@ class JointAllocator:
             "solve_stats": dict(solution.stats),
         }
         applications: Dict[str, MappedConfiguration] = {}
+        rounding_start = time.perf_counter()
         for application in workload.applications:
             configuration = application.configuration
             budgets = round_budgets(
@@ -244,6 +265,9 @@ class JointAllocator:
                 ),
                 solver_info=dict(solver_info),
             )
+        solver_info["timings"] = _phase_timings(
+            solution, time.perf_counter() - rounding_start
+        )
         mapped = MappedWorkload(
             workload=workload,
             applications=applications,

@@ -411,15 +411,25 @@ class _BlockAssembly:
 
     # -- public API ------------------------------------------------------------
     def build(self) -> ConeProgram:
-        """Construct the cone program; idempotent."""
+        """Construct the cone program; idempotent.
+
+        Each block's variables are registered together (tasks, capacities,
+        start times per application) so that every application occupies one
+        contiguous variable index range; the partition is declared to the
+        program (:meth:`ConeProgram.declare_blocks`) and compiles into the
+        :class:`~repro.solver.problem.BlockStructure` the barrier solver's
+        structured Newton path keys off.  In the 1-block case the resulting
+        variable order is exactly the historical one.
+        """
         if self._built:
             return self.program
+        groups: List[Tuple[Variable, ...]] = []
         for block in self.blocks:
+            first = len(self.program.variables)
             block.add_task_variables(self.program)
-        for block in self.blocks:
             block.add_capacity_variables(self.program)
-        for block in self.blocks:
             block.add_start_time_variables(self.program)
+            groups.append(self.program.variables[first:])
         for block in self.blocks:
             block.add_precedence_constraints(self.program)
         for block in self.blocks:
@@ -427,6 +437,7 @@ class _BlockAssembly:
         self._add_processor_coupling()
         self._add_memory_coupling()
         self._set_objective()
+        self.program.declare_blocks(groups)
         self._built = True
         return self.program
 

@@ -30,13 +30,14 @@ from repro.solver.constraints import (
 from repro.solver.expression import AffineExpression, Variable, linear_sum
 from repro.solver.barrier import BarrierOptions, BarrierSolver
 from repro.solver.parametric import ParametricProblem, SessionStats, SolveSession
-from repro.solver.problem import CompiledProblem, ConeProgram
+from repro.solver.problem import BlockStructure, CompiledProblem, ConeProgram
 from repro.solver.result import Solution, SolverStatus
 
 __all__ = [
     "AffineExpression",
     "BarrierOptions",
     "BarrierSolver",
+    "BlockStructure",
     "CompiledProblem",
     "ConeProgram",
     "ParametricProblem",

@@ -142,6 +142,12 @@ class SessionStats:
     phase1_newton_iterations: int = 0  #: phase-I Newton iterations, summed
     solve_time: float = 0.0      #: wall-clock seconds inside the backends
     rebuilds: int = 0            #: full rebuild fallbacks (set by callers)
+    #: equality-elimination null-space computations (SVDs) performed by the
+    #: barrier backend.  The compiled problem caches the basis
+    #: (:attr:`repro.solver.problem.CompiledProblem.elimination_cache`), so a
+    #: compile-once session's whole sweep counts exactly one — each rebuild
+    #: fallback adds one more for its freshly compiled problem.
+    eliminations: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -153,6 +159,7 @@ class SessionStats:
             "phase1_newton_iterations": self.phase1_newton_iterations,
             "solve_time": self.solve_time,
             "rebuilds": self.rebuilds,
+            "eliminations": self.eliminations,
         }
 
     def record_solution(self, solution: Solution) -> None:
@@ -166,6 +173,8 @@ class SessionStats:
         self.solve_time += solution.solve_time
         if solution.stats.get("phase1_skipped"):
             self.phase1_skipped += 1
+        if solution.stats.get("elimination_computed"):
+            self.eliminations += 1
         self.newton_iterations += int(solution.stats.get("newton_iterations", 0))
         self.phase1_newton_iterations += int(
             solution.stats.get("phase1_newton_iterations", 0)

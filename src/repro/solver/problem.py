@@ -81,6 +81,42 @@ class CompiledCone:
 
 
 @dataclass
+class BlockStructure:
+    """Block partition of a compiled problem's variables and constraints.
+
+    Emitted by :meth:`ConeProgram.compile` when the program declared variable
+    blocks (:meth:`ConeProgram.declare_blocks`) — per-application blocks in
+    :class:`repro.core.formulation._BlockAssembly` — and every non-linear and
+    equality constraint turned out to be confined to a single block.  The
+    barrier backend uses it to eliminate equalities blockwise and to replace
+    the dense Newton solve with a block-Cholesky + Schur-complement solve on
+    the arrow-structured KKT system (see
+    :class:`repro.solver.barrier.BarrierSolver`).
+
+    ``ranges`` are half-open variable index ranges, one per block, covering
+    every variable exactly once in order.  ``row_blocks`` assigns each
+    inequality row the block its support lies in, with ``-1`` marking the
+    *coupling rows* whose support spans several blocks (the shared processor
+    and memory capacity rows of a workload program).
+    """
+
+    ranges: List[Tuple[int, int]]
+    row_blocks: np.ndarray          #: block per inequality row; -1 = coupling
+    equality_blocks: np.ndarray     #: block per equality row (always single-block)
+    hyperbolic_blocks: List[int]    #: block per hyperbolic constraint
+    cone_blocks: List[int]          #: block per SOC constraint
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.ranges)
+
+    @property
+    def coupling_rows(self) -> np.ndarray:
+        """Indices of the inequality rows whose support spans several blocks."""
+        return np.flatnonzero(self.row_blocks < 0)
+
+
+@dataclass
 class CompiledProblem:
     """Dense numerical representation of a :class:`ConeProgram`."""
 
@@ -94,6 +130,16 @@ class CompiledProblem:
     hyperbolic: List[CompiledHyperbolic]
     cones: List[CompiledCone]
     inequality_names: List[str] = field(default_factory=list)
+    #: Optional per-application block partition (see :class:`BlockStructure`);
+    #: ``None`` for programs without declared blocks.
+    block_structure: Optional[BlockStructure] = None
+    #: Cache of the equality-elimination result (particular point + null-space
+    #: basis), written by the barrier backend on first use.  Valid as long as
+    #: ``A`` and ``b`` are unchanged — parametric re-solves mutate only ``h``,
+    #: so warm-started sessions reuse one elimination across every solve.
+    elimination_cache: Optional[object] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def num_variables(self) -> int:
@@ -155,6 +201,7 @@ class ConeProgram:
         self._cones: List[SecondOrderConeConstraint] = []
         self._objective: AffineExpression = AffineExpression()
         self._sense: str = "min"
+        self._block_groups: Optional[List[Tuple[Variable, ...]]] = None
 
     # -- variables ---------------------------------------------------------
     def add_variable(
@@ -181,6 +228,26 @@ class ConeProgram:
     @property
     def variables(self) -> Tuple[Variable, ...]:
         return tuple(self._variables)
+
+    def declare_blocks(self, groups: Sequence[Sequence[Variable]]) -> None:
+        """Declare a block partition of the variables for the solver.
+
+        ``groups`` lists the variables of each block (per application, in the
+        workload formulation).  :meth:`compile` turns the declaration into a
+        :class:`BlockStructure` when the groups partition the variables into
+        contiguous index ranges and every equality / hyperbolic / SOC
+        constraint is confined to one block; otherwise the compiled problem
+        simply carries no structure and the solver uses its dense path, so
+        declaring blocks is always safe.
+        """
+        for group in groups:
+            for var in group:
+                if self._names.get(var.name) is not var:
+                    raise FormulationError(
+                        f"block declaration references variable {var.name!r} "
+                        f"that is not registered with program {self.name!r}"
+                    )
+        self._block_groups = [tuple(group) for group in groups]
 
     # -- constraints --------------------------------------------------------
     def add_constraint(self, constraint: Constraint) -> Constraint:
@@ -393,6 +460,90 @@ class ConeProgram:
             hyperbolic=hyperbolic,
             cones=cones,
             inequality_names=ineq_names,
+            block_structure=self._compile_block_structure(
+                index, G, A, hyperbolic, cones
+            ),
+        )
+
+    def _compile_block_structure(
+        self,
+        index: Dict[Variable, int],
+        G: np.ndarray,
+        A: np.ndarray,
+        hyperbolic: List[CompiledHyperbolic],
+        cones: List[CompiledCone],
+    ) -> Optional[BlockStructure]:
+        """Turn a :meth:`declare_blocks` declaration into a :class:`BlockStructure`.
+
+        Returns ``None`` (no structure, dense solver path) when no blocks were
+        declared, when the groups do not form contiguous index ranges covering
+        every variable, or when an equality / hyperbolic / SOC constraint
+        spans several blocks — only *linear inequality* rows may couple
+        blocks, because only their barrier Hessian contribution is the
+        low-rank term the Schur-complement solve handles.
+        """
+        if not self._block_groups:
+            return None
+        n = len(self._variables)
+        col_block = np.full(n, -1, dtype=int)
+        ranges: List[Tuple[int, int]] = []
+        for block_index, group in enumerate(self._block_groups):
+            if not group:
+                return None
+            columns = sorted(index[var] for var in group)
+            start, stop = columns[0], columns[-1] + 1
+            if stop - start != len(columns) or np.any(col_block[start:stop] >= 0):
+                return None
+            col_block[start:stop] = block_index
+            ranges.append((start, stop))
+        if np.any(col_block < 0):
+            return None
+
+        def blocks_of(rows: np.ndarray) -> np.ndarray:
+            """Distinct blocks touched by the support of stacked row vectors."""
+            columns = np.flatnonzero(np.any(np.atleast_2d(rows) != 0.0, axis=0))
+            return np.unique(col_block[columns])
+
+        def single_block(rows: np.ndarray) -> Optional[int]:
+            touched = blocks_of(rows)
+            if touched.size > 1:
+                return None
+            return int(touched[0]) if touched.size else 0
+
+        # One vectorised pass over the (typically hundreds of) inequality
+        # rows: which blocks each row touches, then single-block / coupling.
+        touched_per_block = np.vstack(
+            [(G[:, start:stop] != 0.0).any(axis=1) for start, stop in ranges]
+        )
+        touch_counts = touched_per_block.sum(axis=0)
+        row_blocks = np.where(
+            touch_counts == 0, 0, np.argmax(touched_per_block, axis=0)
+        )
+        row_blocks = np.where(touch_counts > 1, -1, row_blocks).astype(int)
+        equality_blocks = np.empty(A.shape[0], dtype=int)
+        for i in range(A.shape[0]):
+            block = single_block(A[i])
+            if block is None:
+                return None
+            equality_blocks[i] = block
+        hyperbolic_blocks: List[int] = []
+        for hyp in hyperbolic:
+            block = single_block(np.vstack([hyp.p, hyp.q]))
+            if block is None:
+                return None
+            hyperbolic_blocks.append(block)
+        cone_blocks: List[int] = []
+        for cone in cones:
+            block = single_block(np.vstack([cone.A, cone.c.reshape(1, -1)]))
+            if block is None:
+                return None
+            cone_blocks.append(block)
+        return BlockStructure(
+            ranges=ranges,
+            row_blocks=row_blocks,
+            equality_blocks=equality_blocks,
+            hyperbolic_blocks=hyperbolic_blocks,
+            cone_blocks=cone_blocks,
         )
 
     # -- solving -----------------------------------------------------------------
@@ -416,12 +567,16 @@ class ConeProgram:
         """
         from repro.solver import backends
 
+        compile_start = time.perf_counter()
         compiled = self.compile()
+        compile_time = time.perf_counter() - compile_start
         start = time.perf_counter()
         solution = backends.solve_compiled(
             compiled, backend=backend, initial_point=initial_point, options=dict(options)
         )
         solution.solve_time = time.perf_counter() - start
+        solution.stats = dict(solution.stats)
+        solution.stats["compile_time"] = compile_time
         if self._sense == "max" and solution.objective is not None:
             solution.objective = -solution.objective
         return solution

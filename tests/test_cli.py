@@ -311,6 +311,11 @@ class TestBatchCommand:
         def deterministic(payload):
             for result in payload["results"]:
                 result.pop("solve_seconds")
+                result["stats"] = {
+                    key: value
+                    for key, value in result.get("stats", {}).items()
+                    if key != "solve_time" and not key.endswith("_time")
+                }
             for key in ("cache_hits", "solved", "elapsed_seconds", "throughput"):
                 payload["summary"].pop(key)
             return payload["results"], payload["summary"]
