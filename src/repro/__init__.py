@@ -63,6 +63,9 @@ from repro.batch import (
     run_campaign,
 )
 from repro.core import (
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionTrace,
     AllocatorOptions,
     JointAllocator,
     ObjectiveWeights,
@@ -74,6 +77,8 @@ from repro.core import (
     WorkloadSocpFormulation,
     allocate,
     allocate_workload,
+    random_trace,
+    replay_trace,
     verify_mapping,
 )
 from repro.exceptions import (
@@ -112,6 +117,9 @@ from repro.taskgraph import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionTrace",
     "AllocationError",
     "AllocatorOptions",
     "AnalysisError",
@@ -158,7 +166,9 @@ __all__ = [
     "homogeneous_platform",
     "load_campaign",
     "load_workload",
+    "random_trace",
     "random_workload",
+    "replay_trace",
     "run_campaign",
     "save_workload",
     "verify_mapping",

@@ -27,8 +27,21 @@ CACHE_FORMAT_VERSION = 1
 
 
 def canonical_json(payload: Mapping[str, object]) -> str:
-    """Serialise a payload to canonical JSON (sorted keys, no whitespace)."""
-    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    """Serialise a payload to canonical JSON (sorted keys, no whitespace).
+
+    Non-finite floats are rejected: ``json.dumps`` would emit the
+    non-standard ``NaN``/``Infinity`` literals, which strict parsers refuse
+    and which make hashes meaningless as identity (``NaN != NaN``).
+    """
+    try:
+        return json.dumps(
+            payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+    except ValueError as error:
+        raise ValueError(
+            f"payload contains a non-finite float (NaN or infinity), which has "
+            f"no canonical JSON form: {error}"
+        ) from None
 
 
 def cache_key(
@@ -102,7 +115,14 @@ class ResultCache:
         return payload
 
     def put(self, key: str, payload: Mapping[str, object]) -> None:
-        """Store a payload atomically (safe under concurrent writers)."""
+        """Store a payload atomically (safe under concurrent writers).
+
+        Payloads containing non-finite floats are *not* stored: serialising
+        them would write the non-standard ``NaN``/``Infinity`` JSON literals,
+        producing cache files strict parsers reject.  The cache is
+        best-effort, so such payloads are silently skipped (the item's result
+        still reaches the caller; it just never becomes a cache hit).
+        """
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         descriptor, temp_name = tempfile.mkstemp(
@@ -110,8 +130,19 @@ class ResultCache:
         )
         try:
             with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
-                json.dump(dict(payload), handle, sort_keys=True)
+                json.dump(dict(payload), handle, sort_keys=True, allow_nan=False)
             os.replace(temp_name, path)
+        except ValueError:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            # Only the non-finite-float case is best-effort; any other
+            # ValueError (e.g. a circular reference) is a caller bug and must
+            # stay loud.  Re-serialising with the default lenient mode tells
+            # the two apart without matching stdlib message strings.
+            json.dumps(dict(payload))
+            return
         except BaseException:
             try:
                 os.unlink(temp_name)

@@ -31,7 +31,12 @@ The schema (``format_version`` 1)::
         // a multi-application workload (inline or by path), solved jointly
         // on its shared platform; capacity_sweep bounds every buffer of
         // every application
-        {"workload_path": "workloads/set-top-box.json", "capacity_sweep": [2, 4, 8]}
+        {"workload_path": "workloads/set-top-box.json", "capacity_sweep": [2, 4, 8]},
+
+        // an admission trace (inline or by path): an arrival/departure
+        // event sequence replayed through the incremental session API,
+        // reporting per-event admit/reject verdicts and the final state
+        {"trace_path": "traces/evening.json"}
       ]
     }
 
@@ -87,9 +92,11 @@ GENERATORS = {
 class CampaignItem:
     """One allocation problem of an expanded campaign.
 
-    Either a single ``configuration`` (with optional flat ``capacity_limits``)
-    or a multi-application ``workload`` (with optional *per-application*
-    ``workload_capacity_limits``), never both.
+    Exactly one of: a single ``configuration`` (with optional flat
+    ``capacity_limits``), a multi-application ``workload`` (with optional
+    *per-application* ``workload_capacity_limits``), or an admission
+    ``trace`` (an arrival/departure event sequence replayed through the
+    incremental session API).
     """
 
     label: str
@@ -97,15 +104,22 @@ class CampaignItem:
     capacity_limits: Optional[Dict[str, int]] = None
     workload: Optional[Workload] = None
     workload_capacity_limits: Optional[Dict[str, Dict[str, int]]] = None
+    trace: Optional[object] = None   #: an :class:`repro.core.admission.AdmissionTrace`
 
     def configuration_dict(self) -> Dict[str, object]:
         """The canonical dictionary form used for hashing and pickling."""
+        if self.trace is not None:
+            from repro.core.admission import trace_to_dict
+
+            return trace_to_dict(self.trace)
         if self.workload is not None:
             return workload_to_dict(self.workload)
         return serialization.configuration_to_dict(self.configuration)
 
     def limits(self) -> Optional[Dict[str, object]]:
         """The capacity limits in whichever shape this item carries."""
+        if self.trace is not None:
+            return None
         if self.workload is not None:
             return self.workload_capacity_limits
         return self.capacity_limits
@@ -175,6 +189,8 @@ class CampaignEntry:
     configuration_path: Optional[str] = None
     workload: Optional[Dict[str, object]] = None
     workload_path: Optional[str] = None
+    trace: Optional[Dict[str, object]] = None
+    trace_path: Optional[str] = None
     capacity_sweep: Optional[List[int]] = None
 
     @classmethod
@@ -188,6 +204,8 @@ class CampaignEntry:
             "configuration_path",
             "workload",
             "workload_path",
+            "trace",
+            "trace_path",
             "capacity_sweep",
         }
         unknown = set(data) - known
@@ -201,14 +219,16 @@ class CampaignEntry:
                 "configuration_path",
                 "workload",
                 "workload_path",
+                "trace",
+                "trace_path",
             )
             if data.get(key) is not None
         ]
         if len(sources) != 1:
             raise ModelError(
                 "each campaign entry needs exactly one of 'generator', "
-                "'configuration', 'configuration_path', 'workload' or "
-                "'workload_path'"
+                "'configuration', 'configuration_path', 'workload', "
+                "'workload_path', 'trace' or 'trace_path'"
             )
         entry = cls(
             generator=data.get("generator"),
@@ -219,6 +239,8 @@ class CampaignEntry:
             configuration_path=data.get("configuration_path"),
             workload=data.get("workload"),
             workload_path=data.get("workload_path"),
+            trace=data.get("trace"),
+            trace_path=data.get("trace_path"),
             capacity_sweep=(
                 None
                 if data.get("capacity_sweep") is None
@@ -229,6 +251,13 @@ class CampaignEntry:
         return entry
 
     def _validate(self) -> None:
+        if (self.trace is not None or self.trace_path is not None) and (
+            self.capacity_sweep is not None
+        ):
+            raise ModelError(
+                "'capacity_sweep' does not apply to trace entries (a trace's "
+                "events already fix the workload at every step)"
+            )
         if self.generator is None:
             if self.params or self.sweep or self.count is not None:
                 raise ModelError(
@@ -283,6 +312,10 @@ class CampaignEntry:
             data["workload"] = self.workload
         if self.workload_path is not None:
             data["workload_path"] = self.workload_path
+        if self.trace is not None:
+            data["trace"] = self.trace
+        if self.trace_path is not None:
+            data["trace_path"] = self.trace_path
         if self.capacity_sweep is not None:
             data["capacity_sweep"] = list(self.capacity_sweep)
         return data
@@ -357,7 +390,16 @@ class CampaignSpec:
         return path
 
     def _entry_configurations(self, index: int, entry: CampaignEntry):
-        """Yield ``(label, Configuration | Workload)`` pairs for one entry."""
+        """Yield ``(label, Configuration | Workload | AdmissionTrace)`` pairs."""
+        if entry.trace is not None or entry.trace_path is not None:
+            from repro.core.admission import load_trace, trace_from_dict
+
+            if entry.trace is not None:
+                trace = trace_from_dict(entry.trace)
+            else:
+                trace = load_trace(self._resolve_path(entry.trace_path))
+            yield f"{index}:{trace.name}", trace
+            return
         if entry.workload is not None or entry.workload_path is not None:
             if entry.workload is not None:
                 workload = workload_from_dict(entry.workload)
@@ -394,9 +436,14 @@ class CampaignSpec:
 
     def expand(self) -> List[CampaignItem]:
         """Expand the campaign into its deterministic, ordered list of items."""
+        from repro.core.admission import AdmissionTrace
+
         items: List[CampaignItem] = []
         for index, entry in enumerate(self.entries):
             for label, subject in self._entry_configurations(index, entry):
+                if isinstance(subject, AdmissionTrace):
+                    items.append(CampaignItem(label=label, trace=subject))
+                    continue
                 if isinstance(subject, Workload):
                     items.extend(self._workload_items(label, subject, entry))
                     continue

@@ -221,7 +221,13 @@ def _solve_payload(payload: Dict[str, object]) -> Dict[str, object]:
       so the cone program compiles once and every point warm-starts from its
       neighbour.  The result carries per-point payloads under ``"points"``
       plus the aggregate session statistics; backend fallback does not apply
-      (a sweep must come from exactly one backend to stay explainable).
+      (a sweep must come from exactly one backend to stay explainable);
+    * an *admission trace* (``trace``) — an arrival/departure event sequence
+      replayed through one incremental admission session
+      (:func:`repro.core.admission.replay_trace`); the per-event verdicts
+      ride under ``stats["events"]`` and the final platform state fills the
+      item fields.  Like sweep families, a trace is one sequential session,
+      so it runs with exactly the configured backend.
     """
     start = time.perf_counter()
     options = payload["options"]
@@ -237,6 +243,8 @@ def _solve_payload(payload: Dict[str, object]) -> Dict[str, object]:
         "error": None,
         "stats": {},
     }
+    if payload.get("trace") is not None:
+        return _solve_trace_payload(payload, base, start)
     if payload.get("workload") is not None:
         return _solve_workload_payload(payload, base, start)
 
@@ -400,6 +408,65 @@ def _solve_workload_payload(
     return _run_with_backend_fallback(base, options, start, solve)
 
 
+def _solve_trace_payload(
+    payload: Dict[str, object], base: Dict[str, object], start: float
+) -> Dict[str, object]:
+    """Replay one serialised admission trace (run-time arrival/departure events).
+
+    The whole trace is one unit of work and of caching: its incremental
+    session is inherently sequential, so it runs inline in the worker with
+    exactly the configured backend (no fallback — mixed backends would make
+    the per-event timeline unexplainable).  Per-event verdicts are reported
+    under ``stats["events"]``; the item-level fields carry the *final*
+    platform state (empty when the last application departed).
+    """
+    from repro.core.admission import replay_trace, trace_from_dict
+
+    options = payload["options"]
+    try:
+        trace = trace_from_dict(payload["trace"])
+        weights = resolve_weights(options["weights"])
+    except Exception as error:  # noqa: BLE001 - malformed payloads become item errors
+        base.update(status=STATUS_ERROR, error=str(error))
+        base["solve_seconds"] = time.perf_counter() - start
+        return base
+
+    allocator = JointAllocator(
+        weights=weights,
+        options=AllocatorOptions(
+            backend=options["backend"],
+            verify=options["verify"],
+            run_simulation=options["run_simulation"],
+        ),
+    )
+    try:
+        result = replay_trace(trace, allocator=allocator)
+    except Exception as error:  # noqa: BLE001 - solver failures become item errors
+        base.update(status=STATUS_ERROR, error=f"{options['backend']}: {error}")
+        base["solve_seconds"] = time.perf_counter() - start
+        return base
+
+    final = result.final_mapped
+    base.update(
+        status=STATUS_OK,
+        backend_used=options["backend"],
+        budgets=final.flattened("budgets") if final else {},
+        buffer_capacities=final.flattened("buffer_capacities") if final else {},
+        relaxed_budgets=final.flattened("relaxed_budgets") if final else {},
+        relaxed_capacities=final.flattened("relaxed_capacities") if final else {},
+        objective_value=None if final is None else final.objective_value,
+        stats={
+            **dict(result.solver_stats),
+            "events": [record.as_dict() for record in result.records],
+            "admitted": result.admitted,
+            "rejected": result.rejected,
+            "departed": result.departed,
+        },
+    )
+    base["solve_seconds"] = time.perf_counter() - start
+    return base
+
+
 @dataclass
 class SweepResult:
     """The structured outcome of one capacity-sweep family.
@@ -480,7 +547,20 @@ class BatchExecutor:
         waiters: Dict[str, List[Tuple[int, str]]] = {}
         for index, item in enumerate(items):
             configuration_dict = item.configuration_dict()
-            key = cache_key(configuration_dict, options, item.limits())
+            try:
+                key = cache_key(configuration_dict, options, item.limits())
+            except ValueError as error:
+                # Non-finite floats in the item's payload have no canonical
+                # JSON form (and no meaningful cache identity).  Like every
+                # other malformed payload, this is a per-item error, never a
+                # campaign abort.
+                yield index, ItemResult(
+                    label=item.label,
+                    key="",
+                    status=STATUS_ERROR,
+                    error=str(error),
+                )
+                continue
             if key in waiters:
                 waiters[key].append((index, item.label))
                 continue
@@ -495,7 +575,9 @@ class BatchExecutor:
                 "capacity_limits": item.limits(),
                 "options": options,
             }
-            if item.workload is not None:
+            if item.trace is not None:
+                payload["trace"] = configuration_dict
+            elif item.workload is not None:
                 payload["workload"] = configuration_dict
             else:
                 payload["configuration"] = configuration_dict
@@ -516,7 +598,9 @@ class BatchExecutor:
             return
 
         window = max(1, self.config.chunk_size) * self.config.workers
-        with ProcessPoolExecutor(max_workers=self.config.workers) as pool:
+        pool = ProcessPoolExecutor(max_workers=self.config.workers)
+        pool_stuck = False
+        try:
             for start in range(0, len(pending), window):
                 batch = pending[start : start + window]
                 futures = [
@@ -536,7 +620,11 @@ class BatchExecutor:
                         else:
                             # The worker process keeps running (POSIX offers
                             # no safe per-task kill inside a shared pool); the
-                            # item is reported as timed out and never cached.
+                            # item is reported as timed out and never cached,
+                            # and the pool is replaced after this window so
+                            # the stuck worker does not occupy a slot (or
+                            # block the shutdown) for the rest of the run.
+                            pool_stuck = True
                             for index, label in waiters[key]:
                                 yield index, ItemResult(
                                     label=label,
@@ -551,6 +639,46 @@ class BatchExecutor:
                     result_dict = self._store(result_dict)
                     for index, label in waiters[key]:
                         yield index, self._load(result_dict, label, key)
+                if pool_stuck:
+                    pool = self._replace_stuck_pool(pool)
+                    pool_stuck = False
+        finally:
+            if pool_stuck:
+                self._drain_stuck_pool(pool)
+            else:
+                pool.shutdown(wait=True, cancel_futures=True)
+
+    @staticmethod
+    def _drain_stuck_pool(pool: ProcessPoolExecutor) -> None:
+        """Tear down a pool with a worker stuck on a timed-out item.
+
+        ``shutdown(wait=True)`` would block until the un-cancellable payload
+        finishes (it already blew its timeout, so that can be arbitrarily
+        long); instead the pool is released without waiting and any worker
+        still running is killed — every non-stuck future of the pool has been
+        collected by the time this is called, so only timed-out payloads die.
+        """
+        pool.shutdown(wait=False, cancel_futures=True)
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            process.kill()
+
+    def _replace_stuck_pool(self, pool: ProcessPoolExecutor) -> ProcessPoolExecutor:
+        """Swap a pool whose worker is stuck on a timed-out item for a new one.
+
+        After an un-cancellable per-item timeout the worker process keeps
+        executing the old payload, leaving every later window of the run one
+        worker short (or queued behind it).  Recreating the pool restores the
+        configured parallelism; the replacement is per *window*, so one stuck
+        item costs one pool restart, not one per item.
+        """
+        warnings.warn(
+            "a worker exceeded the per-item timeout and cannot be cancelled; "
+            "recreating the process pool to restore full parallelism",
+            RuntimeWarning,
+        )
+        self._drain_stuck_pool(pool)
+        return ProcessPoolExecutor(max_workers=self.config.workers)
 
     def run_sweep(
         self,
@@ -579,9 +707,16 @@ class BatchExecutor:
         configuration_dict = taskgraph_serialization.configuration_to_dict(configuration)
         sweep = [int(value) for value in capacity_sweep]
         label = label or f"{configuration.name}@sweep"
-        key = cache_key(
-            configuration_dict, options, {"__capacity_sweep__": sweep}
-        )
+        try:
+            key = cache_key(
+                configuration_dict, options, {"__capacity_sweep__": sweep}
+            )
+        except ValueError as error:
+            # Non-finite floats in the configuration: a per-family error,
+            # consistent with run_iter's per-item handling.
+            return SweepResult(
+                label=label, key="", status=STATUS_ERROR, error=str(error)
+            )
         cached = self.cache.get(key)
         if cached is not None:
             return SweepResult.from_dict(cached, label, key, from_cache=True)

@@ -9,6 +9,11 @@ writing Python:
 * ``repro-map allocate-workload <workload.json>`` — jointly allocate a
   multi-application workload on its shared platform and print the per-
   application mappings plus the per-processor budget split.
+* ``repro-map admit <workload.json> <candidate.json>`` — run-time admission
+  control: decide whether one more application can run alongside a workload
+  (exit 0 = admitted with the new joint allocation, 1 = rejected with a
+  structured reason); ``repro-map admit --trace <trace.json>`` replays a
+  whole arrival/departure event trace through the incremental session.
 * ``repro-map sweep <config.json> --capacities 1:10`` — reproduce a
   budget-vs-buffer trade-off sweep for an arbitrary configuration.
 * ``repro-map experiments`` — regenerate the paper's figures.
@@ -255,6 +260,90 @@ def _render_solve_stats(stats: dict) -> str:
     return "\n".join(lines)
 
 
+def _cmd_admit(arguments: argparse.Namespace) -> int:
+    from repro.core.admission import AdmissionController, load_trace, replay_trace
+    from repro.taskgraph.workload import load_workload, mapped_workload_to_dict
+
+    allocator = JointAllocator(
+        weights=_weights(arguments.weights),
+        options=AllocatorOptions(backend=arguments.backend, run_simulation=False),
+    )
+
+    if arguments.trace:
+        if arguments.workload or arguments.candidate:
+            print(
+                "admit takes either --trace or a workload + candidate, not both",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        trace = load_trace(arguments.trace)
+        result = replay_trace(trace, allocator=allocator)
+        print(render_table(result.rows()))
+        print(
+            f"\ntrace {trace.name!r}: {result.admitted} admitted, "
+            f"{result.rejected} rejected, {result.departed} departed "
+            f"({len(result.records)} events)"
+        )
+        if arguments.stats:
+            print()
+            print(_render_solve_stats(result.solver_stats))
+        if arguments.output:
+            payload = {
+                "events": [record.as_dict() for record in result.records],
+                "solver_stats": dict(result.solver_stats),
+            }
+            Path(arguments.output).write_text(
+                json.dumps(payload, indent=2, sort_keys=True)
+            )
+            print(f"trace results written to {arguments.output}")
+        return EXIT_OK if result.admitted > 0 else EXIT_INFEASIBLE
+
+    if not arguments.workload or not arguments.candidate:
+        print(
+            "admit needs a running workload JSON and a candidate configuration "
+            "JSON (or --trace <trace.json>)",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    workload = load_workload(arguments.workload)
+    try:
+        # Seeding takes the running applications over in one joint solve —
+        # the candidate question below is then the only admission event.
+        controller = AdmissionController(
+            workload.platform, allocator=allocator, workload=workload
+        )
+    except InfeasibleProblemError as error:
+        print(
+            f"error: the running workload itself is not allocatable: {error}",
+            file=sys.stderr,
+        )
+        return EXIT_INFEASIBLE
+    candidate = _load_configuration(arguments.candidate)
+    name = arguments.name or candidate.name
+    decision = controller.admit(name, candidate)
+    if not decision.admitted:
+        print(
+            f"rejected: {name!r} cannot run alongside "
+            f"{sorted(controller.running)} ({decision.stage}): {decision.reason}",
+            file=sys.stderr,
+        )
+        return EXIT_INFEASIBLE
+    mapped = decision.mapped
+    print(f"admitted {name!r} alongside {sorted(set(controller.running) - {name})}")
+    print()
+    print("budget split per shared processor:")
+    print(render_table(mapped.budget_split_rows()))
+    if arguments.stats:
+        print()
+        print(_render_solve_stats(controller.session_stats.as_dict()))
+    if arguments.output:
+        Path(arguments.output).write_text(
+            json.dumps(mapped_workload_to_dict(mapped), indent=2, sort_keys=True)
+        )
+        print(f"mapped workload written to {arguments.output}")
+    return EXIT_OK
+
+
 def _cmd_sweep(arguments: argparse.Namespace) -> int:
     configuration = _load_configuration(arguments.configuration)
     capacities = arguments.capacities
@@ -395,6 +484,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_common(allocate_workload_parser)
     allocate_workload_parser.set_defaults(handler=_cmd_allocate_workload)
+
+    admit_parser = subparsers.add_parser(
+        "admit",
+        help="run-time admission control: can this application join the "
+        "running workload?",
+        description="Answer the run-time admission question for one candidate "
+        "configuration against a running workload (exit 0 = admitted, 1 = "
+        "rejected with a structured reason), or replay a whole "
+        "arrival/departure trace with --trace.",
+    )
+    admit_parser.add_argument(
+        "workload",
+        nargs="?",
+        help="path to the running workload JSON (omit with --trace)",
+    )
+    admit_parser.add_argument(
+        "candidate",
+        nargs="?",
+        help="path to the candidate configuration JSON (omit with --trace)",
+    )
+    admit_parser.add_argument(
+        "--name",
+        help="application name of the candidate (default: its configuration name)",
+    )
+    admit_parser.add_argument(
+        "--trace", help="replay an arrival/departure trace JSON instead"
+    )
+    admit_parser.add_argument(
+        "--output", help="write the mapped workload (or trace results) JSON here"
+    )
+    admit_parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print aggregate solver statistics of the admission session",
+    )
+    add_common(admit_parser)
+    admit_parser.set_defaults(handler=_cmd_admit)
 
     validate_parser = subparsers.add_parser(
         "validate", help="validate a configuration and run the feasibility screen"

@@ -12,12 +12,33 @@
   :meth:`~repro.core.allocator.JointAllocator.allocate_workload` and
   :class:`~repro.core.allocator.WorkloadSession` solve whole multi-application
   workloads on one shared platform.
+* :mod:`~repro.core.admission` — run-time admission control: incremental
+  session editing (:meth:`~repro.core.allocator.WorkloadSession.add_application`
+  / ``remove_application``), :class:`~repro.core.admission.AdmissionController`
+  with structured admit/reject verdicts, and replayable
+  :class:`~repro.core.admission.AdmissionTrace` event sequences.
 * :class:`~repro.core.tradeoff.TradeoffExplorer` — budget/buffer trade-off sweeps.
 * :class:`~repro.core.objective.ObjectiveWeights` — objective weighting presets.
 * :mod:`~repro.core.rounding` — conservative rounding rules.
 * :mod:`~repro.core.validation` — independent verification of mappings.
 """
 
+from repro.core.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionTrace,
+    TraceEvent,
+    TraceRecord,
+    TraceResult,
+    load_trace,
+    random_trace,
+    replay_trace,
+    save_trace,
+    trace_from_dict,
+    trace_from_json,
+    trace_to_dict,
+    trace_to_json,
+)
 from repro.core.allocator import (
     AllocationSession,
     AllocatorOptions,
@@ -46,6 +67,9 @@ from repro.core.tradeoff import TradeoffCurve, TradeoffExplorer, TradeoffPoint
 from repro.core.validation import VerificationReport, verify_mapping
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionTrace",
     "AllocationSession",
     "AllocatorOptions",
     "FormulationBlock",
@@ -55,6 +79,9 @@ __all__ = [
     "ParametricSocpFormulation",
     "ParametricWorkloadFormulation",
     "SocpFormulation",
+    "TraceEvent",
+    "TraceRecord",
+    "TraceResult",
     "TradeoffCurve",
     "TradeoffExplorer",
     "TradeoffPoint",
@@ -63,7 +90,15 @@ __all__ = [
     "WorkloadSocpFormulation",
     "allocate",
     "allocate_workload",
+    "load_trace",
+    "random_trace",
+    "replay_trace",
     "round_budget",
+    "save_trace",
+    "trace_from_dict",
+    "trace_from_json",
+    "trace_to_dict",
+    "trace_to_json",
     "round_budgets",
     "round_capacities",
     "round_capacity",

@@ -1,0 +1,557 @@
+"""Run-time admission control over a shared platform.
+
+The DATE 2010 setting is a *run-time* one: applications start and stop on a
+shared MPSoC, and budgets and buffer capacities must be re-allocated on the
+fly.  This module answers the run-time question — *can this application be
+admitted alongside the running workload?* — on top of the incremental
+session-editing API of :class:`~repro.core.allocator.WorkloadSession`:
+
+* :class:`AdmissionController` holds the running workload and one
+  compile-once session.  :meth:`AdmissionController.admit` tentatively adds
+  the candidate, re-running the combined-load screens and the joint solve;
+  an admitted application stays (with a fresh :class:`~repro.taskgraph.
+  workload.MappedWorkload` for the whole platform), a rejected one is rolled
+  back and the running applications keep their allocation.  Rejections carry
+  a *structured reason*: the fast closed-form load screens
+  (:data:`STAGE_LOAD_SCREEN`) or solver-proven infeasibility of the joint
+  program (:data:`STAGE_SOLVER`).
+* :class:`AdmissionTrace` is a replayable sequence of arrival/departure
+  events over one shared platform (JSON-serialisable, so traces can be
+  versioned next to their results and driven through batch campaigns);
+  :func:`random_trace` generates seeded traces, and :func:`replay_trace`
+  drives a controller through a trace and returns the per-event
+  :class:`TraceRecord` timeline.
+
+Because every event is an *incremental* session edit, unchanged applications
+keep their formulation blocks, their per-block equality eliminations and
+their share of the previous optimum — re-admission after the tenth arrival
+costs one new block, not ten.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.exceptions import (
+    AllocationError,
+    BindingError,
+    InfeasibleModelError,
+    InfeasibleProblemError,
+    ModelError,
+)
+from repro.core.allocator import AllocatorOptions, JointAllocator, WorkloadSession
+from repro.core.objective import ObjectiveWeights
+from repro.taskgraph.configuration import Configuration
+from repro.taskgraph.platform import Platform
+from repro.taskgraph.workload import MappedWorkload, Workload
+
+FORMAT_VERSION = 1
+
+#: Rejection stages (the structured reason of an :class:`AdmissionDecision`).
+STAGE_ADMITTED = "admitted"
+STAGE_LOAD_SCREEN = "load-screen"   #: closed-form combined-load screens
+STAGE_SOLVER = "solver"             #: joint cone program proven infeasible
+
+
+@dataclass
+class AdmissionDecision:
+    """The structured outcome of one admission attempt.
+
+    ``stage`` distinguishes *why* a rejection happened: the closed-form
+    combined-load screens (:data:`STAGE_LOAD_SCREEN` — the candidate cannot
+    fit no matter what the solver does) or solver-proven infeasibility of the
+    joint program (:data:`STAGE_SOLVER`).  ``mapped`` carries the platform's
+    fresh allocation when the application was admitted.
+    """
+
+    application: str
+    admitted: bool
+    stage: str
+    reason: Optional[str] = None
+    mapped: Optional[MappedWorkload] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "application": self.application,
+            "admitted": self.admitted,
+            "stage": self.stage,
+            "reason": self.reason,
+        }
+
+
+class AdmissionController:
+    """Run-time admission control over one shared platform.
+
+    The controller owns the running :class:`~repro.taskgraph.workload.
+    Workload` and a single compile-once :class:`~repro.core.allocator.
+    WorkloadSession`; arrivals and departures edit the session incrementally,
+    so unchanged applications keep their formulation blocks, eliminations and
+    warm-start values across every event.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        allocator: Optional[JointAllocator] = None,
+        weights: Optional[ObjectiveWeights] = None,
+        name: str = "running",
+        workload: Optional[Workload] = None,
+    ) -> None:
+        """Open a controller over ``platform``, empty or pre-loaded.
+
+        ``workload`` optionally seeds the controller with an already-running
+        workload: its applications are taken over as admitted in **one**
+        joint solve (instead of re-answering one admission question per
+        application), which is what ``repro-map admit`` does with the
+        workload JSON it is given.  Raises
+        :class:`~repro.exceptions.InfeasibleProblemError` (or the validation
+        errors of :meth:`Workload.validate`) when the seeded workload is not
+        allocatable — a running workload must be feasible to ask admission
+        questions against.
+        """
+        self.platform = platform
+        # Admission decisions are made per event at run time: keep the
+        # analytical verification but skip the (slow) self-timed simulation
+        # unless the caller supplies their own allocator.
+        self.allocator = allocator or JointAllocator(
+            weights=weights, options=AllocatorOptions(run_simulation=False)
+        )
+        self.mapped: Optional[MappedWorkload] = None
+        self._session: Optional[WorkloadSession] = None
+        self._stats: Optional[object] = None
+        if workload is None:
+            self.workload = Workload(platform, name=name)
+            return
+        if workload.platform is not platform:
+            raise ModelError(
+                f"the seed workload {workload.name!r} lives on platform "
+                f"{workload.platform.name!r}, not on the controller's "
+                f"platform {platform.name!r}"
+            )
+        self.workload = workload
+        if len(workload):
+            self._session = self.allocator.workload_session(workload)
+            self._stats = self._session.stats
+            self.mapped = self._session.allocate()
+
+    # -- state ------------------------------------------------------------------
+    @property
+    def running(self) -> List[str]:
+        """Names of the currently admitted applications."""
+        return self.workload.application_names
+
+    @property
+    def session_stats(self):
+        """Aggregate solve statistics across every admission event so far."""
+        return self._stats
+
+    # -- events -----------------------------------------------------------------
+    def admit(self, name: str, configuration: Configuration) -> AdmissionDecision:
+        """Attempt to admit one application alongside the running workload.
+
+        On success the application is committed and the returned decision
+        carries the fresh joint allocation; on rejection the running workload
+        (and its session state) is left exactly as it was.
+        """
+        if self._session is None:
+            return self._admit_first(name, configuration)
+        try:
+            self._session.add_application(name, configuration)
+        except InfeasibleModelError as error:
+            return AdmissionDecision(name, False, STAGE_LOAD_SCREEN, reason=str(error))
+        except (BindingError, ModelError) as error:
+            # Structural impossibilities (unknown processors/memories,
+            # duplicate or malformed names) are definite load-screen verdicts
+            # too — the solver could never change them.
+            return AdmissionDecision(name, False, STAGE_LOAD_SCREEN, reason=str(error))
+        try:
+            mapped = self._session.allocate()
+        except (InfeasibleProblemError, AllocationError) as error:
+            self._session.remove_application(name)
+            return AdmissionDecision(name, False, STAGE_SOLVER, reason=str(error))
+        except BaseException:
+            # Any other failure (numerical breakdown, unboundedness, a bug) is
+            # not an admission verdict and propagates — but never with the
+            # candidate left inside the running workload.
+            self._session.remove_application(name)
+            raise
+        self.mapped = mapped
+        return AdmissionDecision(name, True, STAGE_ADMITTED, mapped=mapped)
+
+    def _admit_first(self, name: str, configuration: Configuration) -> AdmissionDecision:
+        """Admission of the first application opens the session."""
+        try:
+            self.workload.add_application(name, configuration)
+        except (BindingError, ModelError) as error:
+            return AdmissionDecision(name, False, STAGE_LOAD_SCREEN, reason=str(error))
+        try:
+            self.workload.validate()
+        except InfeasibleModelError as error:
+            self.workload.remove_application(name)
+            return AdmissionDecision(name, False, STAGE_LOAD_SCREEN, reason=str(error))
+        try:
+            session = self.allocator.workload_session(self.workload)
+            if self._stats is not None:
+                # Keep one aggregate across empty-platform gaps: the new
+                # session continues the predecessor's statistics.
+                session._adopt_stats(self._stats)
+            mapped = session.allocate()
+        except (InfeasibleProblemError, AllocationError) as error:
+            self.workload.remove_application(name)
+            return AdmissionDecision(name, False, STAGE_SOLVER, reason=str(error))
+        except BaseException:
+            # Non-verdict failures propagate, with the workload restored.
+            self.workload.remove_application(name)
+            raise
+        self._session = session
+        self._stats = session.stats
+        self.mapped = mapped
+        return AdmissionDecision(name, True, STAGE_ADMITTED, mapped=mapped)
+
+    def depart(self, name: str) -> Optional[MappedWorkload]:
+        """Retire one running application and re-allocate the remainder.
+
+        Returns the remaining workload's fresh allocation, or ``None`` when
+        the departing application was the last one (the session closes; the
+        accumulated statistics stay readable through :attr:`session_stats`).
+        """
+        if self._session is None:
+            raise ModelError(f"no application named {name!r} is running")
+        if len(self.workload) == 1:
+            self.workload.remove_application(name)
+            self._session = None
+            self.mapped = None
+            return None
+        self._session.remove_application(name)
+        self.mapped = self._session.allocate()
+        return self.mapped
+
+
+# -- traces ------------------------------------------------------------------------
+ACTION_ARRIVE = "arrive"
+ACTION_DEPART = "depart"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One arrival or departure of an admission trace."""
+
+    action: str
+    application: str
+    configuration: Optional[Configuration] = None
+
+    def __post_init__(self) -> None:
+        if self.action not in (ACTION_ARRIVE, ACTION_DEPART):
+            raise ModelError(
+                f"unknown trace action {self.action!r}; expected "
+                f"{ACTION_ARRIVE!r} or {ACTION_DEPART!r}"
+            )
+        if self.action == ACTION_ARRIVE and self.configuration is None:
+            raise ModelError(
+                f"arrival of {self.application!r} needs a configuration"
+            )
+
+
+@dataclass
+class AdmissionTrace:
+    """A replayable arrival/departure event sequence over one shared platform."""
+
+    platform: Platform
+    events: List[TraceEvent] = field(default_factory=list)
+    name: str = "trace"
+
+    def arrive(self, application: str, configuration: Configuration) -> "AdmissionTrace":
+        self.events.append(TraceEvent(ACTION_ARRIVE, application, configuration))
+        return self
+
+    def depart(self, application: str) -> "AdmissionTrace":
+        self.events.append(TraceEvent(ACTION_DEPART, application))
+        return self
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+@dataclass
+class TraceRecord:
+    """The outcome of one replayed trace event."""
+
+    index: int
+    action: str
+    application: str
+    status: str                     #: admitted / rejected / departed / ignored
+    stage: Optional[str] = None     #: rejection stage for rejected arrivals
+    reason: Optional[str] = None
+    objective_value: Optional[float] = None   #: platform objective after the event
+    running: List[str] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "index": self.index,
+            "action": self.action,
+            "application": self.application,
+            "status": self.status,
+            "stage": self.stage,
+            "reason": self.reason,
+            "objective_value": self.objective_value,
+            "running": list(self.running),
+        }
+
+
+#: Replay record statuses.
+STATUS_ADMITTED = "admitted"
+STATUS_REJECTED = "rejected"
+STATUS_DEPARTED = "departed"
+STATUS_IGNORED = "ignored"   #: departure of an application that is not running
+
+
+@dataclass
+class TraceResult:
+    """The timeline of one trace replay plus the final platform state."""
+
+    trace: AdmissionTrace
+    records: List[TraceRecord]
+    final_mapped: Optional[MappedWorkload]
+    solver_stats: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def admitted(self) -> int:
+        return sum(1 for record in self.records if record.status == STATUS_ADMITTED)
+
+    @property
+    def rejected(self) -> int:
+        return sum(1 for record in self.records if record.status == STATUS_REJECTED)
+
+    @property
+    def departed(self) -> int:
+        return sum(1 for record in self.records if record.status == STATUS_DEPARTED)
+
+    def rows(self) -> List[Dict[str, object]]:
+        """One table row per event (for the CLI and reports)."""
+        return [
+            {
+                "event": record.index,
+                "action": record.action,
+                "application": record.application,
+                "status": record.status,
+                "stage": record.stage or "",
+                "running": len(record.running),
+                "objective": (
+                    None
+                    if record.objective_value is None
+                    else round(record.objective_value, 4)
+                ),
+            }
+            for record in self.records
+        ]
+
+
+def replay_trace(
+    trace: AdmissionTrace,
+    allocator: Optional[JointAllocator] = None,
+    controller: Optional[AdmissionController] = None,
+) -> TraceResult:
+    """Drive an :class:`AdmissionController` through a trace, event by event.
+
+    Every event is an incremental session edit; the result records each
+    event's verdict (with the structured rejection stage), the running set
+    and the platform objective after the event.  A departure of an
+    application that is not running is recorded as ``ignored`` rather than
+    aborting the replay — traces may legitimately contain departures of
+    applications that were rejected on arrival.
+    """
+    controller = controller or AdmissionController(trace.platform, allocator=allocator)
+    records: List[TraceRecord] = []
+    for index, event in enumerate(trace.events):
+        if event.action == ACTION_ARRIVE:
+            decision = controller.admit(event.application, event.configuration)
+            records.append(
+                TraceRecord(
+                    index=index,
+                    action=event.action,
+                    application=event.application,
+                    status=STATUS_ADMITTED if decision.admitted else STATUS_REJECTED,
+                    stage=None if decision.admitted else decision.stage,
+                    reason=decision.reason,
+                    objective_value=(
+                        None
+                        if controller.mapped is None
+                        else controller.mapped.objective_value
+                    ),
+                    running=controller.running,
+                )
+            )
+            continue
+        if event.application not in controller.running:
+            records.append(
+                TraceRecord(
+                    index=index,
+                    action=event.action,
+                    application=event.application,
+                    status=STATUS_IGNORED,
+                    reason="application is not running",
+                    objective_value=(
+                        None
+                        if controller.mapped is None
+                        else controller.mapped.objective_value
+                    ),
+                    running=controller.running,
+                )
+            )
+            continue
+        mapped = controller.depart(event.application)
+        records.append(
+            TraceRecord(
+                index=index,
+                action=event.action,
+                application=event.application,
+                status=STATUS_DEPARTED,
+                objective_value=None if mapped is None else mapped.objective_value,
+                running=controller.running,
+            )
+        )
+    stats = controller.session_stats
+    return TraceResult(
+        trace=trace,
+        records=records,
+        final_mapped=controller.mapped,
+        solver_stats=dict(stats.as_dict()) if stats is not None else {},
+    )
+
+
+# -- (de)serialisation -------------------------------------------------------------
+def trace_to_dict(trace: AdmissionTrace) -> Dict[str, object]:
+    from repro.taskgraph import serialization
+
+    events: List[Dict[str, object]] = []
+    for event in trace.events:
+        data: Dict[str, object] = {
+            "action": event.action,
+            "application": event.application,
+        }
+        if event.configuration is not None:
+            data["configuration"] = serialization.configuration_to_dict(
+                event.configuration
+            )
+        events.append(data)
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": trace.name,
+        "platform": serialization.platform_to_dict(trace.platform),
+        "events": events,
+    }
+
+
+def trace_from_dict(data: Mapping[str, object]) -> AdmissionTrace:
+    from repro.taskgraph import serialization
+
+    version = int(data.get("format_version", FORMAT_VERSION))
+    if version > FORMAT_VERSION:
+        raise ModelError(
+            f"trace format version {version} is newer than supported "
+            f"version {FORMAT_VERSION}"
+        )
+    try:
+        platform = serialization.platform_from_dict(data["platform"])
+    except KeyError:
+        raise ModelError("a trace document needs a 'platform' object") from None
+    trace = AdmissionTrace(platform=platform, name=str(data.get("name", "trace")))
+    for event_data in data.get("events", []):
+        try:
+            action = str(event_data["action"])
+            application = str(event_data["application"])
+        except KeyError as error:
+            raise ModelError(f"every trace event needs an {error}") from None
+        configuration = None
+        if event_data.get("configuration") is not None:
+            configuration = serialization.configuration_from_dict(
+                event_data["configuration"]
+            )
+        trace.events.append(TraceEvent(action, application, configuration))
+    return trace
+
+
+def trace_to_json(trace: AdmissionTrace, indent: int = 2) -> str:
+    return json.dumps(trace_to_dict(trace), indent=indent, sort_keys=True)
+
+
+def trace_from_json(text: str) -> AdmissionTrace:
+    return trace_from_dict(json.loads(text))
+
+
+def save_trace(trace: AdmissionTrace, path: Union[str, Path]) -> None:
+    Path(path).write_text(trace_to_json(trace), encoding="utf-8")
+
+
+def load_trace(path: Union[str, Path]) -> AdmissionTrace:
+    return trace_from_json(Path(path).read_text(encoding="utf-8"))
+
+
+# -- generators --------------------------------------------------------------------
+def random_trace(
+    event_count: int = 12,
+    task_count: int = 4,
+    processor_count: int = 4,
+    seed: int = 0,
+    period: float = 10.0,
+    replenishment_interval: float = 40.0,
+    wcet_range: Optional[Tuple[float, float]] = None,
+    arrival_bias: float = 0.65,
+    concurrency: int = 6,
+    granularity: float = 1.0,
+    name: Optional[str] = None,
+) -> AdmissionTrace:
+    """A seeded arrival/departure trace of random-DAG applications.
+
+    Events arrive with probability ``arrival_bias`` (forced while nothing is
+    running, suppressed once ``concurrency`` applications are live);
+    departures pick a running application uniformly.  The default WCET range
+    is scaled down by ``concurrency`` so that mid-trace workloads tend to be
+    admissible, with heavier arrivals occasionally rejected — exactly the
+    mixture an admission controller is for.
+    """
+    from repro.taskgraph.generators import random_dag_configuration
+
+    if event_count < 1:
+        raise ModelError("a trace needs at least one event")
+    if wcet_range is None:
+        wcet_range = (0.5 / concurrency, 2.5 / concurrency)
+    rng = random.Random(f"trace:{seed}")
+    platform: Optional[Platform] = None
+    trace: Optional[AdmissionTrace] = None
+    running: List[str] = []
+    arrivals = 0
+    for index in range(event_count):
+        arrive = rng.random() < arrival_bias
+        if not running:
+            arrive = True
+        elif len(running) >= concurrency:
+            arrive = False
+        if arrive:
+            configuration = random_dag_configuration(
+                task_count=task_count,
+                processor_count=processor_count,
+                seed=rng.randrange(2**31),
+                period=period,
+                replenishment_interval=replenishment_interval,
+                wcet_range=wcet_range,
+                granularity=granularity,
+            )
+            if trace is None:
+                platform = configuration.platform
+                trace = AdmissionTrace(
+                    platform=platform,
+                    name=name or f"random-trace-{event_count}-{seed}",
+                )
+            application = f"app{arrivals}"
+            arrivals += 1
+            trace.arrive(application, configuration)
+            running.append(application)
+        else:
+            application = running.pop(rng.randrange(len(running)))
+            trace.depart(application)
+    return trace

@@ -26,18 +26,37 @@ from typing import Dict, Mapping
 
 from repro.exceptions import AllocationError
 
-#: Relative slack absorbed when snapping nearly-integral relaxed values.
+#: Absolute slack (in granules) absorbed when snapping nearly-integral values.
 SNAP_TOLERANCE = 1e-6
+#: Relative round-off scale of the granule count: double arithmetic on a
+#: count of ``g`` granules carries error proportional to ``g`` (a few
+#: thousand ulp of headroom here), so the snap window must grow with the
+#: count or large budgets on fine granularities get charged a spurious
+#: extra granule.
+RELATIVE_SNAP = 1e-11
 
 
 def round_budget(relaxed_budget: float, granularity: float, tolerance: float = SNAP_TOLERANCE) -> float:
-    """Round a relaxed budget up to the next multiple of the granularity."""
+    """Round a relaxed budget up to the next multiple of the granularity.
+
+    The snapping window absorbs numerical round-off only, never genuine
+    fractional requirements: it is the larger of the absolute ``tolerance``
+    (the historical behaviour at small granule counts) and a term *relative
+    to the granule count* (:data:`RELATIVE_SNAP`), because double round-off
+    on a count of ~10⁶ granules dwarfs any absolute epsilon — with a purely
+    absolute window such a budget silently gains a whole extra granule on an
+    ordinary representation error.  The window stays far below half a
+    granule across every representable count, so a genuinely fractional
+    budget always rounds **up** (the conservative contract of Section IV);
+    the capped window merely guards the degenerate extreme.
+    """
     if relaxed_budget <= 0.0:
         raise AllocationError(f"relaxed budget must be positive, got {relaxed_budget!r}")
     if granularity <= 0.0:
         raise AllocationError(f"granularity must be positive, got {granularity!r}")
     granules = relaxed_budget / granularity
-    snapped = math.ceil(granules - tolerance)
+    snap_window = min(max(tolerance, RELATIVE_SNAP * granules), 0.49)
+    snapped = math.ceil(granules - snap_window)
     return max(1, snapped) * granularity
 
 

@@ -24,6 +24,8 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+import networkx as nx
+
 from repro.exceptions import AnalysisError
 from repro.dataflow.graph import Queue, SRDFGraph
 
@@ -108,6 +110,34 @@ def is_period_feasible(graph: SRDFGraph, period: float) -> bool:
     return longest_path_potentials(graph, period) is not None
 
 
+def _has_positive_duration_cycle(graph: SRDFGraph) -> bool:
+    """True when some directed cycle contains an actor with positive duration.
+
+    Exactly the condition for ``MCR > 0``: a cycle's ratio is its total
+    firing duration over its (positive, or the graph deadlocks) token count.
+    Every cycle lies inside a strongly connected component, and inside an
+    SCC that contains at least one edge *every* node lies on a cycle, so the
+    check reduces to: does any edge-carrying SCC contain a positive-duration
+    actor?
+    """
+    digraph = nx.DiGraph()
+    digraph.add_nodes_from(graph.actor_names)
+    digraph.add_edges_from((queue.source, queue.target) for queue in graph.queues)
+    component_of = {}
+    for index, component in enumerate(nx.strongly_connected_components(digraph)):
+        for node in component:
+            component_of[node] = index
+    cyclic = {
+        component_of[queue.source]
+        for queue in graph.queues
+        if component_of[queue.source] == component_of[queue.target]
+    }
+    return any(
+        graph.firing_duration(name) > 0.0 and component_of[name] in cyclic
+        for name in graph.actor_names
+    )
+
+
 def _upper_bound_period(graph: SRDFGraph) -> float:
     """A period that is always feasible for a deadlock-free graph.
 
@@ -142,19 +172,27 @@ def maximum_cycle_ratio(
     if method != "lawler":
         raise AnalysisError(f"unknown MCR method {method!r}")
 
-    high = _upper_bound_period(graph)
-    if is_period_feasible(graph, tolerance):
-        # Only trivial cycles; any positive period works.
+    # Exact trivial-cycle classification: MCR == 0 iff no cycle carries a
+    # positive firing duration.  Probing feasibility at an epsilon period —
+    # absolute or duration-scaled — cannot get this right at every scale (a
+    # genuinely positive MCR near the epsilon, of either sign of error), so
+    # the structure is checked directly instead.
+    if not _has_positive_duration_cycle(graph):
+        # Only zero-duration cycles; any positive period works.
         return 0.0
+    high = _upper_bound_period(graph)
     low = 0.0
     if not is_period_feasible(graph, high):
         raise AnalysisError(
             "no feasible period found below the total-duration upper bound; "
             "the graph structure is inconsistent"
         )
-    # Binary search for the smallest feasible period.
-    scale = max(high, 1.0)
-    while high - low > tolerance * scale:
+    # Binary search for the smallest feasible period.  Convergence is
+    # relative to the *current* upper bound: when the true MCR is orders of
+    # magnitude below the total-duration starting bound (tiny cycles next to
+    # large acyclic actors), the target shrinks with the interval and the
+    # result stays accurate to ``tolerance`` relative at every scale.
+    while high - low > tolerance * high:
         mid = 0.5 * (low + high)
         if is_period_feasible(graph, mid):
             high = mid

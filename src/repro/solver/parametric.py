@@ -148,6 +148,14 @@ class SessionStats:
     #: compile-once session's whole sweep counts exactly one — each rebuild
     #: fallback adds one more for its freshly compiled problem.
     eliminations: int = 0
+    #: per-block elimination accounting, summed over the session's solves:
+    #: block SVDs actually performed vs per-block bases reused across
+    #: incremental session edits
+    #: (:func:`repro.solver.barrier.transfer_block_eliminations`).  An
+    #: incrementally edited N-app workload session computes ~1 block per edit
+    #: and reuses N−1, where a from-scratch rebuild recomputes all N.
+    elimination_blocks_computed: int = 0
+    elimination_blocks_reused: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -160,6 +168,8 @@ class SessionStats:
             "solve_time": self.solve_time,
             "rebuilds": self.rebuilds,
             "eliminations": self.eliminations,
+            "elimination_blocks_computed": self.elimination_blocks_computed,
+            "elimination_blocks_reused": self.elimination_blocks_reused,
         }
 
     def record_solution(self, solution: Solution) -> None:
@@ -175,6 +185,12 @@ class SessionStats:
             self.phase1_skipped += 1
         if solution.stats.get("elimination_computed"):
             self.eliminations += 1
+        self.elimination_blocks_computed += int(
+            solution.stats.get("elimination_blocks_computed", 0)
+        )
+        self.elimination_blocks_reused += int(
+            solution.stats.get("elimination_blocks_reused", 0)
+        )
         self.newton_iterations += int(solution.stats.get("newton_iterations", 0))
         self.phase1_newton_iterations += int(
             solution.stats.get("phase1_newton_iterations", 0)

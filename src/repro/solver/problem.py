@@ -140,6 +140,15 @@ class CompiledProblem:
     elimination_cache: Optional[object] = field(
         default=None, repr=False, compare=False
     )
+    #: Optional per-block elimination seed (block index → validated basis
+    #: carried over from a *different* compiled problem), installed by
+    #: :func:`repro.solver.barrier.transfer_block_eliminations` when a session
+    #: is edited incrementally.  The blockwise elimination verifies each
+    #: seeded block's equality data before reusing its basis, so a stale seed
+    #: costs one comparison and falls back to the SVD.
+    elimination_seed: Optional[Dict[int, object]] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def num_variables(self) -> int:

@@ -80,13 +80,8 @@ class Workload:
             self.add_application(app_name, configuration)
 
     # -- construction -----------------------------------------------------------
-    def add_application(self, name: str, configuration: Configuration) -> Application:
-        """Add one application, re-homing it onto the shared platform.
-
-        Every processor and memory the application references must exist in
-        the shared platform; the application's own platform object (if it
-        differs) is discarded.
-        """
+    def _build_application(self, name: str, configuration: Configuration) -> Application:
+        """Validate a candidate application and re-home it onto the platform."""
         if not name:
             raise ModelError("application name must be non-empty")
         if "/" in name:
@@ -96,8 +91,6 @@ class Workload:
             raise ModelError(
                 f"application name {name!r} must not contain '/'"
             )
-        if name in self._applications:
-            raise ModelError(f"duplicate application name {name!r}")
         for graph in configuration.task_graphs:
             for task in graph.tasks:
                 if not self.platform.has_processor(task.processor):
@@ -113,15 +106,57 @@ class Workload:
                         f"in memory {buffer.memory!r}, which does not exist in "
                         f"the shared platform {self.platform.name!r}"
                     )
-        rehomed = Configuration(
-            platform=self.platform,
-            task_graphs=configuration.task_graphs,
-            granularity=configuration.granularity,
-            name=configuration.name,
-        )
-        application = Application(name=name, configuration=rehomed)
+        if configuration.platform is self.platform:
+            # Already homed on the shared platform: keep the object identity,
+            # so session layers can recognise an unchanged application.
+            rehomed = configuration
+        else:
+            rehomed = Configuration(
+                platform=self.platform,
+                task_graphs=configuration.task_graphs,
+                granularity=configuration.granularity,
+                name=configuration.name,
+            )
+        return Application(name=name, configuration=rehomed)
+
+    def add_application(self, name: str, configuration: Configuration) -> Application:
+        """Add one application, re-homing it onto the shared platform.
+
+        Every processor and memory the application references must exist in
+        the shared platform; the application's own platform object (if it
+        differs) is discarded.
+        """
+        if name in self._applications:
+            raise ModelError(f"duplicate application name {name!r}")
+        application = self._build_application(name, configuration)
         self._applications[name] = application
         return application
+
+    def remove_application(self, name: str) -> Application:
+        """Remove (and return) one application — the run-time departure case."""
+        try:
+            return self._applications.pop(name)
+        except KeyError:
+            raise ModelError(
+                f"no application named {name!r} in workload {self.name!r}"
+            ) from None
+
+    def replace_application(self, name: str, configuration: Configuration) -> Application:
+        """Swap one application's configuration in place (keeps its position).
+
+        The run-time reconfiguration case: the named application must already
+        be part of the workload; its slot (and therefore the per-application
+        ordering every reporting surface uses) is preserved.  Returns the
+        application that was replaced.
+        """
+        try:
+            previous = self._applications[name]
+        except KeyError:
+            raise ModelError(
+                f"no application named {name!r} in workload {self.name!r}"
+            ) from None
+        self._applications[name] = self._build_application(name, configuration)
+        return previous
 
     # -- lookup --------------------------------------------------------------------
     @property

@@ -51,6 +51,66 @@ class TestCacheKey:
         )
 
 
+class TestNonFinitePayloads:
+    """NaN/inf handling: canonical JSON and cache files must stay strict.
+
+    ``json.dumps`` would happily emit the non-standard ``NaN``/``Infinity``
+    literals, producing cache keys that are not stable identities and cache
+    files strict parsers reject; both surfaces reject non-finite floats.
+    """
+
+    def test_cache_key_rejects_nan_configuration(self):
+        import pytest
+
+        bad = {**config_dict(), "period": float("nan")}
+        with pytest.raises(ValueError, match="non-finite"):
+            cache_key(bad, OPTIONS)
+
+    def test_cache_key_rejects_infinite_limits(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="non-finite"):
+            cache_key(config_dict(), OPTIONS, capacity_limits={"bab": float("inf")})
+
+    def test_canonical_json_rejects_nested_non_finite(self):
+        import pytest
+
+        for value in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValueError, match="non-finite"):
+                canonical_json({"a": {"b": [1.0, value]}})
+
+    def test_put_declines_non_finite_payload(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = cache_key(config_dict(), OPTIONS)
+        cache.put(key, {"status": "ok", "objective_value": float("nan")})
+        # Nothing stored, nothing half-written, and the miss is clean.
+        assert cache.get(key) is None
+        assert len(cache) == 0
+        assert cache.stores == 0
+        assert not list((tmp_path / "cache").rglob("*.tmp"))
+
+    def test_put_still_raises_on_genuine_serialisation_bugs(self, tmp_path):
+        import pytest
+
+        cache = ResultCache(tmp_path / "cache")
+        circular = {"status": "ok"}
+        circular["self"] = circular
+        with pytest.raises(ValueError, match="[Cc]ircular"):
+            cache.put(cache_key(config_dict(), OPTIONS), circular)
+        assert len(cache) == 0
+
+    def test_stored_entries_parse_under_a_strict_parser(self, tmp_path):
+        def reject_constant(text):
+            raise AssertionError(f"non-standard JSON constant {text!r}")
+
+        cache = ResultCache(tmp_path / "cache")
+        key = cache_key(config_dict(), OPTIONS)
+        cache.put(key, {"status": "ok", "objective_value": 17.5})
+        path = tmp_path / "cache" / key[:2] / f"{key}.json"
+        payload = json.loads(path.read_text(), parse_constant=reject_constant)
+        assert payload["objective_value"] == 17.5
+
+
 class TestResultCache:
     def test_roundtrip(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")

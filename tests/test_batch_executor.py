@@ -167,6 +167,25 @@ class TestFallbackAndErrors:
         with pytest.raises(ValueError, match="unknown objective preset"):
             resolve_weights("nope")
 
+    def test_non_finite_item_payload_is_an_item_error_not_a_campaign_abort(self):
+        # A non-finite float reaching the cache-key computation (e.g. a
+        # 1e999 literal in hand-written campaign JSON) must fail that one
+        # item, not the whole run.
+        items = [
+            CampaignItem(
+                label="bad",
+                configuration=producer_consumer_configuration(max_capacity=5),
+                capacity_limits={"bab": float("inf")},
+            ),
+            CampaignItem(
+                label="good",
+                configuration=producer_consumer_configuration(max_capacity=5),
+            ),
+        ]
+        results = BatchExecutor().run(items)
+        assert [result.status for result in results] == [STATUS_ERROR, STATUS_OK]
+        assert "non-finite" in results[0].error
+
     def test_errors_are_never_cached(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")
         executor = BatchExecutor(
@@ -290,6 +309,53 @@ class TestDeterminismAndCache:
         assert [result.deterministic_dict() for result in first] == [
             result.deterministic_dict() for result in second
         ]
+
+
+def _sleepy_solve_payload(payload):
+    """Worker function of the timeout regression test (module level so it
+    pickles across the process pool).  Items labelled ``stuck`` sleep far
+    beyond the configured per-item timeout; everything else solves normally."""
+    import time as _time
+
+    if payload["label"] == "stuck":
+        _time.sleep(60.0)
+    return _solve_payload(payload)
+
+
+class TestTimeoutPoolRecovery:
+    def test_stuck_worker_is_replaced_and_does_not_block_the_run(self, monkeypatch):
+        """After an un-cancellable per-item timeout the stuck worker used to
+        keep occupying a pool slot (and ``shutdown(wait=True)`` blocked on it
+        for the payload's full duration); the pool must be recreated instead,
+        so later windows run at full parallelism and the run ends promptly."""
+        import multiprocessing
+        import time
+
+        if multiprocessing.get_start_method() != "fork":
+            pytest.skip("the slow-payload monkeypatch needs fork inheritance")
+        import repro.batch.executor as executor_module
+
+        monkeypatch.setattr(executor_module, "_solve_payload", _sleepy_solve_payload)
+        items = [
+            CampaignItem(label="stuck", configuration=chain_configuration(stages=2)),
+            CampaignItem(label="a", configuration=chain_configuration(stages=3)),
+            CampaignItem(label="b", configuration=chain_configuration(stages=4)),
+            CampaignItem(label="c", configuration=chain_configuration(stages=5)),
+        ]
+        executor = BatchExecutor(
+            config=ExecutorConfig(workers=2, chunk_size=1, timeout=1.0)
+        )
+        start = time.perf_counter()
+        with pytest.warns(RuntimeWarning, match="recreating the process pool"):
+            results = executor.run(items)
+        elapsed = time.perf_counter() - start
+
+        assert [result.label for result in results] == ["stuck", "a", "b", "c"]
+        assert results[0].status == "timeout"
+        assert all(result.status == STATUS_OK for result in results[1:])
+        # The 60 s payload must neither serialise the later windows nor block
+        # the pool shutdown; a generous bound still catches both regressions.
+        assert elapsed < 30.0, f"run took {elapsed:.1f} s behind a stuck worker"
 
 
 class TestItemResult:

@@ -37,6 +37,46 @@ class TestRoundBudget:
             round_budget(1.0, 0.0)
 
 
+class TestRelativeSnapping:
+    """Boundary tests of the granule-count-relative snap tolerance.
+
+    A budget of ~1e6 granules (large budget, fine granularity) carries double
+    round-off far above any absolute epsilon; the snap window must scale with
+    the granule count so such values do not get charged a whole extra
+    granule, yet stay below half a granule so genuine fractions round up.
+    """
+
+    def test_large_granule_count_absorbs_double_round_off(self):
+        # ~1e6 granules with a 3e-12 relative perturbation: an absolute 1e-6
+        # window mis-snaps this to 1e6 + 1 granules.
+        assert round_budget(1.0 + 3e-12, 1e-6) == pytest.approx(1.0, abs=1e-12)
+
+    def test_exact_large_multiple_is_kept(self):
+        # Exactly 1e6 granules must neither gain nor lose a granule (an
+        # uncapped relative window of 1e-6 * 1e6 = 1 granule would snap DOWN).
+        assert round_budget(1.0, 1e-6) == pytest.approx(1.0, abs=1e-12)
+
+    def test_genuine_half_granule_still_rounds_up(self):
+        assert round_budget(1.0000005, 1e-6) == pytest.approx(1.000001, abs=1e-12)
+
+    def test_genuine_fraction_at_large_count_still_rounds_up(self):
+        # The window absorbs round-off, not real fractional requirements: a
+        # third of a granule at half a million granules must be charged (a
+        # window proportional to 1e-6 of the count would swallow it and ship
+        # a budget *below* the relaxed minimum).
+        assert round_budget(500000.3, 1.0) == pytest.approx(500001.0, abs=1e-9)
+        assert round_budget(500000.3, 1.0) >= 500000.3
+
+    def test_small_scale_behaviour_unchanged(self):
+        assert round_budget(17.2, 1.0) == pytest.approx(18.0)
+        assert round_budget(16.0000000001, 4.0) == pytest.approx(16.0)
+
+    def test_never_undershoots_by_more_than_relative_tolerance(self):
+        for relaxed, granularity in ((1.0, 1e-6), (123456.789, 0.001), (3.0000000004, 1.0)):
+            rounded = round_budget(relaxed, granularity)
+            assert rounded >= relaxed * (1.0 - 1e-6)
+
+
 class TestRoundCapacity:
     def test_rounds_up(self):
         assert round_capacity(3.2) == 4

@@ -71,6 +71,70 @@ class TestMaximumCycleRatio:
         with pytest.raises(AnalysisError):
             maximum_cycle_ratio(two_actor_cycle, method="howard")
 
+    def test_tiny_durations_report_positive_mcr(self):
+        # Firing durations near the absolute tolerance (1e-9): probing the
+        # trivial-cycle case at an unscaled epsilon misreports the genuinely
+        # positive MCR of 2e-9 as 0.0.
+        graph = SRDFGraph("nano")
+        graph.add_actor(Actor("a", 1e-9))
+        graph.add_actor(Actor("b", 1e-9))
+        graph.add_queue(Queue("ab", "a", "b", tokens=0))
+        graph.add_queue(Queue("ba", "b", "a", tokens=1))
+        exact = maximum_cycle_ratio(graph, method="enumerate")
+        assert exact == pytest.approx(2e-9, rel=1e-9)
+        # At this scale the Bellman-Ford relaxation's absolute 1e-12 slack
+        # limits the attainable precision to ~1e-3 relative; the point of the
+        # fix is that the MCR is positive and approximately right, not 0.0.
+        lawler = maximum_cycle_ratio(graph, method="lawler")
+        assert lawler > 0.0
+        assert lawler == pytest.approx(exact, rel=1e-3)
+        assert throughput(graph) == pytest.approx(0.5e9, rel=1e-3)
+
+    def test_tiny_cycle_next_to_large_acyclic_actor(self):
+        # A mixed-scale graph: the duration-scaled probe must not be inflated
+        # by actors outside every cycle, or the tiny cycle's genuinely
+        # positive MCR (2e-9 here) would be misreported as 0.0.
+        graph = SRDFGraph("mixed")
+        graph.add_actor(Actor("a", 1e-9))
+        graph.add_actor(Actor("b", 1e-9))
+        graph.add_actor(Actor("big", 10.0))
+        graph.add_queue(Queue("ab", "a", "b", tokens=0))
+        graph.add_queue(Queue("ba", "b", "a", tokens=1))
+        graph.add_queue(Queue("abig", "a", "big", tokens=0))
+        exact = maximum_cycle_ratio(graph, method="enumerate")
+        assert exact == pytest.approx(2e-9, rel=1e-9)
+        lawler = maximum_cycle_ratio(graph, method="lawler")
+        assert lawler > 0.0
+        assert lawler == pytest.approx(exact, rel=1e-2)
+
+    def test_sub_tolerance_cycle_next_to_large_acyclic_actor(self):
+        # Even an MCR *below* the absolute search tolerance (5e-10 here) must
+        # classify as positive when a big acyclic actor dominates the
+        # duration sum — the classification is structural, not epsilon-based.
+        graph = SRDFGraph("sub-tolerance")
+        graph.add_actor(Actor("a", 0.25e-9))
+        graph.add_actor(Actor("b", 0.25e-9))
+        graph.add_actor(Actor("big", 10.0))
+        graph.add_queue(Queue("ab", "a", "b", tokens=0))
+        graph.add_queue(Queue("ba", "b", "a", tokens=1))
+        graph.add_queue(Queue("abig", "a", "big", tokens=0))
+        assert maximum_cycle_ratio(graph, method="enumerate") == pytest.approx(
+            5e-10, rel=1e-9
+        )
+        assert maximum_cycle_ratio(graph, method="lawler") > 0.0
+
+    def test_tiny_duration_trivial_cycles_still_report_zero(self):
+        # A token-carrying cycle whose actors all fire in zero time has MCR 0
+        # regardless of the duration scale of the rest of the graph.
+        graph = SRDFGraph("zero-cycle")
+        graph.add_actor(Actor("a", 0.0))
+        graph.add_actor(Actor("b", 0.0))
+        graph.add_actor(Actor("c", 1e-9))
+        graph.add_queue(Queue("ab", "a", "b", tokens=1))
+        graph.add_queue(Queue("ba", "b", "a", tokens=1))
+        graph.add_queue(Queue("ac", "a", "c", tokens=0))
+        assert maximum_cycle_ratio(graph) == 0.0
+
     def test_multiple_cycles_take_the_maximum(self):
         graph = SRDFGraph("two-cycles")
         for name, duration in (("a", 1.0), ("b", 1.0), ("c", 10.0)):
