@@ -88,6 +88,8 @@ def run_campaign(
     timeout: Optional[float] = None,
     progress=None,
     items: Optional[List[CampaignItem]] = None,
+    telemetry: bool = False,
+    executor_out: Optional[List[BatchExecutor]] = None,
 ) -> Tuple[List[ItemResult], CampaignSummary]:
     """Expand, execute and aggregate a campaign in one call.
 
@@ -109,6 +111,14 @@ def run_campaign(
         Pre-expanded campaign items; pass them when the caller already
         expanded the spec (expansion runs the generators, so repeating it
         for large campaigns is wasteful).
+    telemetry:
+        Capture per-item span trees and metrics inside the workers and merge
+        the metric snapshots into the executor's campaign aggregate (a pure
+        observability knob: results and cache keys are unaffected).
+    executor_out:
+        When given, the :class:`BatchExecutor` used for the run is appended
+        to this list so the caller can read ``executor.metrics`` (and any
+        per-item telemetry) after the campaign.
     """
     if not isinstance(spec, CampaignSpec):
         spec = load_campaign(spec)
@@ -120,9 +130,12 @@ def run_campaign(
             backend=spec.backend,
             weights=spec.weights,
             timeout=timeout,
+            telemetry=telemetry,
         ),
         cache=make_cache(cache_dir, enabled=use_cache),
     )
+    if executor_out is not None:
+        executor_out.append(executor)
     start = time.perf_counter()
     results = executor.run(items, progress=progress)
     elapsed = time.perf_counter() - start

@@ -22,15 +22,17 @@ Determinism guarantees:
 
 from __future__ import annotations
 
-import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core.allocator import AllocatorOptions, JointAllocator
 from repro.core.objective import ObjectiveWeights
 from repro.exceptions import InfeasibleProblemError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import span as obs_span
 from repro.batch.cache import NullCache, ResultCache, cache_key
 from repro.batch.campaign import CampaignItem
 from repro.taskgraph import serialization
@@ -82,6 +84,11 @@ class ExecutorConfig:
     timeout: Optional[float] = None
     chunk_size: int = 16               #: submission window is workers * chunk_size
     fallback_backends: Tuple[str, ...] = ("scipy",)  #: tried when a backend fails
+    #: Capture per-item span trees and metrics inside the workers and ship
+    #: them back on each :class:`ItemResult`.  A pure observability knob:
+    #: telemetry stays out of :meth:`result_options` (and thus out of cache
+    #: keys), out of cached payloads and out of deterministic output.
+    telemetry: bool = False
 
     def result_options(self) -> Dict[str, object]:
         """The result-relevant subset, canonical for cache keying."""
@@ -113,6 +120,11 @@ class ItemResult:
     #: Deterministic solver statistics (phase-I skipped, Newton iterations,
     #: outer iterations) — everything needed by ``repro-map batch --stats``.
     stats: Dict[str, object] = field(default_factory=dict)
+    #: Worker-captured telemetry (span trees + metrics snapshot, the
+    #: :meth:`repro.obs.Capture.as_dict` payload) when the executor ran with
+    #: ``telemetry=True``.  Transport-only: excluded from :meth:`to_dict`
+    #: (so it is never cached) and from :meth:`deterministic_dict`.
+    telemetry: Optional[Dict[str, object]] = None
 
     @property
     def feasible(self) -> bool:
@@ -147,6 +159,10 @@ class ItemResult:
         """The payload without wall-clock fields (for equivalence checks)."""
         data = self.to_dict()
         del data["solve_seconds"]
+        # Telemetry (span trees, timing quantiles) is wall-clock through and
+        # through; to_dict() already excludes it, but strip defensively so a
+        # payload that carried it stays comparable across worker counts.
+        data.pop("telemetry", None)
         data["stats"] = {
             key: value
             for key, value in dict(data["stats"]).items()
@@ -185,6 +201,9 @@ class ItemResult:
             error=None if data.get("error") is None else str(data["error"]),
             from_cache=from_cache,
             stats=dict(data.get("stats", {})),
+            telemetry=(
+                dict(data["telemetry"]) if data.get("telemetry") else None
+            ),
         )
 
     def row(self) -> Dict[str, object]:
@@ -229,7 +248,21 @@ def _solve_payload(payload: Dict[str, object]) -> Dict[str, object]:
       item fields.  Like sweep families, a trace is one sequential session,
       so it runs with exactly the configured backend.
     """
-    start = time.perf_counter()
+    with obs_span("batch-item", label=str(payload["label"])) as item_span:
+        if payload.get("telemetry"):
+            with obs.capture() as captured:
+                base = _solve_item(payload)
+            base["telemetry"] = captured.as_dict()
+        else:
+            base = _solve_item(payload)
+    # The one place per-item wall-clock is measured: every payload shape and
+    # every failure mode below reports through this single span.
+    base["solve_seconds"] = item_span.seconds
+    return base
+
+
+def _solve_item(payload: Dict[str, object]) -> Dict[str, object]:
+    """Dispatch one payload to its solve branch (timing handled by the caller)."""
     options = payload["options"]
     base = {
         "label": payload["label"],
@@ -244,16 +277,15 @@ def _solve_payload(payload: Dict[str, object]) -> Dict[str, object]:
         "stats": {},
     }
     if payload.get("trace") is not None:
-        return _solve_trace_payload(payload, base, start)
+        return _solve_trace_payload(payload, base)
     if payload.get("workload") is not None:
-        return _solve_workload_payload(payload, base, start)
+        return _solve_workload_payload(payload, base)
 
     try:
         configuration = serialization.configuration_from_dict(payload["configuration"])
         weights = resolve_weights(options["weights"])
     except Exception as error:  # noqa: BLE001 - malformed payloads become item errors
         base.update(status=STATUS_ERROR, error=str(error))
-        base["solve_seconds"] = time.perf_counter() - start
         return base
 
     if payload.get("capacity_sweep") is not None:
@@ -273,7 +305,6 @@ def _solve_payload(payload: Dict[str, object]) -> Dict[str, object]:
             )
         except Exception as error:  # noqa: BLE001 - solver failures become family errors
             base.update(status=STATUS_ERROR, error=f"{options['backend']}: {error}")
-            base["solve_seconds"] = time.perf_counter() - start
             return base
         base.update(
             status=STATUS_OK,
@@ -292,7 +323,6 @@ def _solve_payload(payload: Dict[str, object]) -> Dict[str, object]:
             }
             for point in curve.points
         ]
-        base["solve_seconds"] = time.perf_counter() - start
         return base
 
     def solve(backend: str) -> Dict[str, object]:
@@ -317,13 +347,12 @@ def _solve_payload(payload: Dict[str, object]) -> Dict[str, object]:
             "stats": dict(mapped.solver_info.get("solve_stats", {})),
         }
 
-    return _run_with_backend_fallback(base, options, start, solve)
+    return _run_with_backend_fallback(base, options, solve)
 
 
 def _run_with_backend_fallback(
     base: Dict[str, object],
     options: Dict[str, object],
-    start: float,
     solve: Callable[[str], Dict[str, object]],
 ) -> Dict[str, object]:
     """Try ``solve(backend)`` over the configured backend chain.
@@ -357,12 +386,11 @@ def _run_with_backend_fallback(
         break
     else:
         base.update(status=STATUS_ERROR, error=last_error)
-    base["solve_seconds"] = time.perf_counter() - start
     return base
 
 
 def _solve_workload_payload(
-    payload: Dict[str, object], base: Dict[str, object], start: float
+    payload: Dict[str, object], base: Dict[str, object]
 ) -> Dict[str, object]:
     """Solve one serialised workload item (joint multi-application allocation).
 
@@ -380,7 +408,6 @@ def _solve_workload_payload(
         weights = resolve_weights(options["weights"])
     except Exception as error:  # noqa: BLE001 - malformed payloads become item errors
         base.update(status=STATUS_ERROR, error=str(error))
-        base["solve_seconds"] = time.perf_counter() - start
         return base
 
     def solve(backend: str) -> Dict[str, object]:
@@ -405,11 +432,11 @@ def _solve_workload_payload(
             "stats": dict(mapped.solver_info.get("solve_stats", {})),
         }
 
-    return _run_with_backend_fallback(base, options, start, solve)
+    return _run_with_backend_fallback(base, options, solve)
 
 
 def _solve_trace_payload(
-    payload: Dict[str, object], base: Dict[str, object], start: float
+    payload: Dict[str, object], base: Dict[str, object]
 ) -> Dict[str, object]:
     """Replay one serialised admission trace (run-time arrival/departure events).
 
@@ -428,7 +455,6 @@ def _solve_trace_payload(
         weights = resolve_weights(options["weights"])
     except Exception as error:  # noqa: BLE001 - malformed payloads become item errors
         base.update(status=STATUS_ERROR, error=str(error))
-        base["solve_seconds"] = time.perf_counter() - start
         return base
 
     allocator = JointAllocator(
@@ -443,7 +469,6 @@ def _solve_trace_payload(
         result = replay_trace(trace, allocator=allocator)
     except Exception as error:  # noqa: BLE001 - solver failures become item errors
         base.update(status=STATUS_ERROR, error=f"{options['backend']}: {error}")
-        base["solve_seconds"] = time.perf_counter() - start
         return base
 
     final = result.final_mapped
@@ -463,7 +488,6 @@ def _solve_trace_payload(
             "departed": result.departed,
         },
     )
-    base["solve_seconds"] = time.perf_counter() - start
     return base
 
 
@@ -486,6 +510,8 @@ class SweepResult:
     solve_seconds: float = 0.0
     error: Optional[str] = None
     from_cache: bool = False
+    #: Captured telemetry of the family solve (see :attr:`ItemResult.telemetry`).
+    telemetry: Optional[Dict[str, object]] = None
 
     @classmethod
     def from_dict(
@@ -503,6 +529,9 @@ class SweepResult:
             solve_seconds=float(data.get("solve_seconds", 0.0)),
             error=None if data.get("error") is None else str(data["error"]),
             from_cache=from_cache,
+            telemetry=(
+                dict(data["telemetry"]) if data.get("telemetry") else None
+            ),
         )
 
 
@@ -516,6 +545,11 @@ class BatchExecutor:
     ) -> None:
         self.config = config or ExecutorConfig()
         self.cache = cache if cache is not None else NullCache()
+        #: Campaign-level aggregate: executor-side counters (cache hits,
+        #: solved items, timeouts) plus — with ``telemetry=True`` — every
+        #: worker's metric snapshot merged in.  Always enabled: it is local
+        #: to this executor and costs nothing unless a campaign runs.
+        self.metrics = MetricsRegistry(enabled=True)
 
     # -- public API -------------------------------------------------------------
     def run(
@@ -566,6 +600,7 @@ class BatchExecutor:
                 continue
             cached = self.cache.get(key)
             if cached is not None:
+                self.metrics.counter("batch.cache_hits").inc()
                 yield index, self._load(cached, item.label, key, from_cache=True)
                 continue
             waiters[key] = [(index, item.label)]
@@ -575,6 +610,8 @@ class BatchExecutor:
                 "capacity_limits": item.limits(),
                 "options": options,
             }
+            if self.config.telemetry:
+                payload["telemetry"] = True
             if item.trace is not None:
                 payload["trace"] = configuration_dict
             elif item.workload is not None:
@@ -592,7 +629,7 @@ class BatchExecutor:
                     RuntimeWarning,
                 )
             for key, payload in pending:
-                result_dict = self._store(_solve_payload(payload))
+                result_dict = self._absorb(self._store(_solve_payload(payload)))
                 for index, label in waiters[key]:
                     yield index, self._load(result_dict, label, key)
             return
@@ -625,6 +662,7 @@ class BatchExecutor:
                             # the stuck worker does not occupy a slot (or
                             # block the shutdown) for the rest of the run.
                             pool_stuck = True
+                            self.metrics.counter("batch.timeouts").inc()
                             for index, label in waiters[key]:
                                 yield index, ItemResult(
                                     label=label,
@@ -636,7 +674,7 @@ class BatchExecutor:
                                     ),
                                 )
                             continue
-                    result_dict = self._store(result_dict)
+                    result_dict = self._absorb(self._store(result_dict))
                     for index, label in waiters[key]:
                         yield index, self._load(result_dict, label, key)
                 if pool_stuck:
@@ -728,14 +766,31 @@ class BatchExecutor:
             "capacity_sweep": sweep,
             "options": options,
         }
-        result_dict = self._store(_solve_payload(payload))
+        if self.config.telemetry:
+            payload["telemetry"] = True
+        result_dict = self._absorb(self._store(_solve_payload(payload)))
         return SweepResult.from_dict(result_dict, label, key)
 
     # -- helpers ----------------------------------------------------------------
     def _store(self, result_dict: Dict[str, object]) -> Dict[str, object]:
         if result_dict["status"] in (STATUS_OK, STATUS_INFEASIBLE):
             # Errors and timeouts may be transient; never cache them.
-            self.cache.put(str(result_dict["key"]), result_dict)
+            # Telemetry is transport-only wall-clock data: cached payloads
+            # must stay byte-identical across telemetry settings.
+            cacheable = {
+                key: value
+                for key, value in result_dict.items()
+                if key != "telemetry"
+            }
+            self.cache.put(str(result_dict["key"]), cacheable)
+        return result_dict
+
+    def _absorb(self, result_dict: Dict[str, object]) -> Dict[str, object]:
+        """Fold one solved (non-cached) result into the campaign aggregates."""
+        self.metrics.counter("batch.solved").inc()
+        telemetry = result_dict.get("telemetry")
+        if telemetry:
+            self.metrics.merge_snapshot(telemetry.get("metrics", {}))
         return result_dict
 
     @staticmethod

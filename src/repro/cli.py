@@ -65,6 +65,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from contextlib import contextmanager
 from pathlib import Path
 from typing import List, Optional, Sequence
 
@@ -109,6 +110,72 @@ def _parse_capacity_range(text: str) -> List[int]:
         ) from None
 
 
+# -- telemetry ---------------------------------------------------------------------
+class _CliTelemetry:
+    """Scoped telemetry capture behind the ``--trace``/``--profile``/
+    ``--telemetry-log`` flags.
+
+    :meth:`scope` wraps the command's solve in :func:`repro.obs.capture` when
+    any telemetry flag is set (and is a no-op otherwise); :meth:`render`
+    prints the requested views afterwards.  Keeping capture and rendering
+    separate lets the command print its normal output between the two.
+    """
+
+    def __init__(self, arguments: argparse.Namespace) -> None:
+        self.show_trace = bool(getattr(arguments, "show_trace", False))
+        self.profile = bool(getattr(arguments, "profile", False))
+        self.log = getattr(arguments, "telemetry_log", None)
+        self.active = self.show_trace or self.profile or bool(self.log)
+        self.capture = None
+
+    @contextmanager
+    def scope(self):
+        if not self.active:
+            yield None
+            return
+        from repro import obs
+
+        with obs.capture(sink=self.log) as captured:
+            self.capture = captured
+            yield captured
+
+    def render(self) -> None:
+        if self.capture is None:
+            return
+        from repro.obs.export import render_profile, render_trace_tree
+
+        if self.show_trace:
+            print()
+            print(render_trace_tree(self.capture.spans))
+        if self.profile:
+            print()
+            print(render_profile(self.capture.spans))
+        if self.log:
+            print(f"\ntelemetry written to {self.log}")
+
+
+def _add_telemetry_flags(
+    sub: argparse.ArgumentParser, include_trace: bool = True
+) -> None:
+    if include_trace:
+        sub.add_argument(
+            "--trace",
+            dest="show_trace",
+            action="store_true",
+            help="render the nested span tree of this run (phases with timings)",
+        )
+    sub.add_argument(
+        "--profile",
+        action="store_true",
+        help="render per-span aggregate timings (calls, total/self time, share)",
+    )
+    sub.add_argument(
+        "--telemetry-log",
+        metavar="PATH",
+        help="append schema-versioned JSONL telemetry records to PATH",
+    )
+
+
 # -- sub-commands ----------------------------------------------------------------
 def _single_solve_stats(solver_info: dict) -> dict:
     """The ``--stats`` totals for one solve, from a mapping's solver_info."""
@@ -135,10 +202,13 @@ def _cmd_allocate(arguments: argparse.Namespace) -> int:
         weights=_weights(arguments.weights),
         options=AllocatorOptions(backend=arguments.backend),
     )
+    telemetry = _CliTelemetry(arguments)
     try:
-        mapped = allocator.allocate(configuration)
+        with telemetry.scope():
+            mapped = allocator.allocate(configuration)
     except InfeasibleProblemError as error:
         print(f"infeasible: {error}", file=sys.stderr)
+        telemetry.render()
         return EXIT_INFEASIBLE
 
     payload = serialization.mapped_configuration_to_dict(mapped)
@@ -159,6 +229,7 @@ def _cmd_allocate(arguments: argparse.Namespace) -> int:
     if arguments.stats:
         print()
         print(_render_solve_stats(_single_solve_stats(mapped.solver_info)))
+    telemetry.render()
     return EXIT_OK
 
 
@@ -170,10 +241,13 @@ def _cmd_allocate_workload(arguments: argparse.Namespace) -> int:
         weights=_weights(arguments.weights),
         options=AllocatorOptions(backend=arguments.backend),
     )
+    telemetry = _CliTelemetry(arguments)
     try:
-        mapped = allocator.allocate_workload(workload)
+        with telemetry.scope():
+            mapped = allocator.allocate_workload(workload)
     except InfeasibleProblemError as error:
         print(f"infeasible: {error}", file=sys.stderr)
+        telemetry.render()
         return EXIT_INFEASIBLE
 
     if arguments.output:
@@ -200,6 +274,7 @@ def _cmd_allocate_workload(arguments: argparse.Namespace) -> int:
     if arguments.stats:
         print()
         print(_render_solve_stats(_single_solve_stats(mapped.solver_info)))
+    telemetry.render()
     return EXIT_OK
 
 
@@ -268,6 +343,7 @@ def _cmd_admit(arguments: argparse.Namespace) -> int:
         weights=_weights(arguments.weights),
         options=AllocatorOptions(backend=arguments.backend, run_simulation=False),
     )
+    telemetry = _CliTelemetry(arguments)
 
     if arguments.trace:
         if arguments.workload or arguments.candidate:
@@ -277,7 +353,8 @@ def _cmd_admit(arguments: argparse.Namespace) -> int:
             )
             return EXIT_USAGE
         trace = load_trace(arguments.trace)
-        result = replay_trace(trace, allocator=allocator)
+        with telemetry.scope():
+            result = replay_trace(trace, allocator=allocator)
         print(render_table(result.rows()))
         print(
             f"\ntrace {trace.name!r}: {result.admitted} admitted, "
@@ -296,6 +373,7 @@ def _cmd_admit(arguments: argparse.Namespace) -> int:
                 json.dumps(payload, indent=2, sort_keys=True)
             )
             print(f"trace results written to {arguments.output}")
+        telemetry.render()
         return EXIT_OK if result.admitted > 0 else EXIT_INFEASIBLE
 
     if not arguments.workload or not arguments.candidate:
@@ -320,13 +398,15 @@ def _cmd_admit(arguments: argparse.Namespace) -> int:
         return EXIT_INFEASIBLE
     candidate = _load_configuration(arguments.candidate)
     name = arguments.name or candidate.name
-    decision = controller.admit(name, candidate)
+    with telemetry.scope():
+        decision = controller.admit(name, candidate)
     if not decision.admitted:
         print(
             f"rejected: {name!r} cannot run alongside "
             f"{sorted(controller.running)} ({decision.stage}): {decision.reason}",
             file=sys.stderr,
         )
+        telemetry.render()
         return EXIT_INFEASIBLE
     mapped = decision.mapped
     print(f"admitted {name!r} alongside {sorted(set(controller.running) - {name})}")
@@ -341,7 +421,53 @@ def _cmd_admit(arguments: argparse.Namespace) -> int:
             json.dumps(mapped_workload_to_dict(mapped), indent=2, sort_keys=True)
         )
         print(f"mapped workload written to {arguments.output}")
+    telemetry.render()
     return EXIT_OK
+
+
+def _render_sweep_point_stats(curve) -> str:
+    """Per-point warm-start/rung behaviour of a sweep (``--stats``).
+
+    One row per swept point (warm start taken, phase I skipped, rungs
+    climbed, Newton iterations, elimination blocks reused), followed by the
+    cross-point distributions — the rows feed a scoped
+    :class:`~repro.obs.metrics.MetricsRegistry`, whose histogram quantiles
+    summarise how the warm-start chain behaved over the whole sweep.
+    """
+    from repro.obs.export import render_metrics
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry(enabled=True)
+    rows = []
+    for point in curve.points:
+        stats = dict(point.solve_stats)
+        rows.append(
+            {
+                "capacity": point.capacity_limit,
+                "feasible": "yes" if point.feasible else "no",
+                "warm": "yes" if stats.get("warm_started") else "no",
+                "phase1": "skipped" if stats.get("phase1_skipped") else "run",
+                "rungs": int(stats.get("outer_iterations", 0)),
+                "newton": int(stats.get("newton_iterations", 0)),
+                "elim reused": int(stats.get("elimination_blocks_reused", 0)),
+            }
+        )
+        if stats.get("warm_started"):
+            registry.counter("sweep.warm_started").inc()
+        if stats.get("phase1_skipped"):
+            registry.counter("sweep.phase1_skipped").inc()
+        registry.histogram("sweep.newton_iterations").observe(
+            float(stats.get("newton_iterations", 0))
+        )
+        registry.histogram("sweep.rungs").observe(
+            float(stats.get("outer_iterations", 0))
+        )
+    return (
+        "per-point solver behaviour:\n"
+        + render_table(rows)
+        + "\n\n"
+        + render_metrics(registry.snapshot())
+    )
 
 
 def _cmd_sweep(arguments: argparse.Namespace) -> int:
@@ -351,11 +477,16 @@ def _cmd_sweep(arguments: argparse.Namespace) -> int:
         weights=_weights(arguments.weights),
         allocator_options=AllocatorOptions(backend=arguments.backend, run_simulation=False),
     )
-    curve = explorer.sweep_capacity_limit(configuration, capacities)
+    telemetry = _CliTelemetry(arguments)
+    with telemetry.scope():
+        curve = explorer.sweep_capacity_limit(configuration, capacities)
     print(render_table(curve.as_table()))
     if arguments.stats:
         print()
         print(_render_solve_stats(curve.solver_stats))
+        print()
+        print(_render_sweep_point_stats(curve))
+    telemetry.render()
     return EXIT_OK if curve.feasible_points() else EXIT_INFEASIBLE
 
 
@@ -368,6 +499,7 @@ def _cmd_experiments(arguments: argparse.Namespace) -> int:
 
 def _cmd_batch(arguments: argparse.Namespace) -> int:
     from repro.batch import load_campaign, per_item_rows, run_campaign
+    from repro.obs import ProgressReporter
 
     spec = load_campaign(arguments.campaign)
     items = spec.expand()
@@ -376,14 +508,29 @@ def _cmd_batch(arguments: argparse.Namespace) -> int:
         f"{arguments.workers} worker(s), cache "
         f"{'disabled' if arguments.no_cache else arguments.cache_dir}"
     )
+    reporter: Optional[ProgressReporter] = None
+    progress = None
+    if not arguments.no_progress and items:
+        # Live progress with throughput/ETA/feasibility, on stderr so the
+        # machine-readable summary on stdout stays clean.
+        reporter = ProgressReporter(total=len(items))
+        progress = lambda index, result: reporter.update(result)  # noqa: E731
+    telemetry_on = bool(arguments.telemetry or arguments.telemetry_log)
+    executors: list = []
     results, summary = run_campaign(
         spec,
         workers=arguments.workers,
         cache_dir=arguments.cache_dir,
         use_cache=not arguments.no_cache,
         timeout=arguments.timeout,
+        progress=progress,
         items=items,
+        telemetry=telemetry_on,
+        executor_out=executors,
     )
+    if reporter is not None:
+        reporter.close()
+    executor = executors[0]
     if arguments.per_item:
         print(render_table(per_item_rows(results)))
         print()
@@ -414,6 +561,25 @@ def _cmd_batch(arguments: argparse.Namespace) -> int:
         }
         print()
         print(_render_solve_stats(totals))
+        if telemetry_on:
+            from repro.obs.export import render_metrics
+
+            # The campaign aggregate: executor-side counters plus every
+            # worker's metric snapshot merged in (Newton/rung quantiles
+            # across all fresh items).
+            print()
+            print(render_metrics(executor.metrics.snapshot()))
+    if arguments.telemetry_log:
+        from repro.obs.export import JsonlSink
+
+        with JsonlSink(arguments.telemetry_log) as sink:
+            for result in results:
+                for span_dict in (result.telemetry or {}).get("spans", []):
+                    sink.emit_span(span_dict)
+            snapshot = executor.metrics.snapshot()
+            if snapshot:
+                sink.emit_metrics(snapshot)
+        print(f"telemetry written to {arguments.telemetry_log}")
     if arguments.output:
         payload = {
             "campaign": spec.to_dict(),
@@ -462,6 +628,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print solver statistics (phase-I skips, Newton iterations, solve time)",
     )
     add_common(allocate_parser)
+    _add_telemetry_flags(allocate_parser)
     allocate_parser.set_defaults(handler=_cmd_allocate)
 
     allocate_workload_parser = subparsers.add_parser(
@@ -483,6 +650,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print solver statistics (phase-I skips, Newton iterations, solve time)",
     )
     add_common(allocate_workload_parser)
+    _add_telemetry_flags(allocate_workload_parser)
     allocate_workload_parser.set_defaults(handler=_cmd_allocate_workload)
 
     admit_parser = subparsers.add_parser(
@@ -520,6 +688,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="print aggregate solver statistics of the admission session",
     )
     add_common(admit_parser)
+    # --trace is taken by trace replay here; the span tree stays reachable
+    # through --profile / --telemetry-log.
+    _add_telemetry_flags(admit_parser, include_trace=False)
     admit_parser.set_defaults(handler=_cmd_admit)
 
     validate_parser = subparsers.add_parser(
@@ -544,6 +715,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print solver statistics (phase-I skips, Newton iterations, solve time)",
     )
     add_common(sweep_parser)
+    _add_telemetry_flags(sweep_parser)
     sweep_parser.set_defaults(handler=_cmd_sweep)
 
     experiments_parser = subparsers.add_parser(
@@ -592,6 +764,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="print aggregated solver statistics across the campaign's instances",
     )
     batch_parser.add_argument("--output", help="write the structured results JSON here")
+    batch_parser.add_argument(
+        "--no-progress",
+        action="store_true",
+        help="disable the live progress line (items/s, ETA, feasibility rate)",
+    )
+    batch_parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="capture per-item span trees and metrics inside the workers and "
+        "merge them into the campaign aggregate (shown with --stats)",
+    )
+    batch_parser.add_argument(
+        "--telemetry-log",
+        metavar="PATH",
+        help="write the captured telemetry (per-item span trees + merged "
+        "metrics) as schema-versioned JSONL to PATH (implies --telemetry)",
+    )
     batch_parser.set_defaults(handler=_cmd_batch)
 
     return parser

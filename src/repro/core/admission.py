@@ -43,6 +43,8 @@ from repro.exceptions import (
     InfeasibleProblemError,
     ModelError,
 )
+from repro.obs.metrics import get_registry as _metrics_registry
+from repro.obs.trace import span as obs_span
 from repro.core.allocator import AllocatorOptions, JointAllocator, WorkloadSession
 from repro.core.objective import ObjectiveWeights
 from repro.taskgraph.configuration import Configuration
@@ -157,6 +159,13 @@ class AdmissionController:
         carries the fresh joint allocation; on rejection the running workload
         (and its session state) is left exactly as it was.
         """
+        with obs_span("admit", application=name) as admit_span:
+            decision = self._admit(name, configuration)
+            admit_span.set(admitted=decision.admitted, stage=decision.stage)
+        self._record_decision(decision, admit_span.seconds)
+        return decision
+
+    def _admit(self, name: str, configuration: Configuration) -> AdmissionDecision:
         if self._session is None:
             return self._admit_first(name, configuration)
         try:
@@ -221,14 +230,32 @@ class AdmissionController:
         """
         if self._session is None:
             raise ModelError(f"no application named {name!r} is running")
-        if len(self.workload) == 1:
-            self.workload.remove_application(name)
-            self._session = None
-            self.mapped = None
-            return None
-        self._session.remove_application(name)
-        self.mapped = self._session.allocate()
+        with obs_span("depart", application=name):
+            if len(self.workload) == 1:
+                self.workload.remove_application(name)
+                self._session = None
+                self.mapped = None
+            else:
+                self._session.remove_application(name)
+                self.mapped = self._session.allocate()
+        registry = _metrics_registry()
+        if registry.enabled:
+            registry.counter("admission.departures").inc()
+            registry.gauge("admission.running").set(len(self.workload))
         return self.mapped
+
+    def _record_decision(self, decision: AdmissionDecision, seconds: float) -> None:
+        """Publish one admission verdict to the metrics registry."""
+        registry = _metrics_registry()
+        if not registry.enabled:
+            return
+        if decision.admitted:
+            registry.counter("admission.admitted").inc()
+        else:
+            registry.counter("admission.rejected").inc()
+            registry.counter(f"admission.rejected.{decision.stage}").inc()
+        registry.histogram("admission.decision_seconds").observe(seconds)
+        registry.gauge("admission.running").set(len(self.workload))
 
 
 # -- traces ------------------------------------------------------------------------

@@ -24,12 +24,12 @@ families of workload allocations.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional
 
 import numpy as np
 
+from repro.obs.trace import span as obs_span
 from repro.exceptions import (
     AllocationError,
     InfeasibleProblemError,
@@ -116,21 +116,22 @@ class JointAllocator:
         AllocationError
             When the rounded mapping unexpectedly fails verification.
         """
-        configuration.validate()
-        formulation = SocpFormulation(
-            configuration,
-            weights=weights or self.weights,
-            capacity_limits=capacity_limits,
-            budget_limits=budget_limits,
-        )
-        solution = formulation.solve(backend=self.options.backend)
-        self._check_status(solution, configuration.name)
-        return self._finalize(
-            configuration,
-            solution,
-            formulation.extract_budgets(solution),
-            formulation.extract_capacities(solution),
-        )
+        with obs_span("allocate", configuration=configuration.name):
+            configuration.validate()
+            formulation = SocpFormulation(
+                configuration,
+                weights=weights or self.weights,
+                capacity_limits=capacity_limits,
+                budget_limits=budget_limits,
+            )
+            solution = formulation.solve(backend=self.options.backend)
+            self._check_status(solution, configuration.name)
+            return self._finalize(
+                configuration,
+                solution,
+                formulation.extract_budgets(solution),
+                formulation.extract_capacities(solution),
+            )
 
     def session(self, configuration: Configuration) -> "AllocationSession":
         """Open a compile-once allocation session over ``configuration``.
@@ -170,16 +171,19 @@ class JointAllocator:
         weights:
             Objective weighting; overrides the allocator-level default.
         """
-        workload.validate()
-        formulation = WorkloadSocpFormulation(
-            workload,
-            weights=weights or self.weights,
-            capacity_limits=capacity_limits,
-            budget_limits=budget_limits,
-        )
-        solution = formulation.solve(backend=self.options.backend)
-        self._check_status(solution, workload.name)
-        return self._finalize_workload(workload, formulation, solution)
+        with obs_span(
+            "allocate-workload", workload=workload.name, applications=len(workload)
+        ):
+            workload.validate()
+            formulation = WorkloadSocpFormulation(
+                workload,
+                weights=weights or self.weights,
+                capacity_limits=capacity_limits,
+                budget_limits=budget_limits,
+            )
+            solution = formulation.solve(backend=self.options.backend)
+            self._check_status(solution, workload.name)
+            return self._finalize_workload(workload, formulation, solution)
 
     def workload_session(self, workload: Workload) -> "WorkloadSession":
         """Open a compile-once allocation session over ``workload``.
@@ -199,10 +203,10 @@ class JointAllocator:
         relaxed_capacities: Dict[str, float],
     ) -> MappedConfiguration:
         """Round, package and (optionally) verify one optimal solution."""
-        rounding_start = time.perf_counter()
-        budgets = round_budgets(relaxed_budgets, configuration.granularity)
-        capacities = round_capacities(relaxed_capacities)
-        rounding_time = time.perf_counter() - rounding_start
+        with obs_span("rounding") as rounding_span:
+            budgets = round_budgets(relaxed_budgets, configuration.granularity)
+            capacities = round_capacities(relaxed_capacities)
+        rounding_time = rounding_span.seconds
 
         mapped = MappedConfiguration(
             configuration=configuration,
@@ -222,7 +226,9 @@ class JointAllocator:
         )
 
         if self.options.verify:
-            report = self.verify(mapped)
+            with obs_span("verify") as verify_span:
+                report = self.verify(mapped)
+                verify_span.set(valid=report.is_valid)
             mapped.solver_info["verification"] = report.summary()
             if not report.is_valid and self.options.raise_on_verification_failure:
                 raise AllocationError(
@@ -247,30 +253,28 @@ class JointAllocator:
             "solve_stats": dict(solution.stats),
         }
         applications: Dict[str, MappedConfiguration] = {}
-        rounding_start = time.perf_counter()
-        for application in workload.applications:
-            configuration = application.configuration
-            budgets = round_budgets(
-                relaxed_budgets[application.name], configuration.granularity
-            )
-            capacities = round_capacities(relaxed_capacities[application.name])
-            applications[application.name] = MappedConfiguration(
-                configuration=configuration,
-                budgets=budgets,
-                buffer_capacities=capacities,
-                relaxed_budgets=relaxed_budgets[application.name],
-                relaxed_capacities=relaxed_capacities[application.name],
-                # The application's own share of the joint objective (its
-                # blocks' terms evaluated at the shared optimum), comparable
-                # to a stand-alone allocate() of the same application.
-                objective_value=formulation.block(application.name).objective_value(
-                    solution
-                ),
-                solver_info=dict(solver_info),
-            )
-        solver_info["timings"] = _phase_timings(
-            solution, time.perf_counter() - rounding_start
-        )
+        with obs_span("rounding", applications=len(workload)) as rounding_span:
+            for application in workload.applications:
+                configuration = application.configuration
+                budgets = round_budgets(
+                    relaxed_budgets[application.name], configuration.granularity
+                )
+                capacities = round_capacities(relaxed_capacities[application.name])
+                applications[application.name] = MappedConfiguration(
+                    configuration=configuration,
+                    budgets=budgets,
+                    buffer_capacities=capacities,
+                    relaxed_budgets=relaxed_budgets[application.name],
+                    relaxed_capacities=relaxed_capacities[application.name],
+                    # The application's own share of the joint objective (its
+                    # blocks' terms evaluated at the shared optimum), comparable
+                    # to a stand-alone allocate() of the same application.
+                    objective_value=formulation.block(
+                        application.name
+                    ).objective_value(solution),
+                    solver_info=dict(solver_info),
+                )
+        solver_info["timings"] = _phase_timings(solution, rounding_span.seconds)
         mapped = MappedWorkload(
             workload=workload,
             applications=applications,
@@ -278,7 +282,9 @@ class JointAllocator:
             solver_info=solver_info,
         )
         if self.options.verify:
-            report = self.verify_workload(mapped)
+            with obs_span("verify") as verify_span:
+                report = self.verify_workload(mapped)
+                verify_span.set(valid=report.is_valid)
             mapped.solver_info["verification"] = report.summary()
             if not report.is_valid and self.options.raise_on_verification_failure:
                 raise AllocationError(
@@ -406,14 +412,16 @@ class _LimitSession:
         (used by benchmarks to isolate the warm-start gain); the compiled
         problem is still reused.
         """
-        pinned = self._parametric.apply_limits(capacity_limits, budget_limits)
-        if pinned:
-            return self._rebuild_point(capacity_limits, budget_limits)
-        solution = self._session.solve(
-            initial_point=self._initial, warm_start=warm_start
-        )
-        self.allocator._check_status(solution, self._subject_name)
-        return self._finalize(self._parametric.formulation, solution)
+        with obs_span("allocate", subject=self._subject_name) as point_span:
+            pinned = self._parametric.apply_limits(capacity_limits, budget_limits)
+            if pinned:
+                point_span.set(rebuild=True)
+                return self._rebuild_point(capacity_limits, budget_limits)
+            solution = self._session.solve(
+                initial_point=self._initial, warm_start=warm_start
+            )
+            self.allocator._check_status(solution, self._subject_name)
+            return self._finalize(self._parametric.formulation, solution)
 
     def _rebuild_point(self, capacity_limits, budget_limits):
         """Solve one point the rebuild way (limits baked into fresh bounds)."""

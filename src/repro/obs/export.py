@@ -1,0 +1,310 @@
+"""Telemetry exporters: the JSONL event log and the human renderers.
+
+JSONL schema (version 1)
+------------------------
+
+Each line of the event log is one self-contained JSON object with a common
+envelope::
+
+    {"schema": 1, "kind": "span",    "pid": 123, "ts": 1718000000.0, "span": {...}}
+    {"schema": 1, "kind": "metrics", "pid": 123, "ts": 1718000000.0, "metrics": {...}}
+
+* ``schema`` — the format version (:data:`SCHEMA_VERSION`); readers must
+  reject newer versions.
+* ``kind`` — ``"span"`` (one completed *root* span tree, children nested
+  under ``children``) or ``"metrics"`` (one registry snapshot keyed by
+  metric name).
+* ``pid``/``ts`` — writer process id and wall-clock timestamp, so records
+  from concurrent writers interleave attributably.
+
+:class:`JsonlSink` appends one line per record through a single
+``os.write`` on an ``O_APPEND`` descriptor, which POSIX keeps atomic for
+line-sized writes — N processes (or threads) share one log file without
+interleaving partial lines.  :func:`validate_record` is the schema checker
+used by the tests and the CI telemetry smoke job.
+
+The human renderers turn captured telemetry into terminal output:
+:func:`render_trace_tree` draws the nested span tree behind
+``repro-map … --trace`` and :func:`render_profile` the per-span-name
+aggregation (calls, total/mean time, share) behind ``--profile``;
+:func:`render_metrics` formats a metrics snapshot (quantiles included).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.obs.trace import Span
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "JsonlSink",
+    "read_records",
+    "validate_record",
+    "render_trace_tree",
+    "render_profile",
+    "render_metrics",
+]
+
+SCHEMA_VERSION = 1
+
+#: Record kinds of schema version 1.
+KIND_SPAN = "span"
+KIND_METRICS = "metrics"
+
+
+class JsonlSink:
+    """Append-only JSONL event log, safe for concurrent writers.
+
+    Every record becomes exactly one line, written with a single
+    ``os.write`` call on a file descriptor opened with ``O_APPEND`` —
+    concurrent processes and threads each append whole lines.  The
+    descriptor is opened lazily (so a sink can be constructed in a parent
+    process and first used inside a forked worker) and guarded by a
+    per-process lock.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._fd: Optional[int] = None
+        self._lock = threading.Lock()
+
+    # -- record emission ----------------------------------------------------
+    def emit(self, record: Mapping[str, object]) -> None:
+        """Write one already-enveloped record as a single JSONL line."""
+        line = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+        with self._lock:
+            if self._fd is None:
+                self._fd = os.open(
+                    str(self.path), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+                )
+            os.write(self._fd, line)
+
+    def emit_span(self, span_dict: Mapping[str, object]) -> None:
+        """Envelope and write one completed root span tree."""
+        self.emit(
+            {
+                "schema": SCHEMA_VERSION,
+                "kind": KIND_SPAN,
+                "pid": os.getpid(),
+                "ts": time.time(),
+                "span": dict(span_dict),
+            }
+        )
+
+    def emit_metrics(self, snapshot: Mapping[str, Mapping[str, object]]) -> None:
+        """Envelope and write one metrics-registry snapshot."""
+        self.emit(
+            {
+                "schema": SCHEMA_VERSION,
+                "kind": KIND_METRICS,
+                "pid": os.getpid(),
+                "ts": time.time(),
+                "metrics": {name: dict(data) for name, data in snapshot.items()},
+            }
+        )
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fd is not None:
+                os.close(self._fd)
+                self._fd = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_records(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """Parse a JSONL event log back into record dicts (strict: no blank junk)."""
+    records: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def _validate_span(span: object, where: str) -> None:
+    if not isinstance(span, dict):
+        raise ValueError(f"{where}: span payload must be an object")
+    if not isinstance(span.get("name"), str) or not span["name"]:
+        raise ValueError(f"{where}: span needs a non-empty string 'name'")
+    seconds = span.get("seconds")
+    if not isinstance(seconds, (int, float)) or seconds < 0:
+        raise ValueError(f"{where}: span 'seconds' must be a non-negative number")
+    if span.get("status") not in ("ok", "error"):
+        raise ValueError(f"{where}: span 'status' must be 'ok' or 'error'")
+    if span["status"] == "error" and not isinstance(span.get("error"), str):
+        raise ValueError(f"{where}: an error span needs a string 'error'")
+    attributes = span.get("attributes", {})
+    if not isinstance(attributes, dict):
+        raise ValueError(f"{where}: span 'attributes' must be an object")
+    children = span.get("children", [])
+    if not isinstance(children, list):
+        raise ValueError(f"{where}: span 'children' must be an array")
+    for index, child in enumerate(children):
+        _validate_span(child, f"{where}.children[{index}]")
+
+
+def validate_record(record: Mapping[str, object]) -> None:
+    """Raise :class:`ValueError` unless ``record`` is a valid v1 JSONL record."""
+    schema = record.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported telemetry schema {schema!r} (supported: {SCHEMA_VERSION})"
+        )
+    kind = record.get("kind")
+    if kind == KIND_SPAN:
+        _validate_span(record.get("span"), "span")
+    elif kind == KIND_METRICS:
+        metrics = record.get("metrics")
+        if not isinstance(metrics, dict):
+            raise ValueError("metrics record needs a 'metrics' object")
+        for name, data in metrics.items():
+            if not isinstance(data, dict) or data.get("type") not in (
+                "counter",
+                "gauge",
+                "histogram",
+            ):
+                raise ValueError(
+                    f"metric {name!r} needs a 'type' of counter/gauge/histogram"
+                )
+    else:
+        raise ValueError(f"unknown record kind {kind!r}")
+    if not isinstance(record.get("pid"), int):
+        raise ValueError("record needs an integer 'pid'")
+    if not isinstance(record.get("ts"), (int, float)):
+        raise ValueError("record needs a numeric 'ts'")
+
+
+# -- human renderers ----------------------------------------------------------------
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:8.3f} s "
+    return f"{seconds * 1e3:8.3f} ms"
+
+
+def _format_attributes(attributes: Mapping[str, object]) -> str:
+    parts = []
+    for key, value in sorted(attributes.items()):
+        if isinstance(value, float):
+            value = f"{value:.6g}"
+        parts.append(f"{key}={value}")
+    return "  ".join(parts)
+
+
+def _span_like(span: Union[Span, Mapping[str, object]]) -> Dict[str, object]:
+    return span.as_dict() if isinstance(span, Span) else dict(span)
+
+
+def render_trace_tree(
+    spans: Sequence[Union[Span, Mapping[str, object]]]
+) -> str:
+    """Draw completed span trees as an indented tree with durations."""
+    lines: List[str] = []
+
+    def walk(span: Mapping[str, object], prefix: str, is_last: bool, root: bool):
+        connector = "" if root else ("└─ " if is_last else "├─ ")
+        label = str(span["name"])
+        if span.get("status") == "error":
+            label += " [error]"
+        detail = _format_attributes(span.get("attributes", {}))
+        if span.get("error"):
+            detail = (detail + "  " if detail else "") + str(span["error"])
+        lines.append(
+            f"{_format_seconds(float(span.get('seconds', 0.0)))}  "
+            f"{prefix}{connector}{label}"
+            + (f"  ({detail})" if detail else "")
+        )
+        children = list(span.get("children", []))
+        child_prefix = prefix if root else prefix + ("   " if is_last else "│  ")
+        for index, child in enumerate(children):
+            walk(child, child_prefix, index == len(children) - 1, root=False)
+
+    roots = [_span_like(span) for span in spans]
+    if not roots:
+        return "trace: no spans recorded"
+    for root in roots:
+        walk(root, "", True, root=True)
+    return "\n".join(lines)
+
+
+def _accumulate_profile(
+    span: Mapping[str, object], rows: Dict[str, Dict[str, float]]
+) -> None:
+    seconds = float(span.get("seconds", 0.0))
+    children = list(span.get("children", []))
+    child_seconds = sum(float(child.get("seconds", 0.0)) for child in children)
+    row = rows.setdefault(
+        str(span["name"]), {"calls": 0.0, "total": 0.0, "self": 0.0, "errors": 0.0}
+    )
+    row["calls"] += 1
+    row["total"] += seconds
+    # Self time: this span's duration minus its direct children's.
+    row["self"] += max(0.0, seconds - child_seconds)
+    if span.get("status") == "error":
+        row["errors"] += 1
+    for child in children:
+        _accumulate_profile(child, rows)
+
+
+def render_profile(spans: Sequence[Union[Span, Mapping[str, object]]]) -> str:
+    """Aggregate span trees per span name: calls, total/self time, share."""
+    rows: Dict[str, Dict[str, float]] = {}
+    for span in spans:
+        _accumulate_profile(_span_like(span), rows)
+    if not rows:
+        return "profile: no spans recorded"
+    wall = sum(
+        float(_span_like(span).get("seconds", 0.0)) for span in spans
+    ) or 1.0
+    lines = [
+        f"{'span':<24} {'calls':>7} {'total':>12} {'self':>12} {'share':>7}"
+    ]
+    for name, row in sorted(rows.items(), key=lambda item: -item[1]["total"]):
+        label = name + (f" [{int(row['errors'])} err]" if row["errors"] else "")
+        lines.append(
+            f"{label:<24} {int(row['calls']):>7} "
+            f"{_format_seconds(row['total']):>12} "
+            f"{_format_seconds(row['self']):>12} "
+            f"{100.0 * row['total'] / wall:>6.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def render_metrics(snapshot: Mapping[str, Mapping[str, object]]) -> str:
+    """Format a metrics snapshot: counters/gauges as values, histograms with quantiles."""
+    if not snapshot:
+        return "metrics: none recorded"
+    lines = ["metrics:"]
+    for name, data in sorted(snapshot.items()):
+        kind = data.get("type")
+        if kind == "histogram":
+            count = int(data.get("count", 0))
+            if count == 0:
+                continue
+            mean = float(data.get("sum", 0.0)) / count
+
+            def fmt(value: object) -> str:
+                return "-" if value is None else f"{float(value):.6g}"
+
+            lines.append(
+                f"  {name:<36} count={count} mean={mean:.6g} "
+                f"p50={fmt(data.get('p50'))} p90={fmt(data.get('p90'))} "
+                f"p99={fmt(data.get('p99'))} max={fmt(data.get('max'))}"
+            )
+        else:
+            value = data.get("value")
+            if isinstance(value, float):
+                value = f"{value:.6g}"
+            lines.append(f"  {name:<36} {value}")
+    return "\n".join(lines)

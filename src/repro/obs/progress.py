@@ -1,0 +1,142 @@
+"""Live progress reporting for long-running batch campaigns.
+
+:class:`ProgressReporter` turns the batch executor's per-item completion
+callback into a terminal progress line with throughput, ETA and a rolling
+feasibility rate::
+
+    [ 412/100000]   0.4%  ok=398 infeasible=12 failed=2  18.3 items/s  ETA 1h 30m
+
+On a TTY the line redraws in place (carriage return, throttled to
+:attr:`min_interval` seconds); on a non-interactive stream it degrades to one
+plain line roughly every 10 % of the campaign (and always at completion), so
+captured logs stay readable.  Progress goes to ``stderr`` by default — the
+machine-readable summary on ``stdout`` is unaffected.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional, TextIO
+
+__all__ = ["ProgressReporter", "format_eta"]
+
+
+def format_eta(seconds: float) -> str:
+    """Compact duration: ``42s``, ``3m 20s``, ``1h 05m``."""
+    seconds = max(0, int(round(seconds)))
+    if seconds < 60:
+        return f"{seconds}s"
+    minutes, secs = divmod(seconds, 60)
+    if minutes < 60:
+        return f"{minutes}m {secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h {minutes:02d}m"
+
+
+class ProgressReporter:
+    """Render batch progress as items complete.
+
+    Call :meth:`update` once per finished item (any object with ``status``
+    and ``from_cache`` attributes, i.e. :class:`repro.batch.executor.
+    ItemResult`) and :meth:`close` when the run ends.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        stream: Optional[TextIO] = None,
+        min_interval: float = 0.2,
+    ) -> None:
+        self.total = max(0, int(total))
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval = float(min_interval)
+        self.done = 0
+        self.feasible = 0
+        self.infeasible = 0
+        self.failed = 0
+        self.cached = 0
+        self._start = time.perf_counter()
+        self._last_render = 0.0
+        self._interactive = bool(getattr(self.stream, "isatty", lambda: False)())
+        #: Non-TTY cadence: one line about every 10 % of the campaign.
+        self._stride = max(1, self.total // 10)
+        self._dirty = False
+
+    # -- accounting ---------------------------------------------------------
+    def update(self, result) -> None:
+        """Account one finished item and re-render when due."""
+        self.done += 1
+        status = getattr(result, "status", "ok")
+        if status == "ok":
+            self.feasible += 1
+        elif status == "infeasible":
+            self.infeasible += 1
+        else:
+            self.failed += 1
+        if getattr(result, "from_cache", False):
+            self.cached += 1
+        self._dirty = True
+        self._maybe_render()
+
+    # -- derived figures -----------------------------------------------------
+    @property
+    def elapsed(self) -> float:
+        return time.perf_counter() - self._start
+
+    @property
+    def rate(self) -> float:
+        """Overall throughput in items/second."""
+        elapsed = self.elapsed
+        return self.done / elapsed if elapsed > 0 else 0.0
+
+    @property
+    def eta_seconds(self) -> float:
+        rate = self.rate
+        remaining = max(0, self.total - self.done)
+        return remaining / rate if rate > 0 else float("inf")
+
+    @property
+    def feasibility_rate(self) -> float:
+        return self.feasible / self.done if self.done else 0.0
+
+    def line(self) -> str:
+        width = len(str(self.total))
+        percent = 100.0 * self.done / self.total if self.total else 100.0
+        eta = self.eta_seconds
+        parts = [
+            f"[{self.done:>{width}}/{self.total}] {percent:5.1f}%",
+            f"ok={self.feasible} infeasible={self.infeasible} failed={self.failed}",
+            f"feasible {100.0 * self.feasibility_rate:.1f}%",
+            f"{self.rate:.2f} items/s",
+            f"ETA {format_eta(eta) if eta != float('inf') else '?'}",
+        ]
+        if self.cached:
+            parts.insert(2, f"cached={self.cached}")
+        return "  ".join(parts)
+
+    # -- rendering ----------------------------------------------------------
+    def _maybe_render(self) -> None:
+        if self._interactive:
+            now = time.perf_counter()
+            if self.done < self.total and now - self._last_render < self.min_interval:
+                return
+            self._last_render = now
+            self.stream.write("\r" + self.line() + "\x1b[K")
+            self.stream.flush()
+            self._dirty = False
+            return
+        if self.done % self._stride == 0 or self.done == self.total:
+            self.stream.write(self.line() + "\n")
+            self.stream.flush()
+            self._dirty = False
+
+    def close(self) -> None:
+        """Finish the progress display (always emits the final state)."""
+        if self._interactive:
+            self.stream.write("\r" + self.line() + "\x1b[K\n")
+            self.stream.flush()
+        elif self._dirty:
+            self.stream.write(self.line() + "\n")
+            self.stream.flush()
+        self._dirty = False

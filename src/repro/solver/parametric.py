@@ -28,7 +28,6 @@ callers detect those cases and rebuild (see
 
 from __future__ import annotations
 
-import time
 from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Union
@@ -36,6 +35,7 @@ from typing import Dict, Mapping, Optional, Union
 import numpy as np
 
 from repro.exceptions import FormulationError
+from repro.obs.trace import span as obs_span
 from repro.solver.problem import CompiledProblem, ConeProgram
 from repro.solver.expression import Variable
 from repro.solver.result import Solution
@@ -312,15 +312,16 @@ class SolveSession:
                 "warm_initial_barrier", max(1.0, self._last_final_barrier / rungs)
             )
 
-        start = time.perf_counter()
-        solution = backends.solve_compiled(
-            compiled,
-            backend=self.backend,
-            initial_point=x0,
-            options=options,
-            interior_point=self._interior_vector if warmed else None,
-        )
-        solution.solve_time = time.perf_counter() - start
+        with obs_span("solve", backend=self.backend, warm_started=warmed) as solve_span:
+            solution = backends.solve_compiled(
+                compiled,
+                backend=self.backend,
+                initial_point=x0,
+                options=options,
+                interior_point=self._interior_vector if warmed else None,
+            )
+            solve_span.set(status=solution.status.value)
+        solution.solve_time = solve_span.seconds
         if self.parametric.sense == "max" and solution.objective is not None:
             solution.objective = -solution.objective
 

@@ -19,13 +19,13 @@ The numerical backends do not operate on the symbolic objects directly;
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.exceptions import FormulationError
+from repro.obs.trace import span as obs_span
 from repro.solver.constraints import (
     EQUAL,
     GREATER_EQUAL,
@@ -576,16 +576,16 @@ class ConeProgram:
         """
         from repro.solver import backends
 
-        compile_start = time.perf_counter()
-        compiled = self.compile()
-        compile_time = time.perf_counter() - compile_start
-        start = time.perf_counter()
-        solution = backends.solve_compiled(
-            compiled, backend=backend, initial_point=initial_point, options=dict(options)
-        )
-        solution.solve_time = time.perf_counter() - start
+        with obs_span("compile", program=self.name) as compile_span:
+            compiled = self.compile()
+        with obs_span("solve", program=self.name, backend=backend) as solve_span:
+            solution = backends.solve_compiled(
+                compiled, backend=backend, initial_point=initial_point, options=dict(options)
+            )
+            solve_span.set(backend_used=solution.backend, status=solution.status.value)
+        solution.solve_time = solve_span.seconds
         solution.stats = dict(solution.stats)
-        solution.stats["compile_time"] = compile_time
+        solution.stats["compile_time"] = compile_span.seconds
         if self._sense == "max" and solution.objective is not None:
             solution.objective = -solution.objective
         return solution
