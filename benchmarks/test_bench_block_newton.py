@@ -44,13 +44,35 @@ REPEATS = 3
 STRICT_TIMING = not os.environ.get("CI")
 
 
-def _workload(app_count: int) -> Workload:
+#: The sparse-core scaling curve (tens to hundreds of applications).  Each
+#: application is deliberately light (short WCETs on a fine granularity) so
+#: the shared processors admit hundreds of them; the dense reference is
+#: solved only up to DENSE_UPTO applications — its per-solve cost grows with
+#: the cube of the variable count and is minutes-long at 128 apps, which is
+#: exactly what the sparse path removes.  Both knobs are env-tunable so the
+#: CI smoke job can run a small curve (16/32) with the same assertions.
+SCALING_SIZES = tuple(
+    int(size)
+    for size in os.environ.get("REPRO_BENCH_SCALING_SIZES", "8,16,32,64,128").split(",")
+    if size.strip()
+)
+DENSE_UPTO = int(os.environ.get("REPRO_BENCH_DENSE_UPTO", "32"))
+#: Near-linearity gate: per-Newton-iteration wall time may grow at most as
+#: apps^LINEARITY_EXPONENT across the curve (1.0 = perfectly linear; the
+#: slack absorbs cache effects and the O(m²·n) coupling term).
+LINEARITY_EXPONENT = 1.35
+
+
+def _workload(app_count: int, light: bool = False) -> Workload:
+    wcet_range = (0.02, 0.05) if light else (0.2, 0.8)
+    granularity = 0.01 if light else 1.0
     applications = [
         random_dag_configuration(
             task_count=6,
             processor_count=6,
             seed=3 + index,
-            wcet_range=(0.2, 0.8),
+            wcet_range=wcet_range,
+            granularity=granularity,
         )
         for index in range(app_count)
     ]
@@ -60,8 +82,8 @@ def _workload(app_count: int) -> Workload:
     return workload
 
 
-def _compiled(app_count: int):
-    formulation = WorkloadSocpFormulation(_workload(app_count))
+def _compiled(app_count: int, light: bool = False):
+    formulation = WorkloadSocpFormulation(_workload(app_count, light=light))
     program = formulation.build()
     compiled = program.compile()
     initial = compiled.vector_from_mapping(formulation.initial_point())
@@ -128,4 +150,76 @@ def test_bench_block_newton_scaling(app_count, benchmark, record_series):
     record_series(
         benchmark, "newton_iterations_structured", _newton_total(structured)
     )
+    benchmark(lambda: _solve(compiled, initial, structured=None))
+
+
+def test_bench_sparse_scaling_curve(benchmark, record_series):
+    """The sparse block-Newton core across 16..128 applications.
+
+    Three gates, exactly the acceptance criteria of the sparse rebuild:
+
+    * **parity** — wherever the dense reference is solved (up to DENSE_UPTO
+      applications), the sparse backend returns the identical optimum, every
+      variable within 1e-8.  This assertion always runs, CI included.
+    * **strictly faster** — from 8 applications up, the sparse wall clock
+      beats the dense one (quiet machines only; on CI the race is recorded,
+      not gated).
+    * **near-linear per-iteration cost** — wall time per Newton iteration
+      from the smallest to the largest size of the curve grows at most as
+      apps^LINEARITY_EXPONENT (the dense path is ~cubic here).
+    """
+    curve = []
+    for app_count in SCALING_SIZES:
+        compiled, initial = _compiled(app_count, light=True)
+        # Prime the elimination + pieces caches with one cheap sparse solve
+        # so every timed solve measures the Newton work.
+        primed = _solve(compiled, initial, structured=None)
+        assert primed.is_optimal
+        assert primed.stats["structured"] is (app_count >= 2)
+
+        sparse_time, sparse = _best_time(compiled, initial, structured=None)
+        assert sparse.is_optimal
+        per_iteration = sparse_time / max(_newton_total(sparse), 1)
+
+        dense_time = None
+        if app_count <= DENSE_UPTO:
+            start = time.perf_counter()
+            dense = _solve(compiled, initial, structured=False)
+            dense_time = time.perf_counter() - start
+            assert dense.is_optimal
+            # Parity gate: the sparse core never moves the optimum.
+            point_s, point_d = sparse.by_name(), dense.by_name()
+            assert sparse.objective == pytest.approx(dense.objective, abs=1e-8)
+            for name, value in point_s.items():
+                assert value == pytest.approx(point_d[name], abs=1e-8), (
+                    f"{app_count} apps: {name}"
+                )
+            if STRICT_TIMING and app_count >= 8:
+                assert sparse_time < dense_time, (
+                    f"{app_count}-app workload: sparse backend took "
+                    f"{sparse_time * 1e3:.1f} ms vs {dense_time * 1e3:.1f} ms dense"
+                )
+
+        curve.append((app_count, sparse_time, per_iteration))
+        record_series(benchmark, f"sparse_seconds_{app_count}", sparse_time)
+        record_series(benchmark, f"per_iteration_seconds_{app_count}", per_iteration)
+        record_series(benchmark, f"sparse_nnz_{app_count}", sparse.stats["sparse_nnz"])
+        if dense_time is not None:
+            record_series(benchmark, f"dense_seconds_{app_count}", dense_time)
+            record_series(
+                benchmark, f"speedup_{app_count}", dense_time / max(sparse_time, 1e-12)
+            )
+
+    if STRICT_TIMING and len(curve) >= 2:
+        base_apps, _, base_per_iter = curve[0]
+        top_apps, _, top_per_iter = curve[-1]
+        growth = top_per_iter / max(base_per_iter, 1e-12)
+        allowed = (top_apps / base_apps) ** LINEARITY_EXPONENT
+        assert growth <= allowed, (
+            f"per-iteration cost grew {growth:.2f}x from {base_apps} to "
+            f"{top_apps} apps (near-linear bound: {allowed:.2f}x)"
+        )
+
+    # ``compiled``/``initial`` still hold the largest size from the loop
+    # (caches primed); report its sparse solve as the benchmark sample.
     benchmark(lambda: _solve(compiled, initial, structured=None))

@@ -190,6 +190,14 @@ def _single_solve_stats(solver_info: dict) -> dict:
     }
     if "structured" in stats:
         totals["structured"] = bool(stats["structured"])
+    for key in (
+        "sparse_nnz",
+        "factorization_time",
+        "schur_time",
+        "block_factorizations",
+    ):
+        if key in stats:
+            totals[key] = stats[key]
     timings = solver_info.get("timings")
     if timings:
         totals["timings"] = dict(timings)
@@ -321,7 +329,23 @@ def _render_solve_stats(stats: dict) -> str:
     if "structured" in stats:
         lines.append(
             "  Newton backend:      "
-            + ("block-structured (Schur)" if stats["structured"] else "dense")
+            + ("sparse block-structured (Schur)" if stats["structured"] else "dense")
+        )
+    if "sparse_solves" in stats:
+        # Session aggregate: the sparse-vs-dense engagement split and how
+        # often the cached factorisation pieces were reused across re-solves.
+        lines.append(
+            f"  sparse solves:       {stats['sparse_solves']} of "
+            f"{stats.get('solves', 0)} "
+            f"({stats.get('sparse_pieces_reused', 0)} reused cached pieces)"
+        )
+    if "sparse_nnz" in stats:
+        lines.append(f"  constraint nonzeros: {stats['sparse_nnz']}")
+    if "factorization_time" in stats:
+        lines.append(
+            f"  sparse time split:   {float(stats['factorization_time']):.4f} s "
+            f"factorization, {float(stats.get('schur_time', 0.0)):.4f} s Schur "
+            f"({stats.get('block_factorizations', 0)} block factorizations)"
         )
     lines.append(f"  solve time:          {float(stats.get('solve_time', 0.0)):.4f} s")
     timings = stats.get("timings")

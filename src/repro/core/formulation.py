@@ -425,11 +425,11 @@ class _BlockAssembly:
             return self.program
         groups: List[Tuple[Variable, ...]] = []
         for block in self.blocks:
-            first = len(self.program.variables)
+            first = self.program.num_variables
             block.add_task_variables(self.program)
             block.add_capacity_variables(self.program)
             block.add_start_time_variables(self.program)
-            groups.append(self.program.variables[first:])
+            groups.append(self.program.variable_slice(first))
         for block in self.blocks:
             block.add_precedence_constraints(self.program)
         for block in self.blocks:

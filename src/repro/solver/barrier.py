@@ -57,15 +57,37 @@ when a block factorisation fails); both paths run the identical barrier
 schedule, so they return the same optimum to solver tolerance.  The
 equality-elimination result is cached on the compiled problem
 (:attr:`~repro.solver.problem.CompiledProblem.elimination_cache`), so
-warm-started parametric re-solves pay for the SVDs exactly once.
+warm-started parametric re-solves pay for the factorisations exactly once.
 
-The problems generated by Algorithm 1 of the paper have at most a few hundred
-variables, so all linear algebra is dense.
+Sparse backend
+--------------
+
+The structured path is built to scale to hundreds of applications:
+
+* the compiled constraint matrices arrive in CSR form
+  (:attr:`~repro.solver.problem.CompiledProblem.G_sparse`) and every
+  per-block reduction slices them without densifying the full matrix;
+* blockwise equality elimination uses a pivoted QR factorisation per block
+  (no dense SVD), and the null-space basis is kept *per block* — lifting,
+  projecting and warm-starting are blockwise, never O(n·k) dense products;
+* each centering run owns a :class:`_StructuredWorkspace` with preallocated
+  right-hand-side/solution buffers; per-application Hessian blocks of equal
+  width are factorised in *batched* LAPACK calls (one batched Cholesky for
+  the positive-definiteness check, one batched solve), while blocks wider
+  than :attr:`BarrierOptions.sparse_block_width` go through a sparse
+  ``splu`` factorisation instead;
+* the line-search merit is evaluated through one CSR matrix per constraint
+  family spanning all blocks (a few sparse matvecs per trial point instead
+  of a Python loop over per-block terms).
+
+Per-iteration cost is therefore linear in the number of applications; the
+``benchmarks/test_bench_block_newton.py`` scaling curve pins this.
 """
 
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -87,6 +109,16 @@ try:  # scipy is optional; the solver falls back to LU solves without it.
     _HAVE_CHOLESKY = True
 except ImportError:  # pragma: no cover - exercised only without scipy
     _HAVE_CHOLESKY = False
+
+try:  # sparse substrate of the structured path (CSR merit, splu blocks, QR)
+    from scipy import sparse as _sp
+    from scipy.linalg import qr as _sp_qr, solve_triangular as _sp_solve_triangular
+    from scipy.sparse.linalg import splu as _sp_splu
+
+    _HAVE_SPARSE = True
+except ImportError:  # pragma: no cover - exercised only without scipy
+    _sp = None
+    _HAVE_SPARSE = False
 
 
 def _spd_solve(matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
@@ -164,6 +196,12 @@ class BarrierOptions:
     #: ``False`` disables them (dense solves, used as the baseline by the
     #: block-Newton benchmarks).
     structured: Optional[bool] = None
+    #: Per-application Hessian blocks at least this wide are factorised with
+    #: a sparse LU (:func:`scipy.sparse.linalg.splu`) instead of joining a
+    #: batched dense Cholesky group.  Workload blocks are narrow (a few dozen
+    #: variables), so the default only engages for unusually large
+    #: applications; tests lower it to exercise the sparse factorisation.
+    sparse_block_width: int = 256
 
 
 class _BarrierTerm:
@@ -408,6 +446,65 @@ def _accumulate_dense(
     return grad, hess
 
 
+def _eq_block(problem: CompiledProblem, rows: np.ndarray, start: int, stop: int) -> np.ndarray:
+    """Dense copy of the narrow equality sub-matrix ``A[rows, start:stop]``.
+
+    Sliced from the CSR form so the full dense ``A`` is never materialised
+    on the structured path.
+    """
+    sparse_A = problem.A_sparse
+    if sparse_A is not None:
+        return np.asarray(sparse_A[rows][:, start:stop].todense())
+    return problem.A[rows][:, start:stop].copy()
+
+
+def _ineq_block(problem: CompiledProblem, rows: np.ndarray, start: int, stop: int) -> np.ndarray:
+    """Dense copy of the narrow inequality sub-matrix ``G[rows, start:stop]``."""
+    sparse_G = problem.G_sparse
+    if sparse_G is not None:
+        return np.asarray(sparse_G[rows][:, start:stop].todense())
+    return problem.G[rows][:, start:stop].copy()
+
+
+def _block_nullspace(A_block: np.ndarray, b_block: np.ndarray) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """Particular solution and orthonormal null-space basis of one block.
+
+    Uses one pivoted QR factorisation of ``A_blockᵀ`` when scipy is
+    available (``A_blockᵀ·P = Q·R`` gives both the min-norm particular
+    solution through a triangular solve and the null space as the trailing
+    columns of ``Q``), falling back to the historical lstsq + SVD pair
+    otherwise.  Returns ``None`` when the block's equalities are
+    inconsistent.
+    """
+    width = A_block.shape[1]
+    if _HAVE_SPARSE:
+        Q, R, perm = _sp_qr(A_block.T, mode="full", pivoting=True)
+        diag = np.abs(np.diag(R)) if R.size else np.zeros(0)
+        scale = diag[0] if diag.size else 0.0
+        rank = int(np.sum(diag > max(A_block.shape) * np.finfo(float).eps * scale))
+        if rank:
+            y = _sp_solve_triangular(
+                R[:rank, :rank].T, b_block[perm][:rank], lower=True
+            )
+            x_block = Q[:, :rank] @ y
+        else:
+            x_block = np.zeros(width)
+        basis = Q[:, rank:]
+    else:  # pragma: no cover - exercised only without scipy
+        x_block, *_ = np.linalg.lstsq(A_block, b_block, rcond=None)
+        _, s, vt = np.linalg.svd(A_block, full_matrices=True)
+        rank = int(
+            np.sum(s > max(A_block.shape) * np.finfo(float).eps * (s[0] if s.size else 0.0))
+        )
+        basis = vt[rank:].T
+    tolerance = 1e-7 * max(1.0, float(np.abs(b_block).max(initial=0.0)))
+    if not np.allclose(A_block @ x_block, b_block, atol=tolerance):
+        return None
+    if basis.size == 0:
+        basis = np.zeros((width, 0))
+    return x_block, basis
+
+
 @dataclass
 class _BlockEliminationSeed:
     """One block's elimination result, carried between compiled problems.
@@ -451,7 +548,7 @@ def transfer_block_eliminations(
         or target.block_structure is None
     ):
         return 0
-    if structure.equality_blocks.shape[0] != source.A.shape[0]:
+    if structure.equality_blocks.shape[0] != source.b.shape[0]:
         return 0
     seeds: Dict[int, object] = {}
     for source_index, target_index in block_map.items():
@@ -460,13 +557,20 @@ def transfer_block_eliminations(
         if not 0 <= target_index < target.block_structure.num_blocks:
             continue
         start, stop = structure.ranges[source_index]
-        slc = reduced.block_slices[source_index]
         rows = np.flatnonzero(structure.equality_blocks == source_index)
+        if rows.size == 0:
+            # A block without equality rows has nothing to eliminate; the
+            # target's elimination never consults a seed for it, so storing
+            # one would only retain dead basis copies.
+            continue
+        basis = reduced.basis_for(source_index)
+        if basis is None:
+            basis = np.eye(stop - start)
         seeds[target_index] = _BlockEliminationSeed(
-            A_block=source.A[rows][:, start:stop].copy(),
+            A_block=_eq_block(source, rows, start, stop),
             b_block=source.b[rows].copy(),
             x_block=reduced.x_particular[start:stop].copy(),
-            basis=reduced.nullspace[start:stop, slc].copy(),
+            basis=basis.copy(),
         )
     if seeds:
         target.elimination_seed = seeds
@@ -513,33 +617,151 @@ class _PiecesCache:
     coupling_offset: np.ndarray
 
 
-@dataclass
 class _ReducedProblem:
-    """A problem restricted to the affine subspace ``x = x_p + N·z``."""
+    """A problem restricted to the affine subspace ``x = x_p + N·z``.
 
-    x_particular: np.ndarray
-    nullspace: np.ndarray  # shape (n, k); identity when there are no equalities
-    #: contiguous per-block coordinate slices of the reduced space, present
-    #: when the elimination was blockwise (block-diagonal ``N``)
-    block_slices: Optional[List[slice]] = None
-    #: lazily filled solve-invariant reduction products (structured path)
-    pieces_cache: Optional[_PiecesCache] = None
-    #: accounting of the elimination that produced this reduction: SVDs
-    #: actually performed vs per-block bases reused from an
-    #: :attr:`~repro.solver.problem.CompiledProblem.elimination_seed` (a dense
-    #: elimination counts as one computed "block")
-    blocks_computed: int = 0
-    blocks_reused: int = 0
+    ``N`` is represented in whichever of three forms the elimination
+    produced, cheapest first:
 
-    def lift(self, z: np.ndarray) -> np.ndarray:
-        return self.x_particular + self.nullspace @ z
+    * *identity* — no equality rows at all; ``N = I`` is never materialised
+      and every lift/projection is a vector add;
+    * *block diagonal* — blockwise elimination; only the per-block bases
+      (``ranges[b]`` rows × ``block_slices[b]`` columns) are stored, and
+      lift / projection / row reduction run block by block in
+      ``O(Σ width·k_b)`` instead of ``O(n·k)``;
+    * *dense* — the unstructured fallback stores the full ``(n, k)`` matrix.
 
-    def reduce_direction(self, row: np.ndarray) -> np.ndarray:
-        return row @ self.nullspace
+    The dense :attr:`nullspace` view is assembled lazily from the blocks
+    when a dense-path consumer asks for it.
+    """
+
+    def __init__(
+        self,
+        x_particular: np.ndarray,
+        nullspace: Optional[np.ndarray] = None,
+        block_slices: Optional[List[slice]] = None,
+        *,
+        identity: bool = False,
+        ranges: Optional[List[Tuple[int, int]]] = None,
+        block_bases: Optional[List[Optional[np.ndarray]]] = None,
+        blocks_computed: int = 0,
+        blocks_reused: int = 0,
+    ) -> None:
+        self.x_particular = x_particular
+        self._nullspace = nullspace
+        #: contiguous per-block coordinate slices of the reduced space,
+        #: present when the reduction is block partitioned
+        self.block_slices = block_slices
+        #: ``N = I`` (no equality rows); ``n == k``
+        self.identity = identity
+        #: per-block variable index ranges matching ``block_slices``
+        self.ranges = ranges
+        #: per-block null-space bases; ``None`` entries mean the identity
+        #: (a block without equality rows keeps all its variables)
+        self.block_bases = block_bases
+        #: lazily filled solve-invariant reduction products (structured path)
+        self.pieces_cache: Optional[_PiecesCache] = None
+        #: accounting of the elimination that produced this reduction:
+        #: factorisations actually performed vs per-block bases reused from
+        #: an :attr:`~repro.solver.problem.CompiledProblem.elimination_seed`
+        #: (a dense elimination counts as one computed "block")
+        self.blocks_computed = blocks_computed
+        self.blocks_reused = blocks_reused
 
     @property
     def dimension(self) -> int:
-        return self.nullspace.shape[1]
+        if self._nullspace is not None:
+            return self._nullspace.shape[1]
+        if self.identity:
+            return self.x_particular.size
+        return self.block_slices[-1].stop if self.block_slices else 0
+
+    @property
+    def nullspace(self) -> np.ndarray:
+        """Dense ``(n, k)`` basis, assembled lazily (dense-path consumers only)."""
+        if self._nullspace is None:
+            n = self.x_particular.size
+            if self.identity:
+                self._nullspace = np.eye(n)
+            else:
+                N = np.zeros((n, self.dimension))
+                for (start, stop), slc, basis in zip(
+                    self.ranges, self.block_slices, self.block_bases
+                ):
+                    N[start:stop, slc] = (
+                        np.eye(stop - start) if basis is None else basis
+                    )
+                self._nullspace = N
+        return self._nullspace
+
+    def basis_for(self, block_index: int) -> Optional[np.ndarray]:
+        """Block ``block_index``'s basis; ``None`` means identity."""
+        if self.block_bases is not None:
+            return self.block_bases[block_index]
+        if self.identity:
+            return None
+        start, stop = self.ranges[block_index]
+        return self.nullspace[start:stop, self.block_slices[block_index]]
+
+    def lift(self, z: np.ndarray) -> np.ndarray:
+        if self.identity:
+            return self.x_particular + z
+        if self.block_bases is not None:
+            x = self.x_particular.copy()
+            for (start, stop), slc, basis in zip(
+                self.ranges, self.block_slices, self.block_bases
+            ):
+                if basis is None:
+                    x[start:stop] += z[slc]
+                else:
+                    x[start:stop] += basis @ z[slc]
+            return x
+        return self.x_particular + self.nullspace @ z
+
+    def reduce_direction(self, row: np.ndarray) -> np.ndarray:
+        if self.identity:
+            return np.asarray(row, dtype=float).copy()
+        if self.block_bases is not None:
+            out = np.empty(self.dimension)
+            for (start, stop), slc, basis in zip(
+                self.ranges, self.block_slices, self.block_bases
+            ):
+                if basis is None:
+                    out[slc] = row[start:stop]
+                else:
+                    out[slc] = row[start:stop] @ basis
+            return out
+        return row @ self.nullspace
+
+    def project(self, x: np.ndarray) -> np.ndarray:
+        """Least-squares coordinates of ``x − x_p`` in the basis.
+
+        The blockwise form solves one small least-squares problem per block
+        — with a block-diagonal ``N`` the global least-squares problem
+        decouples exactly, so this matches the dense projection while
+        avoiding the ``O(n·k²)`` full-matrix factorisation that dominated
+        warm starts at scale.
+        """
+        residual = x - self.x_particular
+        if self.identity:
+            return residual
+        if self.block_bases is not None:
+            z = np.empty(self.dimension)
+            for (start, stop), slc, basis in zip(
+                self.ranges, self.block_slices, self.block_bases
+            ):
+                if basis is None:
+                    z[slc] = residual[start:stop]
+                else:
+                    # Bases are orthonormal (QR/SVD columns), but solve the
+                    # block least-squares problem anyway so seeded bases of
+                    # any provenance project correctly.
+                    z[slc], *_ = np.linalg.lstsq(
+                        basis, residual[start:stop], rcond=None
+                    )
+            return z
+        z, *_ = np.linalg.lstsq(self.nullspace, residual, rcond=None)
+        return z
 
 
 @dataclass
@@ -586,6 +808,323 @@ class _StructurePlan:
         return flat
 
 
+class _MeritBundle:
+    """Vectorised line-search merit for a structured plan.
+
+    All per-block *linear* terms (plus coupling) are scattered into one CSR
+    matrix over the full reduced coordinates, and all *hyperbolic* terms into
+    a CSR pair — one trial point then costs a few sparse matvecs instead of a
+    Python loop over every block's terms.  Term families without a vectorised
+    form (the batched SOC blocks of phase I) stay on the per-term path.
+
+    The merit value is mathematically identical to
+    :meth:`BarrierSolver._barrier_merit` over the same terms; only the
+    floating-point summation order differs, which the difference-form line
+    search is insensitive to.
+    """
+
+    def __init__(self, plan: _StructurePlan, k: int) -> None:
+        self.G = self.h = self.P = self.Q = None
+        self.leftovers: List[_BarrierTerm] = []
+        if not _HAVE_SPARSE:  # pragma: no cover - scipy-less fallback
+            self.leftovers = list(plan.terms)
+            return
+        lin_data: List[np.ndarray] = []
+        lin_rows: List[np.ndarray] = []
+        lin_cols: List[np.ndarray] = []
+        lin_h: List[np.ndarray] = []
+        lin_count = 0
+        hyp_entries: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        hyp_p0: List[np.ndarray] = []
+        hyp_q0: List[np.ndarray] = []
+        hyp_w: List[np.ndarray] = []
+        hyp_count = 0
+
+        def scatter(matrix: np.ndarray, support: Optional[np.ndarray], row_offset: int):
+            rows_local, cols_local = np.nonzero(matrix)
+            cols = cols_local if support is None else support[cols_local]
+            return matrix[rows_local, cols_local], rows_local + row_offset, cols
+
+        for term in plan.terms:
+            if isinstance(term, _LinearBlock):
+                data, rows, cols = scatter(term.G, term.support, lin_count)
+                lin_data.append(data)
+                lin_rows.append(rows)
+                lin_cols.append(cols)
+                lin_h.append(term.h)
+                lin_count += term.count
+            elif isinstance(term, _HyperbolicBlock):
+                for matrix in (term.P, term.Q):
+                    hyp_entries.append(scatter(matrix, term.support, hyp_count))
+                hyp_p0.append(term.p0)
+                hyp_q0.append(term.q0)
+                hyp_w.append(term.w)
+                hyp_count += term.count
+            else:
+                self.leftovers.append(term)
+
+        if lin_count:
+            self.G = _sp.csr_matrix(
+                (
+                    np.concatenate(lin_data),
+                    (np.concatenate(lin_rows), np.concatenate(lin_cols)),
+                ),
+                shape=(lin_count, k),
+            )
+            self.h = np.concatenate(lin_h)
+        if hyp_count:
+            p_parts = hyp_entries[0::2]
+            q_parts = hyp_entries[1::2]
+            self.P = _sp.csr_matrix(
+                (
+                    np.concatenate([e[0] for e in p_parts]),
+                    (
+                        np.concatenate([e[1] for e in p_parts]),
+                        np.concatenate([e[2] for e in p_parts]),
+                    ),
+                ),
+                shape=(hyp_count, k),
+            )
+            self.Q = _sp.csr_matrix(
+                (
+                    np.concatenate([e[0] for e in q_parts]),
+                    (
+                        np.concatenate([e[1] for e in q_parts]),
+                        np.concatenate([e[2] for e in q_parts]),
+                    ),
+                ),
+                shape=(hyp_count, k),
+            )
+            self.p0 = np.concatenate(hyp_p0)
+            self.q0 = np.concatenate(hyp_q0)
+            self.w = np.concatenate(hyp_w)
+
+    def merit(self, z: np.ndarray) -> float:
+        """Barrier value ``φ(z)``; ``+inf`` when any slack is non-positive."""
+        total = 0.0
+        if self.G is not None:
+            s = self.h - self.G @ z
+            if s.size and float(s.min()) <= 0.0:
+                return math.inf
+            total -= float(np.sum(np.log(s)))
+        if self.P is not None:
+            pv = self.P @ z + self.p0
+            qv = self.Q @ z + self.q0
+            f = pv * qv - self.w
+            if (
+                float(pv.min(initial=1.0)) <= 0.0
+                or float(qv.min(initial=1.0)) <= 0.0
+                or float(f.min(initial=1.0)) <= 0.0
+            ):
+                return math.inf
+            total -= float(np.sum(np.log(f)))
+        for term in self.leftovers:
+            slack, value = term.slack_and_barrier(z)
+            if slack <= 0.0:
+                return math.inf
+            total += value
+        return total
+
+
+class _StructuredWorkspace:
+    """Preallocated hot-loop state for one structured centering run.
+
+    Owns the right-hand-side / solution buffers of the arrow solve (the
+    coupling columns ``Gcᵀ`` are written **once** — they are constant across
+    Newton iterations, only the gradient column changes), the per-block local
+    Hessian buffers, and the batched factorisation groups: blocks of equal
+    width are stacked into one ``(B, w, w)`` tensor and factorised with a
+    single batched Cholesky (the positive-definiteness check that triggers
+    the dense fallback) followed by one batched solve, so the per-iteration
+    Python cost no longer scales with a per-block pair of LAPACK calls.
+    Blocks wider than :attr:`BarrierOptions.sparse_block_width` are instead
+    factorised sparsely via :func:`scipy.sparse.linalg.splu`.
+
+    The Hessian assembled here is identical to the dense path's (including
+    the trace-scaled Tikhonov regularisation), so both paths produce the
+    same Newton iterates up to floating-point rounding.
+    """
+
+    def __init__(
+        self,
+        plan: _StructurePlan,
+        k: int,
+        options: BarrierOptions,
+        sparse_stats: Optional[Dict[str, float]] = None,
+    ) -> None:
+        self.plan = plan
+        self.options = options
+        self.stats = sparse_stats if sparse_stats is not None else {
+            "factorization_time": 0.0,
+            "schur_time": 0.0,
+            "block_factorizations": 0,
+        }
+        self.k = k
+        self.border = plan.border
+        coupling = plan.coupling
+        self.m = int(coupling.count) if coupling is not None else 0
+        cols = 1 + self.m
+        self.cols = cols
+        self.rhs = np.empty((k, cols))
+        if self.m:
+            self.rhs[:, 1:] = coupling.G.T
+            self._coupling_sq = np.einsum("ij,ij->i", coupling.G, coupling.G)
+        self.solved = np.empty((k, cols))
+        self.grad = np.empty(k)
+        #: (slc, width, terms, local Hessian buffer) per block
+        self.block_infos: List[Tuple[slice, int, List[_BarrierTerm], np.ndarray]] = []
+        groups: Dict[int, List[int]] = {}
+        self.splu_blocks: List[int] = []
+        for index, (slc, terms) in enumerate(
+            zip(plan.block_slices, plan.block_terms)
+        ):
+            width = slc.stop - slc.start
+            local = np.zeros((width + self.border, width + self.border))
+            self.block_infos.append((slc, width, terms, local))
+            if width == 0:
+                continue
+            if width >= options.sparse_block_width and _HAVE_SPARSE:
+                self.splu_blocks.append(index)
+            else:
+                groups.setdefault(width, []).append(index)
+        #: batched groups: (member block indices, width, H stack, rhs stack)
+        self.batch_groups: List[Tuple[List[int], int, np.ndarray, np.ndarray]] = [
+            (
+                members,
+                width,
+                np.empty((len(members), width, width)),
+                np.empty((len(members), width, cols + self.border)),
+            )
+            for width, members in sorted(groups.items())
+        ]
+        self._border_parts: Dict[int, np.ndarray] = {}
+        self.merit_bundle = _MeritBundle(plan, k)
+
+    def merit(self, z: np.ndarray) -> float:
+        return self.merit_bundle.merit(z)
+
+    def direction(
+        self, z: np.ndarray, grad_objective: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """One Newton direction via batched block factorisations + Schur.
+
+        The Hessian of the centering problem is ``H = H₀ + Gcᵀ·W·Gc`` with
+        ``H₀`` bordered block diagonal (per-application blocks, plus the
+        phase-I relaxation column as a border) and ``W = diag(1/s²)`` over
+        the coupling-row slacks.  ``H₀⁻¹`` is applied through per-block
+        factorisations and the border's Schur complement; the coupling's
+        low-rank term is folded in through the matrix-inversion lemma — its
+        Schur matrix has coupling-row dimension (the number of shared
+        processors and memories), so the cost per step is the sum of the
+        per-block factorisations instead of one cube of the full size.
+
+        Raises :class:`numpy.linalg.LinAlgError` when any block is not
+        positive definite, which the Newton loop catches to fall back to
+        the dense solve.
+        """
+        plan = self.plan
+        k, border, m, cols = self.k, self.border, self.m, self.cols
+        blocks_end = k - border
+        grad = self.grad
+        grad[:] = grad_objective
+        trace = 0.0
+        for slc, width, terms, local in self.block_infos:
+            local.fill(0.0)
+            for term in terms:
+                g_i, h_i = term.grad_hess(z)
+                local += h_i
+                grad[slc] += g_i[:width]
+                if border:
+                    grad[blocks_end:] += g_i[width:]
+            trace += float(np.trace(local))
+
+        coupling = plan.coupling
+        W = Gc = None
+        if m:
+            s = coupling.slacks(z)
+            inv = 1.0 / s
+            grad += coupling.G.T @ inv
+            W = inv * inv
+            Gc = coupling.G
+            trace += float(W @ self._coupling_sq)
+
+        reg = self.options.regularization * (1.0 + trace / max(k, 1))
+        rhs = self.rhs
+        rhs[:, 0] = grad
+        solved = self.solved
+
+        factor_start = time.perf_counter()
+        if border:
+            schur = reg * np.eye(border)
+            cross_rhs = np.zeros((border, cols))
+            self._border_parts.clear()
+            # Border-border curvature of every block (including width-0
+            # blocks, e.g. the phase-I lower-bound row on t).
+            for slc, width, terms, local in self.block_infos:
+                schur += local[width:, width:]
+
+        for members, width, H_stack, R_stack in self.batch_groups:
+            for j, index in enumerate(members):
+                slc, _, _, local = self.block_infos[index]
+                H_stack[j] = local[:width, :width]
+                R_stack[j, :, :cols] = rhs[slc]
+                if border:
+                    R_stack[j, :, cols:] = local[:width, width:]
+            H_stack[:, np.arange(width), np.arange(width)] += reg
+            # Batched Cholesky is the positive-definiteness check (raises
+            # LinAlgError → dense fallback); the batched LU solve then
+            # produces all block solutions in one LAPACK call.
+            np.linalg.cholesky(H_stack)
+            sol = np.linalg.solve(H_stack, R_stack)
+            self.stats["block_factorizations"] += len(members)
+            for j, index in enumerate(members):
+                slc, _, _, local = self.block_infos[index]
+                solved[slc] = sol[j, :, :cols]
+                if border:
+                    cross = local[:width, width:]
+                    cross_rhs += cross.T @ sol[j, :, :cols]
+                    schur -= cross.T @ sol[j, :, cols:]
+                    self._border_parts[index] = sol[j, :, cols:]
+
+        for index in self.splu_blocks:
+            slc, width, terms, local = self.block_infos[index]
+            diag = local[:width, :width] + reg * np.eye(width)
+            block_rhs = np.hstack([rhs[slc], local[:width, width:]])
+            try:
+                lu = _sp_splu(_sp.csc_matrix(diag))
+                block_solution = lu.solve(block_rhs)
+            except RuntimeError as error:  # singular factor → dense fallback
+                raise np.linalg.LinAlgError(str(error)) from error
+            self.stats["block_factorizations"] += 1
+            solved[slc] = block_solution[:, :cols]
+            if border:
+                cross = local[:width, width:]
+                cross_rhs += cross.T @ block_solution[:, :cols]
+                schur -= cross.T @ block_solution[:, cols:]
+                self._border_parts[index] = block_solution[:, cols:]
+        self.stats["factorization_time"] += time.perf_counter() - factor_start
+
+        schur_start = time.perf_counter()
+        if border:
+            border_solution = _spd_solve(schur, rhs[blocks_end:] - cross_rhs)
+            for index, q_part in self._border_parts.items():
+                slc = self.block_infos[index][0]
+                solved[slc] -= q_part @ border_solution
+            solved[blocks_end:] = border_solution
+        if m:
+            base = solved[:, 0]
+            lifted = solved[:, 1:]
+            # Matrix-inversion lemma: (W⁻¹ + Gc·H₀⁻¹·Gcᵀ) is the coupling
+            # Schur complement of the arrow-structured KKT system.
+            schur_c = np.diag(1.0 / W) + Gc @ lifted
+            weights = np.linalg.solve(schur_c, Gc @ base)
+            direction = -(base - lifted @ weights)
+        else:
+            direction = -solved[:, 0]
+        self.stats["schur_time"] += time.perf_counter() - schur_start
+        return grad, direction
+
+
 class BarrierSolver:
     """Two-phase log-barrier interior-point solver."""
 
@@ -628,7 +1167,22 @@ class BarrierSolver:
         #: Newton iterations that fell back to the dense solve because a
         #: block factorisation failed; reset per solve, reported in stats.
         self._structured_fallbacks = 0
+        #: Sparse-backend accounting shared by every workspace of this solve
+        #: (phase I, warm-rung probing, phase II); reset per solve.
+        self._sparse_stats = {
+            "factorization_time": 0.0,
+            "schur_time": 0.0,
+            "block_factorizations": 0,
+        }
+        self._pieces_cache_hit = False
         terms, plan, pieces = self._phase2_terms(problem, reduced)
+        workspace = (
+            _StructuredWorkspace(
+                plan, reduced.dimension, opts, self._sparse_stats
+            )
+            if plan is not None
+            else None
+        )
         c_reduced = reduced.reduce_direction(problem.c)
         total_constraints = sum(term.count for term in terms)
 
@@ -688,6 +1242,7 @@ class BarrierSolver:
                 self._structured_fallbacks
             )
         if z_feasible is None:
+            self._attach_sparse_stats(stats, problem, plan)
             self._record_metrics(stats, optimal=False)
             return Solution(
                 status=SolverStatus.INFEASIBLE,
@@ -712,6 +1267,7 @@ class BarrierSolver:
                 float(opts.warm_initial_barrier),
                 total_constraints,
                 opts.tolerance,
+                workspace=workspace,
             )
             if rung > opts.initial_barrier:
                 initial_barrier = rung
@@ -724,7 +1280,12 @@ class BarrierSolver:
 
         with obs_span("centering") as centering_span:
             result = self._barrier_minimise(
-                c_reduced, terms, z_start, initial_barrier=initial_barrier, plan=plan
+                c_reduced,
+                terms,
+                z_start,
+                initial_barrier=initial_barrier,
+                plan=plan,
+                workspace=workspace,
             )
             if initial_barrier is not None and not result.converged:
                 # The raised rung failed to center within the Newton budget; its
@@ -736,7 +1297,8 @@ class BarrierSolver:
                     retry_start = z_interior
                 with obs_span("cold-retry"):
                     retry = self._barrier_minimise(
-                        c_reduced, terms, retry_start, plan=plan
+                        c_reduced, terms, retry_start, plan=plan,
+                        workspace=workspace,
                     )
                 retry.newton += result.newton
                 retry.outer += result.outer
@@ -753,6 +1315,7 @@ class BarrierSolver:
             stats["structured_fallback_iterations"] = int(
                 self._structured_fallbacks
             )
+        self._attach_sparse_stats(stats, problem, plan)
         x_opt = reduced.lift(result.z)
         objective = problem.objective_value(x_opt)
 
@@ -779,6 +1342,30 @@ class BarrierSolver:
         return solution
 
     # -- telemetry ------------------------------------------------------------
+    def _attach_sparse_stats(
+        self,
+        stats: Dict[str, object],
+        problem: CompiledProblem,
+        plan: Optional[_StructurePlan],
+    ) -> None:
+        """Fold this solve's sparse-backend accounting into its stats dict.
+
+        ``sparse_nnz`` (constraint-matrix nonzeros) is reported for every
+        solve; the factorisation/Schur time split, the block-factorisation
+        count and the pieces-cache reuse flag only exist on the structured
+        path.
+        """
+        stats["sparse_nnz"] = int(problem.constraint_nnz)
+        if plan is None:
+            return
+        sparse = self._sparse_stats
+        stats["factorization_time"] = float(sparse["factorization_time"])
+        stats["schur_time"] = float(sparse["schur_time"])
+        stats["block_factorizations"] = int(sparse["block_factorizations"])
+        stats["pieces_cache_reused"] = bool(
+            getattr(self, "_pieces_cache_hit", False)
+        )
+
     def _record_metrics(self, stats: Dict[str, object], optimal: bool) -> None:
         """Publish one solve's statistics to the metrics registry.
 
@@ -805,6 +1392,25 @@ class BarrierSolver:
         )
         if stats.get("structured"):
             registry.counter("solver.structured_solves").inc()
+            registry.counter("solver.sparse_solves").inc()
+        else:
+            registry.counter("solver.dense_solves").inc()
+        if stats.get("pieces_cache_reused"):
+            registry.counter("solver.pieces_cache_reused").inc()
+        if "sparse_nnz" in stats:
+            registry.histogram("solver.sparse_nnz").observe(
+                float(stats["sparse_nnz"])
+            )
+        if "factorization_time" in stats:
+            registry.histogram("solver.factorization_seconds").observe(
+                float(stats["factorization_time"])
+            )
+            registry.histogram("solver.schur_seconds").observe(
+                float(stats["schur_time"])
+            )
+            registry.counter("solver.block_factorizations").inc(
+                float(stats.get("block_factorizations", 0))
+            )
         registry.histogram("solver.newton_iterations").observe(
             float(stats.get("newton_iterations", 0))
         )
@@ -835,6 +1441,11 @@ class BarrierSolver:
         reduced, status = self._compute_elimination(problem)
         if status is None:
             problem.elimination_cache = reduced
+            # The seed is one-shot: once an elimination has consumed (or
+            # rejected) it, keeping it would only retain dense basis copies
+            # for blocks that may no longer exist after session edits —
+            # unbounded growth over a long add/remove admission trace.
+            problem.elimination_seed = None
         return reduced, status, True
 
     def _compute_elimination(
@@ -842,11 +1453,24 @@ class BarrierSolver:
     ) -> Tuple[_ReducedProblem, Optional[Solution]]:
         n = problem.num_variables
         structure = problem.block_structure
-        if problem.A.size == 0:
+        if problem.b.size == 0:
             block_slices = None
+            ranges = None
+            block_bases: Optional[List[Optional[np.ndarray]]] = None
             if structure is not None:
                 block_slices = [slice(start, stop) for start, stop in structure.ranges]
-            return _ReducedProblem(np.zeros(n), np.eye(n), block_slices), None
+                ranges = list(structure.ranges)
+                block_bases = [None] * structure.num_blocks
+            return (
+                _ReducedProblem(
+                    np.zeros(n),
+                    block_slices=block_slices,
+                    identity=True,
+                    ranges=ranges,
+                    block_bases=block_bases,
+                ),
+                None,
+            )
 
         if structure is not None:
             result = self._blockwise_elimination(problem, structure)
@@ -858,7 +1482,7 @@ class BarrierSolver:
         x_p, *_ = np.linalg.lstsq(A, b, rcond=None)
         if not np.allclose(A @ x_p, b, atol=1e-7 * max(1.0, float(np.abs(b).max(initial=0.0)))):
             return (
-                _ReducedProblem(np.zeros(n), np.eye(n)),
+                _ReducedProblem(np.zeros(n), identity=True),
                 Solution(
                     status=SolverStatus.INFEASIBLE,
                     backend="barrier",
@@ -880,10 +1504,12 @@ class BarrierSolver:
 
         Every equality row of a structured problem is confined to one block
         (multi-block equalities drop the structure at compile time), so the
-        null space factors per block: one small SVD per application instead
-        of one on the full equality matrix, and the resulting basis keeps the
-        reduced problem block partitioned.  Returns ``None`` to fall back to
-        the dense elimination when the recorded row assignment is stale.
+        null space factors per block: one small pivoted QR per application
+        instead of one factorisation of the full equality matrix, and the
+        resulting per-block bases keep the reduced problem block partitioned
+        without ever materialising the dense ``(n, k)`` null-space matrix.
+        Returns ``None`` to fall back to the dense elimination when the
+        recorded row assignment is stale.
 
         Blocks present in the problem's
         :attr:`~repro.solver.problem.CompiledProblem.elimination_seed` (bases
@@ -892,24 +1518,25 @@ class BarrierSolver:
         stored equality data matches this problem's — the incremental-session
         case where only the edited application's block pays for elimination.
         """
-        A, b = problem.A, problem.b
         n = problem.num_variables
-        if structure.equality_blocks.shape[0] != A.shape[0]:
+        b = problem.b
+        if structure.equality_blocks.shape[0] != b.shape[0]:
             return None
         seeds = problem.elimination_seed or {}
         computed = 0
         reused = 0
         x_p = np.zeros(n)
-        basis_blocks: List[np.ndarray] = []
+        basis_blocks: List[Optional[np.ndarray]] = []
         block_slices: List[slice] = []
         offset = 0
         for block_index, (start, stop) in enumerate(structure.ranges):
             rows = np.flatnonzero(structure.equality_blocks == block_index)
             width = stop - start
             if rows.size == 0:
-                basis = np.eye(width)
+                basis = None  # identity: the block keeps all its variables
+                basis_width = width
             else:
-                A_block = A[rows][:, start:stop]
+                A_block = _eq_block(problem, rows, start, stop)
                 b_block = b[rows]
                 seed = seeds.get(block_index)
                 if (
@@ -920,49 +1547,35 @@ class BarrierSolver:
                 ):
                     x_p[start:stop] = seed.x_block
                     basis = seed.basis
+                    basis_width = basis.shape[1]
                     reused += 1
                     basis_blocks.append(basis)
-                    block_slices.append(slice(offset, offset + basis.shape[1]))
-                    offset += basis.shape[1]
+                    block_slices.append(slice(offset, offset + basis_width))
+                    offset += basis_width
                     continue
-                x_block, *_ = np.linalg.lstsq(A_block, b_block, rcond=None)
-                tolerance = 1e-7 * max(1.0, float(np.abs(b_block).max(initial=0.0)))
-                if not np.allclose(A_block @ x_block, b_block, atol=tolerance):
+                result = _block_nullspace(A_block, b_block)
+                if result is None:
                     return (
-                        _ReducedProblem(np.zeros(n), np.eye(n)),
+                        _ReducedProblem(np.zeros(n), identity=True),
                         Solution(
                             status=SolverStatus.INFEASIBLE,
                             backend="barrier",
                             message="equality constraints are inconsistent",
                         ),
                     )
+                x_block, basis = result
                 x_p[start:stop] = x_block
-                _, s, vt = np.linalg.svd(A_block, full_matrices=True)
-                rank = int(
-                    np.sum(
-                        s
-                        > max(A_block.shape)
-                        * np.finfo(float).eps
-                        * (s[0] if s.size else 0.0)
-                    )
-                )
-                basis = vt[rank:].T
-                if basis.size == 0:
-                    basis = np.zeros((width, 0))
+                basis_width = basis.shape[1]
                 computed += 1
             basis_blocks.append(basis)
-            block_slices.append(slice(offset, offset + basis.shape[1]))
-            offset += basis.shape[1]
-        nullspace = np.zeros((n, offset))
-        for (start, stop), basis, slc in zip(
-            structure.ranges, basis_blocks, block_slices
-        ):
-            nullspace[start:stop, slc] = basis
+            block_slices.append(slice(offset, offset + basis_width))
+            offset += basis_width
         return (
             _ReducedProblem(
                 x_p,
-                nullspace,
-                block_slices,
+                block_slices=block_slices,
+                ranges=list(structure.ranges),
+                block_bases=basis_blocks,
                 blocks_computed=computed,
                 blocks_reused=reused,
             ),
@@ -1021,6 +1634,9 @@ class BarrierSolver:
         re-solves mutate.
         """
         cache = reduced.pieces_cache
+        #: whether this solve reused the cached basis projections (surfaced
+        #: as the ``pieces_cache_reused`` stat → SessionStats sparse reuse)
+        self._pieces_cache_hit = cache is not None
         if cache is None:
             cache = self._build_pieces_cache(problem, reduced, structure)
             reduced.pieces_cache = cache
@@ -1055,54 +1671,71 @@ class BarrierSolver:
         cones: List[List[CompiledCone]] = []
         coupling_parts: List[np.ndarray] = []
         coupling_rows = structure.coupling_rows
+        # Group constraints by owning block up front (one pass each) instead
+        # of scanning every constraint once per block.
+        hyps_by_block: Dict[int, List[CompiledHyperbolic]] = {}
+        for hyp, owner in zip(problem.hyperbolic, structure.hyperbolic_blocks):
+            hyps_by_block.setdefault(owner, []).append(hyp)
+        cones_by_block: Dict[int, List[CompiledCone]] = {}
+        for cone, owner in zip(problem.cones, structure.cone_blocks):
+            cones_by_block.setdefault(owner, []).append(cone)
         for block_index, ((start, stop), slc) in enumerate(
             zip(structure.ranges, reduced.block_slices)
         ):
-            basis = reduced.nullspace[start:stop, slc]
+            basis = reduced.basis_for(block_index)
+            basis_width = slc.stop - slc.start
             xp_block = xp[start:stop]
             rows = np.flatnonzero(structure.row_blocks == block_index)
             block_rows.append(rows)
             if rows.size:
-                G_narrow = problem.G[rows][:, start:stop]
-                block_G.append(G_narrow @ basis)
+                G_narrow = _ineq_block(problem, rows, start, stop)
+                block_G.append(G_narrow if basis is None else G_narrow @ basis)
                 block_offsets.append(G_narrow @ xp_block)
             else:
-                block_G.append(np.zeros((0, basis.shape[1])))
+                block_G.append(np.zeros((0, basis_width)))
                 block_offsets.append(np.zeros(0))
+
+            def reduce_row(vec: np.ndarray) -> np.ndarray:
+                narrow = vec[start:stop]
+                return narrow.copy() if basis is None else narrow @ basis
+
             hyps.append(
                 [
                     CompiledHyperbolic(
-                        p=hyp.p[start:stop] @ basis,
-                        p0=float(hyp.p @ xp + hyp.p0),
-                        q=hyp.q[start:stop] @ basis,
-                        q0=float(hyp.q @ xp + hyp.q0),
+                        p=reduce_row(hyp.p),
+                        p0=float(hyp.p[start:stop] @ xp_block + hyp.p0),
+                        q=reduce_row(hyp.q),
+                        q0=float(hyp.q[start:stop] @ xp_block + hyp.q0),
                         bound=hyp.bound,
                     )
-                    for hyp, owner in zip(
-                        problem.hyperbolic, structure.hyperbolic_blocks
-                    )
-                    if owner == block_index
+                    for hyp in hyps_by_block.get(block_index, [])
                 ]
             )
             cones.append(
                 [
                     CompiledCone(
-                        A=cone.A[:, start:stop] @ basis,
-                        b=cone.A @ xp + cone.b,
-                        c=cone.c[start:stop] @ basis,
-                        d=float(cone.c @ xp + cone.d),
+                        A=(
+                            cone.A[:, start:stop].copy()
+                            if basis is None
+                            else cone.A[:, start:stop] @ basis
+                        ),
+                        b=cone.A[:, start:stop] @ xp_block + cone.b,
+                        c=reduce_row(cone.c),
+                        d=float(cone.c[start:stop] @ xp_block + cone.d),
                     )
-                    for cone, owner in zip(problem.cones, structure.cone_blocks)
-                    if owner == block_index
+                    for cone in cones_by_block.get(block_index, [])
                 ]
             )
             if coupling_rows.size:
+                Gc_narrow = _ineq_block(problem, coupling_rows, start, stop)
                 coupling_parts.append(
-                    problem.G[coupling_rows][:, start:stop] @ basis
+                    Gc_narrow if basis is None else Gc_narrow @ basis
                 )
         if coupling_rows.size:
             coupling_G = np.hstack(coupling_parts)
-            coupling_offset = problem.G[coupling_rows] @ xp
+            coupling_offset = np.asarray(
+                problem._apply_G(xp)[coupling_rows], dtype=float
+            )
         else:
             coupling_G = np.zeros((0, reduced.dimension))
             coupling_offset = np.zeros(0)
@@ -1149,18 +1782,20 @@ class BarrierSolver:
         self, problem: CompiledProblem, reduced: _ReducedProblem
     ) -> List[_BarrierTerm]:
         """Barrier terms of the phase-II problem, expressed in reduced coordinates."""
-        N, xp = reduced.nullspace, reduced.x_particular
+        xp = reduced.x_particular
+        N = None if reduced.identity else reduced.nullspace
         terms: List[_BarrierTerm] = []
-        if problem.G.size:
-            terms.append(_LinearBlock(problem.G @ N, problem.h - problem.G @ xp))
+        if problem.h.size:
+            G_reduced = problem.G if N is None else problem.G @ N
+            terms.append(_LinearBlock(G_reduced, problem.h - problem.G @ xp))
         if problem.hyperbolic:
             terms.append(
                 _HyperbolicBlock(
                     [
                         CompiledHyperbolic(
-                            p=hyp.p @ N,
+                            p=hyp.p if N is None else hyp.p @ N,
                             p0=float(hyp.p @ xp + hyp.p0),
-                            q=hyp.q @ N,
+                            q=hyp.q if N is None else hyp.q @ N,
                             q0=float(hyp.q @ xp + hyp.q0),
                             bound=hyp.bound,
                         )
@@ -1172,9 +1807,9 @@ class BarrierSolver:
             _cone_blocks(
                 [
                     CompiledCone(
-                        A=cone.A @ N,
+                        A=cone.A if N is None else cone.A @ N,
                         b=cone.A @ xp + cone.b,
-                        c=cone.c @ N,
+                        c=cone.c if N is None else cone.c @ N,
                         d=float(cone.c @ xp + cone.d),
                     )
                     for cone in problem.cones
@@ -1191,9 +1826,9 @@ class BarrierSolver:
     ) -> np.ndarray:
         if initial_point is not None:
             x0 = np.asarray(initial_point, dtype=float)
-            # Project onto the affine subspace of the equality constraints.
-            z0, *_ = np.linalg.lstsq(reduced.nullspace, x0 - reduced.x_particular, rcond=None)
-            return z0
+            # Project onto the affine subspace of the equality constraints
+            # (blockwise / identity-aware — no dense (n, k) factorisation).
+            return reduced.project(x0)
         return np.zeros(reduced.dimension)
 
     # -- phase I -----------------------------------------------------------------
@@ -1282,16 +1917,17 @@ class BarrierSolver:
     ) -> List[_BarrierTerm]:
         """Full-width phase-I terms over ``(z, t)`` (the unstructured path)."""
         k = reduced.dimension
-        N = reduced.nullspace
+        N = None if reduced.identity else reduced.nullspace
         xp = reduced.x_particular
         phase_cones: List[CompiledCone] = []
         phase_terms: List[_BarrierTerm] = []
 
         def _augment(row: np.ndarray, extra: float) -> np.ndarray:
-            return np.concatenate([row @ N, [extra]])
+            return np.concatenate([row if N is None else row @ N, [extra]])
 
-        if problem.G.size:
-            G_aug = np.hstack([problem.G @ N, -np.ones((problem.G.shape[0], 1))])
+        if problem.h.size:
+            G_reduced = problem.G if N is None else problem.G @ N
+            G_aug = np.hstack([G_reduced, -np.ones((G_reduced.shape[0], 1))])
             h_aug = problem.h - problem.G @ xp
             phase_terms.append(_LinearBlock(G_aug, h_aug))
         for hyp in problem.hyperbolic:
@@ -1305,7 +1941,8 @@ class BarrierSolver:
             c[-1] = 1.0
             phase_cones.append(CompiledCone(A=A, b=b, c=c, d=p0 + q0, name="phase1"))
         for cone in problem.cones:
-            A = np.hstack([cone.A @ N, np.zeros((cone.A.shape[0], 1))])
+            A_reduced = cone.A if N is None else cone.A @ N
+            A = np.hstack([A_reduced, np.zeros((cone.A.shape[0], 1))])
             b = cone.A @ xp + cone.b
             c = _augment(cone.c, 1.0)
             d = float(cone.c @ xp + cone.d)
@@ -1404,8 +2041,8 @@ class BarrierSolver:
     def _required_relaxation(self, problem: CompiledProblem, x: np.ndarray) -> float:
         """Smallest ``t`` that makes ``x`` strictly feasible for the relaxed problem."""
         needed = -math.inf
-        if problem.G.size:
-            needed = max(needed, float(np.max(problem.G @ x - problem.h)))
+        if problem.h.size:
+            needed = max(needed, float(np.max(problem._apply_G(x) - problem.h)))
         for hyp in problem.hyperbolic:
             p = float(hyp.p @ x + hyp.p0)
             q = float(hyp.q @ x + hyp.q0)
@@ -1429,6 +2066,7 @@ class BarrierSolver:
         gap_tolerance: Optional[float] = None,
         initial_barrier: Optional[float] = None,
         plan: Optional[_StructurePlan] = None,
+        workspace: Optional[_StructuredWorkspace] = None,
     ) -> _CenteringResult:
         """Minimise ``c·z`` over the strictly feasible region described by ``terms``.
 
@@ -1438,7 +2076,9 @@ class BarrierSolver:
         grid and short of the cold stopping rung — the run then ends on the
         same rung as a cold solve and returns the same central-path point to
         Newton tolerance.  ``plan`` switches the Newton solves to the
-        structured (block + Schur complement) path.
+        structured (block + Schur complement) path; ``workspace`` reuses an
+        already-built hot-loop workspace for that plan (one is created here
+        otherwise).
         """
         opts = self.options
         tolerance = opts.tolerance if gap_tolerance is None else gap_tolerance
@@ -1449,6 +2089,11 @@ class BarrierSolver:
             # The caller is responsible for strict feasibility of z0.
             return _CenteringResult(
                 z, SolverStatus.NUMERICAL_ERROR, 0, 0, opts.initial_barrier
+            )
+
+        if plan is not None and workspace is None:
+            workspace = _StructuredWorkspace(
+                plan, z.size, opts, getattr(self, "_sparse_stats", None)
             )
 
         t_barrier = opts.initial_barrier
@@ -1463,7 +2108,7 @@ class BarrierSolver:
             outer += 1
             with obs_span("rung") as rung_span:
                 z, newton, converged = self._newton_minimise(
-                    c, terms, z, t_barrier, early_stop, plan
+                    c, terms, z, t_barrier, early_stop, workspace
                 )
                 rung_span.set(barrier=float(t_barrier), newton_iterations=int(newton))
             newton_total += newton
@@ -1491,6 +2136,7 @@ class BarrierSolver:
         requested: float,
         m: int,
         tolerance: float,
+        workspace: Optional[_StructuredWorkspace] = None,
     ) -> float:
         """Pick the starting barrier parameter for a warm-started phase II.
 
@@ -1505,7 +2151,9 @@ class BarrierSolver:
           plain cold start at ``initial_barrier``.
 
         The objective is linear, so the barrier Hessian at ``z`` does not
-        depend on the rung; it is assembled once and each candidate costs a
+        depend on the rung.  With a ``workspace`` each candidate costs one
+        structured (block + Schur) solve, never materialising the dense
+        Hessian; otherwise it is assembled once and each candidate costs a
         single dense solve.
         """
         opts = self.options
@@ -1518,6 +2166,16 @@ class BarrierSolver:
             t_barrier /= opts.barrier_increase
 
         if t_barrier <= opts.initial_barrier:
+            return opts.initial_barrier
+        if workspace is not None:
+            while t_barrier > opts.initial_barrier:
+                try:
+                    grad, direction = workspace.direction(z, t_barrier * c)
+                except np.linalg.LinAlgError:
+                    break
+                if float(-grad @ direction) <= opts.warm_rung_decrement:
+                    return t_barrier
+                t_barrier /= opts.barrier_increase
             return opts.initial_barrier
         k = z.size
         grad_barrier, hess = _accumulate_dense(terms, z)
@@ -1536,107 +2194,6 @@ class BarrierSolver:
             t_barrier /= opts.barrier_increase
         return opts.initial_barrier
 
-    def _structured_direction(
-        self, plan: _StructurePlan, z: np.ndarray, grad_objective: np.ndarray
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        """One Newton direction via block factorisations + Schur complements.
-
-        The Hessian of the centering problem is ``H = H₀ + Gcᵀ·W·Gc`` with
-        ``H₀`` bordered block diagonal (per-application blocks, plus the
-        phase-I relaxation column as a border) and ``W = diag(1/s²)`` over
-        the coupling-row slacks.  ``H₀⁻¹`` is applied through one Cholesky
-        factorisation per block and the border's Schur complement; the
-        coupling's low-rank term is folded in through the matrix-inversion
-        lemma — its Schur matrix has coupling-row dimension (the number of
-        shared processors and memories), so the cost per step is the sum of
-        the per-block factorisations instead of one cube of the full size.
-
-        Assembles the same regularised Hessian as the dense path (including
-        the trace-scaled Tikhonov term), so both paths produce the same
-        Newton iterates up to floating-point rounding.
-        """
-        k = z.size
-        border = plan.border
-        blocks_end = k - border
-        grad = grad_objective.copy()
-        local_hessians: List[np.ndarray] = []
-        trace = 0.0
-        for slc, terms in zip(plan.block_slices, plan.block_terms):
-            width = slc.stop - slc.start
-            local = np.zeros((width + border, width + border))
-            for term in terms:
-                g_i, h_i = term.grad_hess(z)
-                local += h_i
-                grad[slc] += g_i[:width]
-                if border:
-                    grad[blocks_end:] += g_i[width:]
-            trace += float(np.trace(local))
-            local_hessians.append(local)
-
-        coupling = plan.coupling
-        Gc = W = None
-        if coupling is not None and coupling.count:
-            s = coupling.slacks(z)
-            inv = 1.0 / s
-            grad += coupling.G.T @ inv
-            W = inv * inv
-            Gc = coupling.G
-            trace += float(W @ np.einsum("ij,ij->i", Gc, Gc))
-
-        reg = self.options.regularization * (1.0 + trace / max(k, 1))
-        m = 0 if Gc is None else Gc.shape[0]
-
-        # Right-hand sides for H₀⁻¹: the gradient and the coupling rows.
-        rhs = np.empty((k, 1 + m))
-        rhs[:, 0] = grad
-        if m:
-            rhs[:, 1:] = Gc.T
-
-        solved = np.empty_like(rhs)
-        schur = reg * np.eye(border)            # E − Σ CᵢᵀDᵢ⁻¹Cᵢ accumulator
-        cross_rhs = np.zeros((border, 1 + m))   # Σ CᵢᵀDᵢ⁻¹·rhs
-        partials: List[Tuple[np.ndarray, np.ndarray]] = []
-        for local, slc in zip(local_hessians, plan.block_slices):
-            width = slc.stop - slc.start
-            if border:
-                # Even a fully-pinned (width-0) block may carry border-only
-                # curvature — e.g. the phase-I lower-bound row on t.
-                schur += local[width:, width:]
-            if width == 0:
-                partials.append(
-                    (np.zeros((0, 1 + m)), np.zeros((0, border)))
-                )
-                continue
-            diag = local[:width, :width] + reg * np.eye(width)
-            cross = local[:width, width:]
-            block_solution = _spd_solve(diag, np.hstack([rhs[slc], cross]))
-            p_part = block_solution[:, : 1 + m]
-            q_part = block_solution[:, 1 + m:]
-            if border:
-                cross_rhs += cross.T @ p_part
-                schur -= cross.T @ q_part
-            partials.append((p_part, q_part))
-        if border:
-            border_solution = _spd_solve(schur, rhs[blocks_end:] - cross_rhs)
-        for (p_part, q_part), slc in zip(partials, plan.block_slices):
-            solved[slc] = p_part
-            if border:
-                solved[slc] -= q_part @ border_solution
-        if border:
-            solved[blocks_end:] = border_solution
-
-        if m:
-            base = solved[:, 0]
-            lifted = solved[:, 1:]
-            # Matrix-inversion lemma: (W⁻¹ + Gc·H₀⁻¹·Gcᵀ) is the coupling
-            # Schur complement of the arrow-structured KKT system.
-            schur_c = np.diag(1.0 / W) + Gc @ lifted
-            weights = np.linalg.solve(schur_c, Gc @ base)
-            direction = -(base - lifted @ weights)
-        else:
-            direction = -solved[:, 0]
-        return grad, direction
-
     def _newton_minimise(
         self,
         c: np.ndarray,
@@ -1644,15 +2201,18 @@ class BarrierSolver:
         z: np.ndarray,
         t_barrier: float,
         early_stop=None,
-        plan: Optional[_StructurePlan] = None,
+        workspace: Optional[_StructuredWorkspace] = None,
     ) -> Tuple[np.ndarray, int, bool]:
         """Damped Newton minimisation of ``t_barrier·c·z + Σ −log(slack_i)``.
 
-        Uses the structured (block + Schur complement) solve when ``plan`` is
-        given, falling back to the dense assembly when a block factorisation
-        fails.  The backtracking line search evaluates each trial point's
+        Uses the structured (batched block factorisations + Schur complement,
+        see :class:`_StructuredWorkspace`) solve when ``workspace`` is given,
+        falling back to the dense assembly when a block factorisation fails.
+        The backtracking line search evaluates each trial point's
         slacks exactly once (:meth:`_barrier_merit` folds the
-        strict-feasibility check and the barrier value into one pass, and the
+        strict-feasibility check and the barrier value into one pass — the
+        structured path batches this further through the workspace's CSR
+        merit bundle — and the
         accepted value is carried into the next iteration), and compares
         merit *differences* rather than absolute merits: the linear part of
         the merit is ``t_barrier·cᵀz`` — at the final barrier rungs its
@@ -1667,15 +2227,17 @@ class BarrierSolver:
         """
         opts = self.options
         k = z.size
+        merit = (
+            self._barrier_merit if workspace is None
+            else lambda _terms, point: workspace.merit(point)
+        )
         current_phi: Optional[float] = None
         for iteration in range(opts.max_newton_iterations):
             grad: Optional[np.ndarray] = None
             direction: Optional[np.ndarray] = None
-            if plan is not None:
+            if workspace is not None:
                 try:
-                    grad, direction = self._structured_direction(
-                        plan, z, t_barrier * c
-                    )
+                    grad, direction = workspace.direction(z, t_barrier * c)
                 except np.linalg.LinAlgError:
                     self._structured_fallbacks = (
                         getattr(self, "_structured_fallbacks", 0) + 1
@@ -1699,12 +2261,12 @@ class BarrierSolver:
             # by the sufficient-decrease test without a second slack
             # evaluation.
             if current_phi is None:
-                current_phi = self._barrier_merit(terms, z)
+                current_phi = merit(terms, z)
             linear_slope = t_barrier * float(c @ direction)
             step = 1.0
             while step > 1e-14:
                 candidate = z + step * direction
-                candidate_phi = self._barrier_merit(terms, candidate)
+                candidate_phi = merit(terms, candidate)
                 delta = step * linear_slope + (candidate_phi - current_phi)
                 if delta <= -opts.line_search_alpha * step * decrement:
                     break

@@ -156,6 +156,15 @@ class SessionStats:
     #: and reuses N−1, where a from-scratch rebuild recomputes all N.
     elimination_blocks_computed: int = 0
     elimination_blocks_reused: int = 0
+    #: solves that went through the sparse structured (block + Schur) path
+    #: vs the dense fallback — the engagement split of the session
+    sparse_solves: int = 0
+    #: structured solves that reused the cached per-block factorisation
+    #: pieces (CSR slices, supports) instead of rebuilding them; warm
+    #: re-solves of an unchanged problem reuse every time
+    sparse_pieces_reused: int = 0
+    #: per-block matrix factorisations performed by the sparse path, summed
+    block_factorizations: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -170,6 +179,9 @@ class SessionStats:
             "eliminations": self.eliminations,
             "elimination_blocks_computed": self.elimination_blocks_computed,
             "elimination_blocks_reused": self.elimination_blocks_reused,
+            "sparse_solves": self.sparse_solves,
+            "sparse_pieces_reused": self.sparse_pieces_reused,
+            "block_factorizations": self.block_factorizations,
         }
 
     def record_solution(self, solution: Solution) -> None:
@@ -194,6 +206,13 @@ class SessionStats:
         self.newton_iterations += int(solution.stats.get("newton_iterations", 0))
         self.phase1_newton_iterations += int(
             solution.stats.get("phase1_newton_iterations", 0)
+        )
+        if solution.stats.get("structured"):
+            self.sparse_solves += 1
+        if solution.stats.get("pieces_cache_reused"):
+            self.sparse_pieces_reused += 1
+        self.block_factorizations += int(
+            solution.stats.get("block_factorizations", 0)
         )
 
 

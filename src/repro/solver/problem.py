@@ -19,10 +19,15 @@ The numerical backends do not operate on the symbolic objects directly;
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+try:  # scipy is the expected substrate; the dense path below survives without it
+    from scipy import sparse as _sparse
+except ImportError:  # pragma: no cover - exercised only on scipy-less installs
+    _sparse = None
 
 from repro.exceptions import FormulationError
 from repro.obs.trace import span as obs_span
@@ -116,39 +121,115 @@ class BlockStructure:
         return np.flatnonzero(self.row_blocks < 0)
 
 
-@dataclass
 class CompiledProblem:
-    """Dense numerical representation of a :class:`ConeProgram`."""
+    """Numerical representation of a :class:`ConeProgram`.
 
-    variables: List[Variable]
-    c: np.ndarray
-    c0: float
-    G: np.ndarray
-    h: np.ndarray
-    A: np.ndarray
-    b: np.ndarray
-    hyperbolic: List[CompiledHyperbolic]
-    cones: List[CompiledCone]
-    inequality_names: List[str] = field(default_factory=list)
-    #: Optional per-application block partition (see :class:`BlockStructure`);
-    #: ``None`` for programs without declared blocks.
-    block_structure: Optional[BlockStructure] = None
-    #: Cache of the equality-elimination result (particular point + null-space
-    #: basis), written by the barrier backend on first use.  Valid as long as
-    #: ``A`` and ``b`` are unchanged — parametric re-solves mutate only ``h``,
-    #: so warm-started sessions reuse one elimination across every solve.
-    elimination_cache: Optional[object] = field(
-        default=None, repr=False, compare=False
-    )
-    #: Optional per-block elimination seed (block index → validated basis
-    #: carried over from a *different* compiled problem), installed by
-    #: :func:`repro.solver.barrier.transfer_block_eliminations` when a session
-    #: is edited incrementally.  The blockwise elimination verifies each
-    #: seeded block's equality data before reusing its basis, so a stale seed
-    #: costs one comparison and falls back to the SVD.
-    elimination_seed: Optional[Dict[int, object]] = field(
-        default=None, repr=False, compare=False
-    )
+    The constraint matrices ``G`` (inequalities) and ``A`` (equalities) are
+    stored in CSR form when scipy is available — for workload programs they
+    are extremely sparse (a few entries per row against thousands of columns)
+    and the block-Newton solver consumes them blockwise.  The dense views
+    remain available as the :attr:`G` / :attr:`A` properties, densified
+    lazily and cached, so backends and tests that want plain arrays keep
+    working; sparse-aware code uses :attr:`G_sparse` / :attr:`A_sparse`.
+
+    ``h`` and ``b`` stay plain mutable ndarrays: the parametric layer
+    (:class:`repro.solver.parametric.ParametricProblem`) re-solves a compiled
+    program by mutating ``h`` rows in place.
+    """
+
+    def __init__(
+        self,
+        variables: List[Variable],
+        c: np.ndarray,
+        c0: float,
+        G: object,
+        h: np.ndarray,
+        A: object,
+        b: np.ndarray,
+        hyperbolic: List[CompiledHyperbolic],
+        cones: List[CompiledCone],
+        inequality_names: Optional[List[str]] = None,
+        block_structure: Optional[BlockStructure] = None,
+    ) -> None:
+        self.variables = variables
+        self.c = c
+        self.c0 = c0
+        self.h = h
+        self.b = b
+        self.hyperbolic = hyperbolic
+        self.cones = cones
+        self.inequality_names = list(inequality_names or [])
+        #: Optional per-application block partition (see
+        #: :class:`BlockStructure`); ``None`` for unstructured programs.
+        self.block_structure = block_structure
+        #: Cache of the equality-elimination result (particular point +
+        #: null-space basis), written by the barrier backend on first use.
+        #: Valid as long as ``A`` and ``b`` are unchanged — parametric
+        #: re-solves mutate only ``h``, so warm-started sessions reuse one
+        #: elimination across every solve.
+        self.elimination_cache: Optional[object] = None
+        #: Optional per-block elimination seed (block index → validated basis
+        #: carried over from a *different* compiled problem), installed by
+        #: :func:`repro.solver.barrier.transfer_block_eliminations` when a
+        #: session is edited incrementally.  The blockwise elimination
+        #: verifies each seeded block's equality data before reusing its
+        #: basis, then drops the seed so retired blocks cannot accumulate.
+        self.elimination_seed: Optional[Dict[int, object]] = None
+        self._G_dense: Optional[np.ndarray] = None
+        self._A_dense: Optional[np.ndarray] = None
+        self._G_sparse = None
+        self._A_sparse = None
+        if _sparse is not None and _sparse.issparse(G):
+            self._G_sparse = G.tocsr()
+        else:
+            self._G_dense = np.asarray(G, dtype=float)
+        if _sparse is not None and _sparse.issparse(A):
+            self._A_sparse = A.tocsr()
+        else:
+            self._A_dense = np.asarray(A, dtype=float)
+
+    # -- constraint matrix views ------------------------------------------
+    @property
+    def G(self) -> np.ndarray:
+        """Dense inequality matrix (densified lazily from CSR, then cached)."""
+        if self._G_dense is None:
+            self._G_dense = self._G_sparse.toarray()
+        return self._G_dense
+
+    @property
+    def A(self) -> np.ndarray:
+        """Dense equality matrix (densified lazily from CSR, then cached)."""
+        if self._A_dense is None:
+            self._A_dense = self._A_sparse.toarray()
+        return self._A_dense
+
+    @property
+    def G_sparse(self):
+        """CSR inequality matrix, or ``None`` when scipy is unavailable."""
+        if self._G_sparse is None and _sparse is not None:
+            self._G_sparse = _sparse.csr_matrix(self._G_dense)
+        return self._G_sparse
+
+    @property
+    def A_sparse(self):
+        """CSR equality matrix, or ``None`` when scipy is unavailable."""
+        if self._A_sparse is None and _sparse is not None:
+            self._A_sparse = _sparse.csr_matrix(self._A_dense)
+        return self._A_sparse
+
+    @property
+    def constraint_nnz(self) -> int:
+        """Stored non-zeros across ``G`` and ``A`` (sparse-backend telemetry)."""
+        total = 0
+        for sparse_mat, dense_mat in (
+            (self._G_sparse, self._G_dense),
+            (self._A_sparse, self._A_dense),
+        ):
+            if sparse_mat is not None:
+                total += int(sparse_mat.nnz)
+            elif dense_mat is not None:
+                total += int(np.count_nonzero(dense_mat))
+        return total
 
     @property
     def num_variables(self) -> int:
@@ -177,12 +258,22 @@ class CompiledProblem:
         return x
 
     # -- feasibility inspection -------------------------------------------
+    def _apply_G(self, x: np.ndarray) -> np.ndarray:
+        """``G @ x`` via whichever representation is already materialised."""
+        matrix = self._G_sparse if self._G_dense is None else self._G_dense
+        return matrix @ x
+
+    def _apply_A(self, x: np.ndarray) -> np.ndarray:
+        """``A @ x`` via whichever representation is already materialised."""
+        matrix = self._A_sparse if self._A_dense is None else self._A_dense
+        return matrix @ x
+
     def max_linear_violation(self, x: np.ndarray) -> float:
         violation = 0.0
-        if self.G.size:
-            violation = max(violation, float(np.max(self.G @ x - self.h)))
-        if self.A.size:
-            violation = max(violation, float(np.max(np.abs(self.A @ x - self.b))))
+        if self.h.size:
+            violation = max(violation, float(np.max(self._apply_G(x) - self.h)))
+        if self.b.size:
+            violation = max(violation, float(np.max(np.abs(self._apply_A(x) - self.b))))
         return violation
 
     def min_cone_margin(self, x: np.ndarray) -> float:
@@ -237,6 +328,22 @@ class ConeProgram:
     @property
     def variables(self) -> Tuple[Variable, ...]:
         return tuple(self._variables)
+
+    @property
+    def num_variables(self) -> int:
+        """Number of registered variables (without copying the tuple)."""
+        return len(self._variables)
+
+    def variable_slice(self, start: int, stop: Optional[int] = None) -> Tuple[Variable, ...]:
+        """The registered variables in ``[start, stop)``.
+
+        Block assembly snapshots each application's variable group right
+        after registering it; going through this accessor instead of the
+        :attr:`variables` property keeps that loop linear — the property
+        copies the *entire* variable list on every access, which is
+        quadratic over hundreds of applications.
+        """
+        return tuple(self._variables[start:stop])
 
     def declare_blocks(self, groups: Sequence[Sequence[Variable]]) -> None:
         """Declare a block partition of the variables for the solver.
@@ -381,8 +488,30 @@ class ConeProgram:
             row[index[var]] = coeff
         return row, expression.constant
 
+    @staticmethod
+    def _build_rows(
+        rows: List[Tuple[List[int], List[float]]], n: int
+    ) -> object:
+        """Stack sparse row triplets into a CSR matrix (dense without scipy)."""
+        if _sparse is None:
+            matrix = np.zeros((len(rows), n))
+            for i, (cols, vals) in enumerate(rows):
+                matrix[i, cols] = vals
+            return matrix
+        indptr = np.zeros(len(rows) + 1, dtype=np.int64)
+        for i, (cols, _) in enumerate(rows):
+            indptr[i + 1] = indptr[i] + len(cols)
+        indices = np.empty(indptr[-1], dtype=np.int64)
+        data = np.empty(indptr[-1])
+        for i, (cols, vals) in enumerate(rows):
+            indices[indptr[i]:indptr[i + 1]] = cols
+            data[indptr[i]:indptr[i + 1]] = vals
+        matrix = _sparse.csr_matrix((data, indices, indptr), shape=(len(rows), n))
+        matrix.sort_indices()
+        return matrix
+
     def compile(self) -> CompiledProblem:
-        """Lower the symbolic program into dense numpy arrays."""
+        """Lower the symbolic program into numerical (CSR + dense) form."""
         index = {var: i for i, var in enumerate(self._variables)}
         n = len(self._variables)
 
@@ -391,11 +520,20 @@ class ConeProgram:
         if self._sense == "max":
             c, c0 = -c, -c0
 
-        g_rows: List[np.ndarray] = []
+        g_rows: List[Tuple[List[int], List[float]]] = []
         h_vals: List[float] = []
         ineq_names: List[str] = []
-        a_rows: List[np.ndarray] = []
+        a_rows: List[Tuple[List[int], List[float]]] = []
         b_vals: List[float] = []
+
+        def sparse_row(expression: AffineExpression) -> Tuple[List[int], List[float], float]:
+            cols: List[int] = []
+            vals: List[float] = []
+            for var, coeff in expression.terms.items():
+                if coeff != 0.0:
+                    cols.append(index[var])
+                    vals.append(float(coeff))
+            return cols, vals, expression.constant
 
         # Variable bounds become inequality rows.  A variable whose bounds
         # coincide is emitted as an equality instead: two opposing
@@ -407,32 +545,26 @@ class ConeProgram:
                 and var.upper is not None
                 and bounds_collapse(var.lower, var.upper)
             ):
-                row = np.zeros(n)
-                row[i] = 1.0
-                a_rows.append(row)
+                a_rows.append(([i], [1.0]))
                 b_vals.append(var.lower)
                 continue
             if var.lower is not None:
-                row = np.zeros(n)
-                row[i] = -1.0
-                g_rows.append(row)
+                g_rows.append(([i], [-1.0]))
                 h_vals.append(-var.lower)
                 ineq_names.append(f"lb[{var.name}]")
             if var.upper is not None:
-                row = np.zeros(n)
-                row[i] = 1.0
-                g_rows.append(row)
+                g_rows.append(([i], [1.0]))
                 h_vals.append(var.upper)
                 ineq_names.append(f"ub[{var.name}]")
 
         for constraint in self._linear:
-            row, const = self._vectorise(constraint.expression, index)
+            cols, vals, const = sparse_row(constraint.expression)
             if constraint.is_equality:
-                a_rows.append(row)
+                a_rows.append((cols, vals))
                 b_vals.append(-const)
             else:
                 # expression <= 0  ->  row @ x <= -const
-                g_rows.append(row)
+                g_rows.append((cols, vals))
                 h_vals.append(-const)
                 ineq_names.append(constraint.name)
 
@@ -453,9 +585,9 @@ class ConeProgram:
             cvec, d = self._vectorise(constraint.rhs, index)
             cones.append(CompiledCone(A=A, b=b, c=cvec, d=d, name=constraint.name))
 
-        G = np.vstack(g_rows) if g_rows else np.zeros((0, n))
+        G = self._build_rows(g_rows, n)
         h = np.array(h_vals)
-        A = np.vstack(a_rows) if a_rows else np.zeros((0, n))
+        A = self._build_rows(a_rows, n)
         b = np.array(b_vals)
 
         return CompiledProblem(
@@ -477,8 +609,8 @@ class ConeProgram:
     def _compile_block_structure(
         self,
         index: Dict[Variable, int],
-        G: np.ndarray,
-        A: np.ndarray,
+        G: object,
+        A: object,
         hyperbolic: List[CompiledHyperbolic],
         cones: List[CompiledCone],
     ) -> Optional[BlockStructure]:
@@ -490,6 +622,10 @@ class ConeProgram:
         spans several blocks — only *linear inequality* rows may couple
         blocks, because only their barrier Hessian contribution is the
         low-rank term the Schur-complement solve handles.
+
+        Row/block membership is detected in O(nnz) straight from the CSR
+        index arrays; no dense column scans, so compilation stays linear in
+        the number of applications.
         """
         if not self._block_groups:
             return None
@@ -519,22 +655,42 @@ class ConeProgram:
                 return None
             return int(touched[0]) if touched.size else 0
 
-        # One vectorised pass over the (typically hundreds of) inequality
-        # rows: which blocks each row touches, then single-block / coupling.
-        touched_per_block = np.vstack(
-            [(G[:, start:stop] != 0.0).any(axis=1) for start, stop in ranges]
-        )
-        touch_counts = touched_per_block.sum(axis=0)
-        row_blocks = np.where(
-            touch_counts == 0, 0, np.argmax(touched_per_block, axis=0)
-        )
-        row_blocks = np.where(touch_counts > 1, -1, row_blocks).astype(int)
-        equality_blocks = np.empty(A.shape[0], dtype=int)
-        for i in range(A.shape[0]):
-            block = single_block(A[i])
-            if block is None:
-                return None
-            equality_blocks[i] = block
+        def row_block_spans(matrix: object) -> Tuple[np.ndarray, np.ndarray]:
+            """Per-row (lowest, highest) touched block; empty rows give (0, 0)."""
+            if _sparse is not None and _sparse.issparse(matrix):
+                csr = matrix.tocsr()
+                counts = np.diff(csr.indptr)
+                lo = np.zeros(csr.shape[0], dtype=int)
+                hi = np.zeros(csr.shape[0], dtype=int)
+                nonempty = np.flatnonzero(counts > 0)
+                if nonempty.size:
+                    entry_blocks = col_block[csr.indices]
+                    starts = csr.indptr[nonempty]
+                    # reduceat segments between consecutive non-empty row
+                    # starts cover exactly those rows' entries (empty rows
+                    # contribute no gap), so this is per-row min/max.
+                    lo[nonempty] = np.minimum.reduceat(entry_blocks, starts)
+                    hi[nonempty] = np.maximum.reduceat(entry_blocks, starts)
+                return lo, hi
+            dense = np.asarray(matrix)
+            touched_per_block = np.vstack(
+                [(dense[:, start:stop] != 0.0).any(axis=1) for start, stop in ranges]
+            ) if dense.shape[0] else np.zeros((len(ranges), 0), dtype=bool)
+            touched = np.where(touched_per_block, np.arange(len(ranges))[:, None], -1)
+            hi = touched.max(axis=0)
+            touched_lo = np.where(touched_per_block, np.arange(len(ranges))[:, None], len(ranges))
+            lo = touched_lo.min(axis=0)
+            empty = ~touched_per_block.any(axis=0)
+            lo[empty] = 0
+            hi[empty] = 0
+            return lo.astype(int), hi.astype(int)
+
+        g_lo, g_hi = row_block_spans(G)
+        row_blocks = np.where(g_lo != g_hi, -1, g_lo).astype(int)
+        a_lo, a_hi = row_block_spans(A)
+        if np.any(a_lo != a_hi):
+            return None
+        equality_blocks = a_lo.astype(int)
         hyperbolic_blocks: List[int] = []
         for hyp in hyperbolic:
             block = single_block(np.vstack([hyp.p, hyp.q]))
