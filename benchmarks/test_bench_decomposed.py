@@ -1,0 +1,137 @@
+"""Decomposed solver scaling: per-application fan-out vs the sparse joint solve.
+
+Seeded random workloads of 32/64/128 applications are solved three ways: the
+sparse block-Newton joint baseline, the decomposed mode on one worker, and
+the decomposed mode fanned out over worker processes.  The recorded metrics
+are end-to-end wall-clock per instance and the speedup of the fan-out over
+the one-worker decomposed run.  The optima must agree with the joint
+baseline within ``1e-6`` at every size; on a machine with a core per worker
+the 4-worker fan-out must at least halve the 64-application wall-clock
+(fewer cores — shared CI runners, single-CPU containers — cannot show a
+wall-clock speedup, so there the numbers are only recorded).
+"""
+
+from __future__ import annotations
+
+import os
+from time import perf_counter
+
+import pytest
+
+from repro.core.formulation import WorkloadSocpFormulation
+from repro.taskgraph import random_workload
+
+SIZES = (32, 64, 128)
+
+#: Worker counts of the fan-out benchmarks (on the SPEEDUP_APPS workload).
+SPEEDUP_APPS = 64
+PARALLEL_WORKERS = 4
+
+EQUIV_TOL = 1e-6
+
+#: Wall-clock measurements shared between the benchmarks of this module
+#: (pytest runs them in definition order: joint first, serial decomposed
+#: next, fan-out last).
+MEASURED = {}
+
+
+def make_workload(apps: int):
+    # Small granularity keeps the per-task budget floor (one granule each)
+    # from saturating the shared processors at high application counts.
+    return random_workload(application_count=apps, seed=7, granularity=0.05)
+
+
+def solve(apps: int, backend: str, **options):
+    return WorkloadSocpFormulation(make_workload(apps)).solve(
+        backend=backend, **options
+    )
+
+
+def run_timed(benchmark, fn):
+    """One timed run that also works under ``--benchmark-disable``.
+
+    The smoke gate in CI runs this module with benchmarking disabled (where
+    ``benchmark.stats`` is ``None``), so the wall-clock used by the speedup
+    assertions is measured directly around the solve.
+    """
+    box = {}
+
+    def timed():
+        started = perf_counter()
+        box["solution"] = fn()
+        box["wall"] = perf_counter() - started
+        return box["solution"]
+
+    benchmark.pedantic(timed, rounds=1, iterations=1, warmup_rounds=0)
+    return box["solution"], box["wall"]
+
+
+@pytest.mark.benchmark(group="decomposed-scaling")
+@pytest.mark.parametrize("apps", SIZES)
+def test_joint_sparse_baseline(benchmark, apps):
+    solution, wall = run_timed(benchmark, lambda: solve(apps, "auto"))
+    assert solution.is_optimal
+    MEASURED[("joint", apps)] = (wall, solution.objective)
+    benchmark.extra_info["applications"] = apps
+    benchmark.extra_info["backend"] = solution.backend
+    benchmark.extra_info["wall_seconds"] = round(wall, 4)
+
+
+@pytest.mark.benchmark(group="decomposed-scaling")
+@pytest.mark.parametrize("apps", SIZES)
+def test_decomposed_serial(benchmark, apps):
+    solution, wall = run_timed(benchmark, lambda: solve(apps, "decomposed"))
+    assert solution.is_optimal
+    MEASURED[("decomposed", apps)] = wall
+    benchmark.extra_info["applications"] = apps
+    benchmark.extra_info["wall_seconds"] = round(wall, 4)
+    benchmark.extra_info["blocks"] = solution.stats["decomposed_blocks"]
+    benchmark.extra_info["subproblem_solves"] = solution.stats[
+        "subproblem_solves"
+    ]
+    joint = MEASURED.get(("joint", apps))
+    if joint is not None:
+        joint_wall, joint_objective = joint
+        benchmark.extra_info["vs_joint_wall"] = round(joint_wall / wall, 3)
+        scale = max(1.0, abs(joint_objective))
+        assert (
+            abs(solution.objective - joint_objective) / scale < EQUIV_TOL
+        ), f"decomposed optimum drifted from the joint baseline at {apps} apps"
+
+
+@pytest.mark.benchmark(group="decomposed-workers")
+@pytest.mark.parametrize("workers", (2, PARALLEL_WORKERS))
+def test_decomposed_parallel(benchmark, workers):
+    solution, wall = run_timed(
+        benchmark,
+        lambda: solve(
+            SPEEDUP_APPS,
+            "decomposed",
+            decomposed_workers=workers,
+            decomposed_fanout="process",
+        ),
+    )
+    assert solution.is_optimal
+    benchmark.extra_info["applications"] = SPEEDUP_APPS
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["wall_seconds"] = round(wall, 4)
+    benchmark.extra_info["subproblem_speedup"] = round(
+        solution.stats["parallel_speedup"], 3
+    )
+
+    joint = MEASURED.get(("joint", SPEEDUP_APPS))
+    if joint is not None:
+        scale = max(1.0, abs(joint[1]))
+        assert abs(solution.objective - joint[1]) / scale < EQUIV_TOL
+
+    serial_wall = MEASURED.get(("decomposed", SPEEDUP_APPS))
+    if serial_wall is None:
+        serial_wall = solve(SPEEDUP_APPS, "decomposed").solve_time or None
+    if serial_wall is not None:
+        speedup = serial_wall / wall
+        benchmark.extra_info["speedup_vs_one_worker"] = round(speedup, 3)
+        if os.cpu_count() and os.cpu_count() >= workers:
+            # With a core per worker the fan-out must show near-linear
+            # gains: at least half the ideal speedup, wall-clock to
+            # wall-clock (pool spin-up and block shipping included).
+            assert speedup >= workers / 2.0

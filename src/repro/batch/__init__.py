@@ -137,7 +137,13 @@ def run_campaign(
     if executor_out is not None:
         executor_out.append(executor)
     start = time.perf_counter()
-    results = executor.run(items, progress=progress)
+    try:
+        results = executor.run(items, progress=progress)
+    finally:
+        # One-shot convenience entry point: release the persistent worker
+        # pool (callers holding the executor via executor_out keep access to
+        # its metrics; a later run would simply re-create the pool).
+        executor.close()
     elapsed = time.perf_counter() - start
     summary = aggregate_results(spec.name, results, elapsed_seconds=elapsed)
     return results, summary

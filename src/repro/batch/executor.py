@@ -550,8 +550,32 @@ class BatchExecutor:
         #: worker's metric snapshot merged in.  Always enabled: it is local
         #: to this executor and costs nothing unless a campaign runs.
         self.metrics = MetricsRegistry(enabled=True)
+        # The worker pool persists across run()/run_iter() calls: it is
+        # created lazily on the first parallel run and reused until close(),
+        # so back-to-back campaigns pay the process start-up cost once.
+        self._pool: Optional[ProcessPoolExecutor] = None
 
     # -- public API -------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the persistent worker pool (if one was ever created).
+
+        Idempotent; the executor stays usable — the next parallel run simply
+        creates a fresh pool.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "BatchExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.config.workers)
+        return self._pool
     def run(
         self,
         items: Sequence[CampaignItem],
@@ -635,7 +659,7 @@ class BatchExecutor:
             return
 
         window = max(1, self.config.chunk_size) * self.config.workers
-        pool = ProcessPoolExecutor(max_workers=self.config.workers)
+        pool = self._ensure_pool()
         pool_stuck = False
         try:
             for start in range(0, len(pending), window):
@@ -681,10 +705,13 @@ class BatchExecutor:
                     pool = self._replace_stuck_pool(pool)
                     pool_stuck = False
         finally:
+            # The pool persists across runs (see close()); only a pool left
+            # with a stuck worker is torn down here, so the next run starts
+            # with full parallelism again.
             if pool_stuck:
+                if self._pool is pool:
+                    self._pool = None
                 self._drain_stuck_pool(pool)
-            else:
-                pool.shutdown(wait=True, cancel_futures=True)
 
     @staticmethod
     def _drain_stuck_pool(pool: ProcessPoolExecutor) -> None:
@@ -715,8 +742,10 @@ class BatchExecutor:
             "recreating the process pool to restore full parallelism",
             RuntimeWarning,
         )
+        if self._pool is pool:
+            self._pool = None
         self._drain_stuck_pool(pool)
-        return ProcessPoolExecutor(max_workers=self.config.workers)
+        return self._ensure_pool()
 
     def run_sweep(
         self,

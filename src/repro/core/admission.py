@@ -58,6 +58,17 @@ STAGE_ADMITTED = "admitted"
 STAGE_LOAD_SCREEN = "load-screen"   #: closed-form combined-load screens
 STAGE_SOLVER = "solver"             #: joint cone program proven infeasible
 
+#: Anytime fast-path verdicts (delivered *before* the exact solve confirms).
+VERDICT_ADMIT = "admit"
+VERDICT_REJECT = "reject"
+VERDICT_UNCERTAIN = "uncertain"
+
+#: Anytime verdict stages (how the fast path reached its verdict).
+STAGE_ANYTIME_EMPTY = "anytime-empty"       #: nothing running, no warm state
+STAGE_ANYTIME_FIT = "anytime-fit"           #: candidate fits the residual slack
+STAGE_ANYTIME_PRICE = "anytime-price"       #: priced-out on a tight shared row
+STAGE_ANYTIME_UNCERTAIN = "anytime-uncertain"
+
 
 @dataclass
 class AdmissionDecision:
@@ -68,6 +79,13 @@ class AdmissionDecision:
     fit no matter what the solver does) or solver-proven infeasibility of the
     joint program (:data:`STAGE_SOLVER`).  ``mapped`` carries the platform's
     fresh allocation when the application was admitted.
+
+    ``verdict`` / ``verdict_stage`` record the *anytime fast path*: a cheap
+    admit/reject prediction from the running allocation's residual slack and
+    warm shared-capacity prices, delivered before the exact solve ran (see
+    :meth:`AdmissionController.anytime_verdict`).  The final ``admitted``
+    flag always comes from the exact solve; the verdict is the answer a
+    caller could have acted on while the confirmation was still running.
     """
 
     application: str
@@ -75,6 +93,8 @@ class AdmissionDecision:
     stage: str
     reason: Optional[str] = None
     mapped: Optional[MappedWorkload] = None
+    verdict: Optional[str] = None
+    verdict_stage: Optional[str] = None
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -82,6 +102,8 @@ class AdmissionDecision:
             "admitted": self.admitted,
             "stage": self.stage,
             "reason": self.reason,
+            "verdict": self.verdict,
+            "verdict_stage": self.verdict_stage,
         }
 
 
@@ -158,12 +180,181 @@ class AdmissionController:
         On success the application is committed and the returned decision
         carries the fresh joint allocation; on rejection the running workload
         (and its session state) is left exactly as it was.
+
+        Before the exact (incremental joint) solve runs, the *anytime fast
+        path* produces a verdict from the warm state of the running
+        allocation (:meth:`anytime_verdict`); it is recorded on the decision
+        together with its stage, and the agreement with the exact outcome is
+        published to the metrics registry.
         """
         with obs_span("admit", application=name) as admit_span:
+            verdict, verdict_stage = self.anytime_verdict(name, configuration)
             decision = self._admit(name, configuration)
-            admit_span.set(admitted=decision.admitted, stage=decision.stage)
+            decision.verdict = verdict
+            decision.verdict_stage = verdict_stage
+            admit_span.set(
+                admitted=decision.admitted,
+                stage=decision.stage,
+                verdict=verdict,
+                verdict_stage=verdict_stage,
+            )
         self._record_decision(decision, admit_span.seconds)
         return decision
+
+    def anytime_verdict(
+        self, name: str, configuration: Configuration
+    ) -> Tuple[str, str]:
+        """Fast admit/reject prediction before the exact solve confirms.
+
+        The anytime fast path answers the admission question from the warm
+        state left behind by the previous joint solve, without touching the
+        running session:
+
+        1. The committed allocation's *residual slack* on every shared
+           capacity row is computed (``capacity − committed usage``).
+        2. The candidate is solved **standalone** against those residuals:
+           its own single-application cone program with the shared
+           ``processor[...]`` / ``memory[...]`` rows tightened by the
+           committed usage.  Feasibility of that small program proves the
+           joint program feasible (the running applications keep their
+           committed allocation untouched), so the verdict is
+           :data:`VERDICT_ADMIT` (:data:`STAGE_ANYTIME_FIT`).
+        3. When the candidate does *not* fit the residuals, the warm
+           shared-capacity **prices** — ``1/(t_final · slack)`` per row from
+           the previous solve's final barrier rung, the decomposed solver's
+           price vector — arbitrate: if every row the candidate is short on
+           is priced tight (the running workload is already pressed against
+           it, so the joint solve has no slack to reclaim), the verdict is
+           :data:`VERDICT_REJECT` (:data:`STAGE_ANYTIME_PRICE`); otherwise
+           the fast path abstains with :data:`VERDICT_UNCERTAIN`.
+
+        An admit verdict is exact (a feasible joint point is exhibited); a
+        reject verdict is a price-guided prediction that the exact solve
+        confirms.  With nothing running there is no warm state and the
+        verdict is :data:`VERDICT_UNCERTAIN` (:data:`STAGE_ANYTIME_EMPTY`).
+        """
+        if self.mapped is None or self._session is None:
+            return (VERDICT_UNCERTAIN, STAGE_ANYTIME_EMPTY)
+        with obs_span("anytime-verdict", application=name) as verdict_span:
+            try:
+                verdict, stage = self._residual_verdict(configuration)
+            except Exception:  # noqa: BLE001 - the fast path never blocks admit
+                verdict, stage = (VERDICT_UNCERTAIN, STAGE_ANYTIME_UNCERTAIN)
+            verdict_span.set(verdict=verdict, stage=stage)
+        registry = _metrics_registry()
+        if registry.enabled:
+            registry.counter(f"admission.anytime.{verdict}").inc()
+        return (verdict, stage)
+
+    def _residual_verdict(self, configuration: Configuration) -> Tuple[str, str]:
+        """The standalone-against-residuals solve behind :meth:`anytime_verdict`."""
+        from repro.core.formulation import SocpFormulation
+        from repro.solver.backends import solve_compiled
+        from repro.solver.result import SolverStatus
+
+        committed = self._committed_usage()
+        formulation = SocpFormulation(configuration, weights=self.allocator.weights)
+        program = formulation.build()
+        compiled = program.compile()
+        shortfall_rows = []
+        for index, row_name in enumerate(compiled.inequality_names):
+            used = committed.get(row_name)
+            if used is None:
+                continue
+            compiled.h[index] -= used
+            if compiled.h[index] < 0.0:
+                shortfall_rows.append(row_name)
+        solution = solve_compiled(
+            compiled,
+            backend="barrier",
+            initial_point=formulation.initial_point(),
+        )
+        if solution.is_optimal:
+            return (VERDICT_ADMIT, STAGE_ANYTIME_FIT)
+        if solution.status is not SolverStatus.INFEASIBLE:
+            return (VERDICT_UNCERTAIN, STAGE_ANYTIME_UNCERTAIN)
+        priced = self._shared_prices()
+        if priced is None:
+            return (VERDICT_UNCERTAIN, STAGE_ANYTIME_UNCERTAIN)
+        prices, tight_price = priced
+        # The candidate does not fit the residual slack.  The joint solve can
+        # still admit it by shifting running applications away from the rows
+        # the candidate needs — unless those rows are priced tight, i.e. the
+        # running workload is already pressed against them.
+        candidate_rows = set(compiled.inequality_names) & set(committed)
+        contended = shortfall_rows or sorted(candidate_rows)
+        if contended and all(
+            prices.get(row, 0.0) >= tight_price for row in contended
+        ):
+            return (VERDICT_REJECT, STAGE_ANYTIME_PRICE)
+        return (VERDICT_UNCERTAIN, STAGE_ANYTIME_UNCERTAIN)
+
+    def _committed_usage(self) -> Dict[str, float]:
+        """Committed usage of every shared capacity row, keyed by row name.
+
+        Uses the joint program's own row arithmetic: a task charges its
+        *relaxed* budget plus one granule of rounding slack (the constant the
+        shared processor row carries per task, cf. Constraint (9)), so the
+        residual left for a candidate is exactly what the joint row has to
+        give.  Memories charge the rounded (committed) storage.
+        """
+        usage: Dict[str, float] = {}
+        for processor_name in self.platform.processors:
+            usage[f"processor[{processor_name}]"] = 0.0
+        for application in self.mapped.applications.values():
+            configuration = application.configuration
+            for graph in configuration.task_graphs:
+                for task in graph.tasks:
+                    row = f"processor[{task.processor}]"
+                    usage[row] += (
+                        application.relaxed_budgets[task.name]
+                        + configuration.granularity
+                    )
+        for memory_name, memory in self.platform.memories.items():
+            if memory.is_bounded:
+                usage[f"memory[{memory_name}]"] = self.mapped.total_storage(
+                    memory_name
+                )
+        return usage
+
+    def _shared_prices(self) -> Optional[Tuple[Dict[str, float], float]]:
+        """Warm shared-capacity prices from the previous joint solve.
+
+        At the final barrier rung ``t`` the multiplier of an inequality row
+        with slack ``s`` is ``1/(t·s)`` — the price vector the decomposed
+        solver coordinates on.  Returns the per-row prices (scaled by each
+        row's capacity, so they are comparable across rows) together with the
+        *tight-price* threshold: the price of a reference row holding 1%
+        relative slack.  A row priced at or above it sits essentially on its
+        capacity at the committed optimum.
+        """
+        stats = (self.mapped.solver_info or {}).get("solve_stats", {})
+        final_barrier = stats.get("final_barrier")
+        if not final_barrier:
+            return None
+        committed = self._committed_usage()
+        prices: Dict[str, float] = {}
+        for processor_name, processor in self.platform.processors.items():
+            row = f"processor[{processor_name}]"
+            capacity = processor.replenishment_interval
+            slack = capacity - processor.scheduling_overhead - committed[row]
+            prices[row] = self._row_price(capacity, slack, float(final_barrier))
+        for memory_name, memory in self.platform.memories.items():
+            if not memory.is_bounded:
+                continue
+            row = f"memory[{memory_name}]"
+            slack = memory.capacity - committed[row]
+            prices[row] = self._row_price(
+                float(memory.capacity), slack, float(final_barrier)
+            )
+        tight_price = 100.0 / float(final_barrier)
+        return (prices, tight_price)
+
+    @staticmethod
+    def _row_price(capacity: float, slack: float, final_barrier: float) -> float:
+        if slack <= 0.0:
+            return float("inf")
+        return max(capacity, 1.0) / (final_barrier * slack)
 
     def _admit(self, name: str, configuration: Configuration) -> AdmissionDecision:
         if self._session is None:
@@ -315,6 +506,8 @@ class TraceRecord:
     reason: Optional[str] = None
     objective_value: Optional[float] = None   #: platform objective after the event
     running: List[str] = field(default_factory=list)
+    verdict: Optional[str] = None           #: anytime fast-path verdict (arrivals)
+    verdict_stage: Optional[str] = None     #: how the fast path decided
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -326,6 +519,8 @@ class TraceRecord:
             "reason": self.reason,
             "objective_value": self.objective_value,
             "running": list(self.running),
+            "verdict": self.verdict,
+            "verdict_stage": self.verdict_stage,
         }
 
 
@@ -366,6 +561,7 @@ class TraceResult:
                 "application": record.application,
                 "status": record.status,
                 "stage": record.stage or "",
+                "verdict": record.verdict or "",
                 "running": len(record.running),
                 "objective": (
                     None
@@ -404,6 +600,8 @@ def replay_trace(
                     status=STATUS_ADMITTED if decision.admitted else STATUS_REJECTED,
                     stage=None if decision.admitted else decision.stage,
                     reason=decision.reason,
+                    verdict=decision.verdict,
+                    verdict_stage=decision.verdict_stage,
                     objective_value=(
                         None
                         if controller.mapped is None

@@ -10,10 +10,13 @@ named instruments —
 * :class:`Histogram` — observed distributions with ``p50``/``p90``/``p99``
   quantiles (``solver.newton_iterations``, ``admission.decision_seconds``).
 
-Everything is thread-safe (one lock per registry) and, like tracing,
-**disabled by default**: every instrument method checks the registry's
-``enabled`` flag first, so an instrumented hot path pays one attribute check
-and nothing else when telemetry is off.
+Everything is thread-safe — one lock *per instrument*, so concurrent
+increments of different metrics (the decomposed solver's worker threads, the
+batch executor's pool) never contend on a shared registry lock; the registry
+lock only guards instrument creation and whole-registry operations.  Like
+tracing, metrics are **disabled by default**: every instrument method checks
+the registry's ``enabled`` flag first, so an instrumented hot path pays one
+attribute check and nothing else when telemetry is off.
 
 Snapshots are plain JSON-serialisable dicts and *mergeable*:
 :meth:`MetricsRegistry.merge_snapshot` folds a worker process's snapshot into
@@ -49,51 +52,55 @@ QUANTILES = (0.5, 0.9, 0.99)
 
 
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count; safe under concurrent increments."""
 
-    __slots__ = ("name", "value", "_registry")
+    __slots__ = ("name", "value", "_registry", "_lock")
 
     def __init__(self, name: str, registry: "MetricsRegistry") -> None:
         self.name = name
         self.value = 0.0
         self._registry = registry
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         registry = self._registry
         if not registry.enabled:
             return
-        with registry._lock:
+        with self._lock:
             self.value += amount
 
     def snapshot(self) -> Dict[str, object]:
-        return {"type": "counter", "value": self.value}
+        with self._lock:
+            return {"type": "counter", "value": self.value}
 
 
 class Gauge:
     """A last-written value."""
 
-    __slots__ = ("name", "value", "_registry")
+    __slots__ = ("name", "value", "_registry", "_lock")
 
     def __init__(self, name: str, registry: "MetricsRegistry") -> None:
         self.name = name
         self.value: Optional[float] = None
         self._registry = registry
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         registry = self._registry
         if not registry.enabled:
             return
-        with registry._lock:
+        with self._lock:
             self.value = float(value)
 
     def snapshot(self) -> Dict[str, object]:
-        return {"type": "gauge", "value": self.value}
+        with self._lock:
+            return {"type": "gauge", "value": self.value}
 
 
 class Histogram:
     """An observed distribution with exact aggregates and sampled quantiles."""
 
-    __slots__ = ("name", "count", "sum", "min", "max", "samples", "_registry")
+    __slots__ = ("name", "count", "sum", "min", "max", "samples", "_registry", "_lock")
 
     def __init__(self, name: str, registry: "MetricsRegistry") -> None:
         self.name = name
@@ -103,13 +110,14 @@ class Histogram:
         self.max: Optional[float] = None
         self.samples: List[float] = []
         self._registry = registry
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         registry = self._registry
         if not registry.enabled:
             return
         value = float(value)
-        with registry._lock:
+        with self._lock:
             self._observe_locked(value)
 
     def _observe_locked(self, value: float) -> None:
@@ -122,11 +130,11 @@ class Histogram:
             # Decimate: keep every other sample, preserving the spread.
             self.samples = self.samples[::2]
 
-    def quantile(self, q: float) -> Optional[float]:
-        """Sample quantile by linear interpolation (``None`` when empty)."""
-        if not self.samples:
+    @staticmethod
+    def _quantile_of(samples: List[float], q: float) -> Optional[float]:
+        if not samples:
             return None
-        ordered = sorted(self.samples)
+        ordered = sorted(samples)
         if len(ordered) == 1:
             return ordered[0]
         position = q * (len(ordered) - 1)
@@ -135,18 +143,28 @@ class Histogram:
         fraction = position - low
         return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Sample quantile by linear interpolation (``None`` when empty)."""
+        with self._lock:
+            samples = list(self.samples)
+        return self._quantile_of(samples, q)
+
     def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            count, total = self.count, self.sum
+            minimum, maximum = self.min, self.max
+            samples = list(self.samples)
         data: Dict[str, object] = {
             "type": "histogram",
-            "count": self.count,
-            "sum": self.sum,
-            "min": self.min,
-            "max": self.max,
+            "count": count,
+            "sum": total,
+            "min": minimum,
+            "max": maximum,
         }
         for q in QUANTILES:
-            data[f"p{int(q * 100)}"] = self.quantile(q)
+            data[f"p{int(q * 100)}"] = self._quantile_of(samples, q)
         # Samples ride along so snapshots merge without losing quantiles.
-        data["samples"] = list(self.samples)
+        data["samples"] = samples
         return data
 
 
@@ -212,34 +230,39 @@ class MetricsRegistry:
                 if cls is None:
                     continue
                 instrument = self._instrument(name, cls)
+                # Writers synchronise on the instrument lock, so merging must
+                # too (the registry lock alone no longer excludes them).
                 if kind == "counter":
-                    instrument.value += float(data.get("value", 0.0) or 0.0)
+                    with instrument._lock:
+                        instrument.value += float(data.get("value", 0.0) or 0.0)
                 elif kind == "gauge":
                     if data.get("value") is not None:
-                        instrument.value = float(data["value"])
+                        with instrument._lock:
+                            instrument.value = float(data["value"])
                 else:
                     count = int(data.get("count", 0))
                     if count == 0:
                         continue
-                    instrument.count += count
-                    instrument.sum += float(data.get("sum", 0.0))
-                    for bound, pick in (("min", min), ("max", max)):
-                        incoming = data.get(bound)
-                        if incoming is None:
-                            continue
-                        current = getattr(instrument, bound)
-                        setattr(
-                            instrument,
-                            bound,
-                            float(incoming)
-                            if current is None
-                            else pick(current, float(incoming)),
+                    with instrument._lock:
+                        instrument.count += count
+                        instrument.sum += float(data.get("sum", 0.0))
+                        for bound, pick in (("min", min), ("max", max)):
+                            incoming = data.get(bound)
+                            if incoming is None:
+                                continue
+                            current = getattr(instrument, bound)
+                            setattr(
+                                instrument,
+                                bound,
+                                float(incoming)
+                                if current is None
+                                else pick(current, float(incoming)),
+                            )
+                        instrument.samples.extend(
+                            float(v) for v in data.get("samples", [])
                         )
-                    instrument.samples.extend(
-                        float(v) for v in data.get("samples", [])
-                    )
-                    while len(instrument.samples) > RESERVOIR_LIMIT:
-                        instrument.samples = instrument.samples[::2]
+                        while len(instrument.samples) > RESERVOIR_LIMIT:
+                            instrument.samples = instrument.samples[::2]
 
     def reset(self) -> None:
         with self._lock:

@@ -14,7 +14,7 @@ from repro.solver.result import Solution, SolverStatus
 from repro.solver.expression import Variable
 
 #: Names accepted by the ``backend`` argument of :meth:`ConeProgram.solve`.
-BACKENDS = ("auto", "barrier", "linprog", "scipy")
+BACKENDS = ("auto", "barrier", "decomposed", "linprog", "scipy")
 
 
 #: Warm-start forms accepted by :func:`solve_compiled`: a point keyed by
@@ -71,6 +71,10 @@ def solve_compiled(
             options=_barrier_options(options),
             interior_point=interior_point,
         )
+    if backend == "decomposed":
+        from repro.solver.decomposed import solve_decomposed
+
+        return solve_decomposed(problem, initial_point=x0, options=options)
 
     # backend == "auto"
     if not problem.hyperbolic and not problem.cones:

@@ -238,6 +238,94 @@ class TestMetrics:
         assert h["count"] == 300
         assert h["p50"] == pytest.approx(149.5)
 
+    def test_concurrent_increments_are_exact(self):
+        # Regression: lost updates under concurrent inc()/observe() from the
+        # decomposed solver's worker threads.  Exactness is the signal — any
+        # unsynchronised read-modify-write eventually drops an update.
+        registry = MetricsRegistry(enabled=True)
+        threads, per_thread = 8, 2000
+        barrier = threading.Barrier(threads)
+
+        def hammer(worker_index: int) -> None:
+            counter = registry.counter("solves")
+            histogram = registry.histogram("seconds")
+            barrier.wait()
+            for _ in range(per_thread):
+                counter.inc()
+                histogram.observe(1.0)
+                registry.gauge(f"worker[{worker_index}]").set(float(worker_index))
+
+        pool = [
+            threading.Thread(target=hammer, args=(index,)) for index in range(threads)
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+
+        snapshot = registry.snapshot()
+        assert snapshot["solves"]["value"] == float(threads * per_thread)
+        assert snapshot["seconds"]["count"] == threads * per_thread
+        assert snapshot["seconds"]["sum"] == pytest.approx(float(threads * per_thread))
+        for index in range(threads):
+            assert snapshot[f"worker[{index}]"]["value"] == float(index)
+
+    def test_concurrent_instrument_creation_yields_one_instance(self):
+        registry = MetricsRegistry(enabled=True)
+        results = []
+        barrier = threading.Barrier(8)
+
+        def create() -> None:
+            barrier.wait()
+            results.append(registry.counter("shared"))
+
+        pool = [threading.Thread(target=create) for _ in range(8)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert len({id(instrument) for instrument in results}) == 1
+
+    def test_merge_concurrent_with_writers(self):
+        # merge_snapshot() must also take the instrument locks: an aggregator
+        # folding worker snapshots while local threads keep incrementing may
+        # not lose either side's updates.
+        worker = MetricsRegistry(enabled=True)
+        worker.counter("solves").inc(5)
+        worker.histogram("seconds").observe(2.0)
+        part = worker.snapshot()
+
+        aggregate = MetricsRegistry(enabled=True)
+        merges, incs = 50, 2000
+        barrier = threading.Barrier(2)
+
+        def merge_loop() -> None:
+            barrier.wait()
+            for _ in range(merges):
+                aggregate.merge_snapshot(part)
+
+        def inc_loop() -> None:
+            counter = aggregate.counter("solves")
+            histogram = aggregate.histogram("seconds")
+            barrier.wait()
+            for _ in range(incs):
+                counter.inc()
+                histogram.observe(1.0)
+
+        pool = [
+            threading.Thread(target=merge_loop),
+            threading.Thread(target=inc_loop),
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+
+        snapshot = aggregate.snapshot()
+        assert snapshot["solves"]["value"] == float(5 * merges + incs)
+        assert snapshot["seconds"]["count"] == merges + incs
+        assert snapshot["seconds"]["sum"] == pytest.approx(float(2 * merges + incs))
+
 
 class TestJsonlSink:
     def test_round_trip_and_validation(self, tmp_path):

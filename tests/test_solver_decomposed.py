@@ -1,0 +1,289 @@
+"""Decomposed (price-coordination) solver mode: equivalence and plumbing.
+
+The decomposed backend splits the joint cone program along its
+``BlockStructure`` into per-application subproblems, coordinates the shared
+capacities through prices and (on contended instances) locks the result with
+a warm-started joint polish.  It must be a pure *performance* mode: these
+tests pin that it agrees with the joint barrier/block-Newton solve within
+``1e-6`` on
+
+* seeded random workloads under the default objective (coupling inactive —
+  the standalone optima already fit, coordination is skipped);
+* contended buffer-weighted workloads (coordination + joint polish);
+* workloads with pinned capacity/budget bounds;
+* instances whose joint solve needs a phase-I start;
+* the single-application degenerate case;
+
+and that infeasible instances are reported infeasible by both paths, both
+fanout kinds (thread/process) produce the same optimum, the option mapping
+parses, the allocator mode routing works end-to-end, and the anytime
+admission verdicts of a replayed trace agree with the exact solves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AdmissionController,
+    AllocatorOptions,
+    JointAllocator,
+    random_trace,
+    replay_trace,
+)
+from repro.core.admission import VERDICT_ADMIT, VERDICT_REJECT, VERDICT_UNCERTAIN
+from repro.core.formulation import WorkloadSocpFormulation
+from repro.core.objective import ObjectiveWeights
+from repro.exceptions import ModelError
+from repro.solver import DecomposedOptions, SolverStatus
+from repro.taskgraph import random_workload
+
+EQUIV_TOL = 1e-6
+
+
+def solve_pair(formulation_args, formulation_kwargs=None, **decomposed_options):
+    """Solve the same workload with the joint barrier and decomposed modes."""
+    kwargs = dict(formulation_kwargs or {})
+    joint = WorkloadSocpFormulation(*formulation_args, **kwargs).solve(
+        backend="barrier"
+    )
+    split = WorkloadSocpFormulation(*formulation_args, **kwargs).solve(
+        backend="decomposed", **decomposed_options
+    )
+    return joint, split
+
+
+def assert_equivalent(joint, split, tol: float = EQUIV_TOL) -> None:
+    assert joint.is_optimal and split.is_optimal
+    scale = max(1.0, abs(joint.objective))
+    assert abs(split.objective - joint.objective) / scale < tol
+    point_j, point_s = joint.by_name(), split.by_name()
+    for name, value in point_j.items():
+        assert point_s[name] == pytest.approx(value, rel=1e-4, abs=1e-4), name
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_uncontended_random_workloads_match(self, seed):
+        workload = random_workload(application_count=4, seed=seed)
+        joint, split = solve_pair((workload,))
+        assert_equivalent(joint, split)
+        assert split.backend == "decomposed"
+        # Default weights leave the coupling inactive: the standalone optima
+        # already fit, so no price coordination (and no polish) is needed.
+        assert split.stats["coordination_skipped"] is True
+        assert split.stats["decomposed_blocks"] == 4
+        assert "joint_polish" not in split.stats
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_contended_workloads_match_via_polish(self, seed):
+        workload = random_workload(
+            application_count=4, seed=seed, wcet_range=(0.2, 0.6)
+        )
+        joint, split = solve_pair(
+            (workload,), {"weights": ObjectiveWeights.buffers_only()}
+        )
+        assert_equivalent(joint, split)
+        assert split.stats["coordination_skipped"] is False
+        assert split.stats["price_iterations"] > 0
+        assert split.stats["price_rungs"] >= 1
+        assert split.stats["joint_polish"] is True
+        # The polish restarts off the strictly feasible coordinated point.
+        assert split.stats["polish_phase1_skipped"] is True
+
+    def test_phase_one_required_instance_matches(self):
+        # A tight contended instance whose *joint* cold start needs phase I;
+        # the decomposed path must agree regardless of how either side
+        # reached strict feasibility.
+        workload = random_workload(
+            application_count=3, seed=5, wcet_range=(0.3, 0.9)
+        )
+        weights = ObjectiveWeights.buffers_only()
+        joint, split = solve_pair((workload,), {"weights": weights})
+        assert_equivalent(joint, split)
+
+    def test_pinned_bounds_match(self):
+        workload = random_workload(application_count=3, seed=2)
+        formulation = WorkloadSocpFormulation(workload)
+        free = formulation.solve(backend="barrier")
+        # Pin the first application's largest buffer a little below its
+        # unconstrained optimum, so the bound genuinely binds.
+        app = workload.applications[0]
+        caps = formulation.capacities_by_application(free)[app.name]
+        buffer_name, buffer_value = max(caps.items(), key=lambda kv: kv[1])
+        limit = max(1, int(np.floor(buffer_value)))
+        joint, split = solve_pair(
+            (workload,),
+            {"capacity_limits": {app.name: {buffer_name: limit}}},
+        )
+        assert joint.status == split.status
+        if joint.is_optimal:
+            assert_equivalent(joint, split)
+
+    def test_single_application_degenerate(self):
+        workload = random_workload(application_count=1, seed=0)
+        joint, split = solve_pair((workload,))
+        assert_equivalent(joint, split)
+        # One block means nothing to coordinate: the decomposed mode solves
+        # jointly and flags the degenerate pass-through.
+        assert split.stats.get("decomposed_degenerate") is True
+
+    def test_infeasible_instances_agree(self):
+        workload = random_workload(
+            application_count=4, seed=1, wcet_range=(0.6, 1.8)
+        )
+        joint = WorkloadSocpFormulation(workload).solve(backend="barrier")
+        split = WorkloadSocpFormulation(workload).solve(backend="decomposed")
+        assert joint.status == SolverStatus.INFEASIBLE
+        assert split.status == SolverStatus.INFEASIBLE
+        assert split.backend == "decomposed"
+        assert split.message
+
+    @pytest.mark.parametrize("fanout", ["thread", "process"])
+    def test_fanout_kinds_produce_the_same_optimum(self, fanout):
+        workload = random_workload(application_count=4, seed=3)
+        joint, split = solve_pair(
+            (workload,),
+            decomposed_workers=2,
+            decomposed_fanout=fanout,
+        )
+        assert_equivalent(joint, split)
+        assert split.stats["decomposed_fanout"] == fanout
+        assert split.stats["decomposed_workers"] == 2
+        assert split.stats["subproblem_solves"] >= 4
+        assert split.stats["parallel_time"] > 0.0
+        assert split.stats["parallel_speedup"] > 0.0
+
+
+class TestOptions:
+    def test_from_mapping_splits_decomposed_and_barrier_keys(self):
+        parsed, passthrough = DecomposedOptions.from_mapping(
+            {
+                "decomposed_workers": 4,
+                "decomposed_fanout": "process",
+                "decomposed_polish": False,
+                "decomposed_max_price_iterations": 17,
+                "tolerance": 1e-8,
+                "max_outer_iterations": 99,
+            }
+        )
+        assert parsed.workers == 4
+        assert parsed.fanout == "process"
+        assert parsed.polish is False
+        assert parsed.max_price_iterations == 17
+        assert passthrough == {"tolerance": 1e-8, "max_outer_iterations": 99}
+
+    def test_defaults(self):
+        parsed, passthrough = DecomposedOptions.from_mapping({})
+        assert parsed.workers == 0
+        assert parsed.fanout == "thread"
+        assert parsed.polish is True
+        assert passthrough == {}
+
+    def test_allocator_solve_kwargs(self):
+        options = AllocatorOptions(
+            verify=False, run_simulation=False, mode="decomposed", workers=3
+        )
+        kwargs = options.solve_kwargs()
+        assert kwargs == {
+            "backend": "decomposed",
+            "decomposed_workers": 3,
+            "decomposed_fanout": "thread",
+        }
+        assert options.solve_kwargs("joint") == {"backend": options.backend}
+        with pytest.raises(ModelError):
+            options.solve_kwargs("admm")
+
+
+class TestAllocatorMode:
+    def test_allocate_workload_decomposed_matches_joint(self):
+        workload = random_workload(application_count=3, seed=4)
+        joint_alloc = JointAllocator(
+            options=AllocatorOptions(verify=False, run_simulation=False)
+        ).allocate_workload(workload)
+        split_alloc = JointAllocator(
+            options=AllocatorOptions(verify=False, run_simulation=False)
+        ).allocate_workload(workload, mode="decomposed")
+        assert split_alloc.solver_info["backend"] == "decomposed"
+        # The joint path runs the block-Newton backend; points can differ
+        # along near-flat directions, but the optimal objective must agree.
+        scale = max(1.0, abs(joint_alloc.objective_value))
+        assert (
+            abs(split_alloc.objective_value - joint_alloc.objective_value) / scale
+            < EQUIV_TOL
+        )
+        assert set(split_alloc.applications) == set(joint_alloc.applications)
+
+    def test_mode_can_live_on_the_options(self):
+        workload = random_workload(application_count=2, seed=6)
+        allocator = JointAllocator(
+            options=AllocatorOptions(
+                verify=False, run_simulation=False, mode="decomposed", workers=2
+            )
+        )
+        mapped = allocator.allocate_workload(workload)
+        assert mapped.solver_info["backend"] == "decomposed"
+        assert mapped.solver_info["solve_stats"]["decomposed_workers"] == 2
+
+
+class TestAnytimeAdmission:
+    def test_replayed_trace_verdicts_agree_with_exact_solves(self):
+        # A 12-event trace heavy enough to produce firm rejects: every firm
+        # anytime verdict must agree with the exact solve's outcome.
+        trace = random_trace(
+            event_count=12, seed=12, wcet_range=(0.8, 2.4), concurrency=6
+        )
+        result = replay_trace(
+            trace,
+            allocator=JointAllocator(
+                options=AllocatorOptions(verify=False, run_simulation=False)
+            ),
+        )
+        firm = 0
+        for record in result.records:
+            if record.status not in ("admitted", "rejected"):
+                continue
+            assert record.verdict in (
+                VERDICT_ADMIT,
+                VERDICT_REJECT,
+                VERDICT_UNCERTAIN,
+            )
+            if record.verdict == VERDICT_ADMIT:
+                firm += 1
+                assert record.status == "admitted", record.application
+            elif record.verdict == VERDICT_REJECT:
+                firm += 1
+                assert record.status == "rejected", record.application
+        assert firm > 0
+
+    def test_first_arrival_verdict_is_uncertain_on_empty_platform(self):
+        trace = random_trace(event_count=3, seed=0)
+        result = replay_trace(
+            trace,
+            allocator=JointAllocator(
+                options=AllocatorOptions(verify=False, run_simulation=False)
+            ),
+        )
+        first = result.records[0]
+        assert first.verdict == VERDICT_UNCERTAIN
+        assert first.verdict_stage == "anytime-empty"
+
+    def test_admit_decision_carries_verdict_fields(self):
+        workload = random_workload(application_count=2, seed=0)
+        platform = workload.platform
+        controller = AdmissionController(
+            platform,
+            allocator=JointAllocator(
+                options=AllocatorOptions(verify=False, run_simulation=False)
+            ),
+        )
+        applications = list(workload.applications)
+        first = controller.admit("a", applications[0].configuration)
+        assert first.admitted
+        assert first.verdict == VERDICT_UNCERTAIN  # nothing committed yet
+        second = controller.admit("b", applications[1].configuration)
+        assert second.verdict in (VERDICT_ADMIT, VERDICT_REJECT, VERDICT_UNCERTAIN)
+        assert second.verdict_stage is not None
+        payload = second.as_dict()
+        assert "verdict" in payload and "verdict_stage" in payload
