@@ -1,0 +1,167 @@
+"""Benchmark: the price of durability, and the payoff of snapshots.
+
+Two questions about the crash-safe admission path:
+
+* **journal + snapshot overhead** — :func:`replay_trace_durably` does
+  everything :func:`replay_trace` does plus one checksummed ``O_APPEND``
+  write per event and one atomic snapshot every few events.  The durable
+  run must stay within a few percent of the plain incremental replay (the
+  solve dominates; the WAL is one small line per event).
+* **restore-from-snapshot vs full replay** — after a crash, restoring from
+  snapshot + journal tail re-solves only the post-snapshot events, while a
+  journal-only restore replays the whole history.  The snapshot restore
+  must be faster on a trace whose snapshot covers most of it.
+
+Both paths must agree with the plain replay within 1e-6 — durability is a
+pure robustness change, never a numerical one.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+
+import pytest
+
+from repro.core import AllocatorOptions, JointAllocator, random_trace, replay_trace
+from repro.reliability import (
+    default_snapshot_path,
+    load_snapshot,
+    read_journal,
+    replay_trace_durably,
+    restore_controller,
+)
+
+EVENT_COUNT = 12
+SNAPSHOT_EVERY = 4
+#: Best-of-REPEATS wall times absorb one-off noise spikes.
+REPEATS = 3
+#: Wall-clock races are unreliable on shared CI runners; the smoke job
+#: still checks the equivalences.
+STRICT_TIMING = not os.environ.get("CI")
+#: Ceiling on the durable path's overhead over the plain replay.
+MAX_OVERHEAD = 0.05
+
+_fresh = itertools.count()
+
+
+def _options():
+    return AllocatorOptions(verify=False, run_simulation=False)
+
+
+def _allocator():
+    return JointAllocator(options=_options())
+
+
+def _trace():
+    return random_trace(
+        event_count=EVENT_COUNT, seed=31, task_count=3, processor_count=3
+    )
+
+
+def _interleaved_best_times(run_a, run_b):
+    """Best-of-REPEATS for two competitors, alternating runs (fair race)."""
+    best_a = best_b = float("inf")
+    result_a = result_b = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        result_a = run_a()
+        best_a = min(best_a, time.perf_counter() - start)
+        start = time.perf_counter()
+        result_b = run_b()
+        best_b = min(best_b, time.perf_counter() - start)
+    return (best_a, result_a), (best_b, result_b)
+
+
+def _assert_equivalent(ours, theirs):
+    assert [r.status for r in ours.records] == [r.status for r in theirs.records]
+    for a, b in zip(ours.records, theirs.records):
+        if b.objective_value is not None:
+            assert a.objective_value == pytest.approx(b.objective_value, abs=1e-6)
+
+
+def test_bench_durable_replay_overhead(benchmark, record_series, tmp_path):
+    trace = _trace()
+
+    def plain():
+        return replay_trace(trace, allocator=_allocator())
+
+    def durable():
+        journal_path = tmp_path / f"run-{next(_fresh)}.journal"
+        return replay_trace_durably(
+            trace,
+            journal_path,
+            snapshot_every=SNAPSHOT_EVERY,
+            allocator=_allocator(),
+        )
+
+    (plain_time, plain_result), (durable_time, durable_result) = (
+        _interleaved_best_times(plain, durable)
+    )
+    _assert_equivalent(durable_result, plain_result)
+
+    overhead = durable_time / plain_time - 1.0
+    if STRICT_TIMING:
+        assert overhead < MAX_OVERHEAD, (
+            f"durable replay cost {overhead * 100:.1f}% over the plain replay "
+            f"({durable_time * 1e3:.1f} ms vs {plain_time * 1e3:.1f} ms)"
+        )
+
+    record_series(benchmark, "events", EVENT_COUNT)
+    record_series(benchmark, "plain_seconds", plain_time)
+    record_series(benchmark, "durable_seconds", durable_time)
+    record_series(benchmark, "overhead_fraction", overhead)
+    benchmark(durable)
+
+
+def test_bench_restore_from_snapshot_vs_full_replay(
+    benchmark, record_series, tmp_path
+):
+    trace = _trace()
+    journal_path = tmp_path / "run.journal"
+    baseline = replay_trace_durably(
+        trace,
+        journal_path,
+        snapshot_every=SNAPSHOT_EVERY,
+        allocator=_allocator(),
+    )
+    contents = read_journal(journal_path)
+    snapshot = load_snapshot(default_snapshot_path(journal_path))
+    # The last snapshot covers all but the journal tail.
+    assert snapshot.journal_seq == (EVENT_COUNT // SNAPSHOT_EVERY) * SNAPSHOT_EVERY
+
+    def from_snapshot():
+        return restore_controller(contents, snapshot, allocator=_allocator())
+
+    def full_replay():
+        return restore_controller(contents, allocator=_allocator())
+
+    (snap_time, (snap_controller, snap_records)), (full_time, (_, full_records)) = (
+        _interleaved_best_times(from_snapshot, full_replay)
+    )
+
+    # Both restores land on the uninterrupted run's timeline and workload.
+    for restored in (snap_records, full_records):
+        assert [r.status for r in restored] == [
+            r.status for r in baseline.records
+        ]
+    if baseline.final_mapped is not None:
+        assert snap_controller.mapped.objective_value == pytest.approx(
+            baseline.final_mapped.objective_value, abs=1e-6
+        )
+
+    if STRICT_TIMING:
+        assert snap_time < full_time, (
+            f"snapshot restore took {snap_time * 1e3:.1f} ms vs "
+            f"{full_time * 1e3:.1f} ms full journal replay"
+        )
+
+    record_series(benchmark, "events", EVENT_COUNT)
+    record_series(benchmark, "snapshot_seq", snapshot.journal_seq)
+    record_series(benchmark, "snapshot_restore_seconds", snap_time)
+    record_series(benchmark, "full_replay_seconds", full_time)
+    record_series(
+        benchmark, "speedup", full_time / max(snap_time, 1e-12)
+    )
+    benchmark(from_snapshot)

@@ -81,7 +81,7 @@ class NullCache:
         return None
 
     def stats(self) -> Dict[str, int]:
-        return {"hits": 0, "misses": 0, "stores": 0}
+        return {"hits": 0, "misses": 0, "stores": 0, "evictions": 0}
 
     def __len__(self) -> int:
         return 0
@@ -96,23 +96,44 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.evictions = 0
 
     def _path(self, key: str) -> Path:
         return self.directory / key[:2] / f"{key}.json"
 
     def get(self, key: str) -> Optional[Dict[str, object]]:
-        """Return the stored payload, or ``None`` on a miss or corrupt entry."""
+        """Return the stored payload, or ``None`` on a miss.
+
+        An entry that exists but cannot be parsed back into a JSON object —
+        a torn write from a killed process, bit rot, or an injected
+        corruption — is a miss *and is evicted*, so one bad file costs a
+        single re-solve instead of a failed read on every future campaign.
+        """
+        path = self._path(key)
         try:
-            text = self._path(key).read_text(encoding="utf-8")
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            self.misses += 1
+            return None
+        try:
             payload = json.loads(text)
-        except (OSError, json.JSONDecodeError):
+        except json.JSONDecodeError:
+            self._evict(path)
             self.misses += 1
             return None
         if not isinstance(payload, dict):
+            self._evict(path)
             self.misses += 1
             return None
         self.hits += 1
         return payload
+
+    def _evict(self, path: Path) -> None:
+        try:
+            path.unlink()
+            self.evictions += 1
+        except OSError:
+            pass
 
     def put(self, key: str, payload: Mapping[str, object]) -> None:
         """Store a payload atomically (safe under concurrent writers).
@@ -132,6 +153,14 @@ class ResultCache:
             with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
                 json.dump(dict(payload), handle, sort_keys=True, allow_nan=False)
             os.replace(temp_name, path)
+            # Cooperative chaos site: an armed ``cache.corrupt`` fault
+            # truncates the just-written entry mid-record, simulating a torn
+            # write for the eviction path in :meth:`get` to absorb.
+            from repro.reliability.faults import maybe_fail
+
+            if maybe_fail("cache.corrupt", label=key) is not None:
+                with open(path, "w", encoding="utf-8") as handle:
+                    handle.write('{"truncated": ')
         except ValueError:
             try:
                 os.unlink(temp_name)
@@ -152,7 +181,12 @@ class ResultCache:
         self.stores += 1
 
     def stats(self) -> Dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+        }
 
     def __len__(self) -> int:
         return sum(1 for _ in self.directory.glob("*/*.json"))

@@ -24,17 +24,20 @@ from __future__ import annotations
 
 import warnings
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.core.allocator import AllocatorOptions, JointAllocator
 from repro.core.objective import ObjectiveWeights
-from repro.exceptions import InfeasibleProblemError
+from repro.exceptions import FaultInjected, InfeasibleProblemError, NumericalError
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import span as obs_span
 from repro.batch.cache import NullCache, ResultCache, cache_key
 from repro.batch.campaign import CampaignItem
+from repro.reliability.faults import FaultPlan, armed, maybe_fail
+from repro.reliability.retry import CircuitBreaker, RetryPolicy
 from repro.taskgraph import serialization
 
 #: Objective presets usable in campaigns and on the command line.
@@ -89,6 +92,13 @@ class ExecutorConfig:
     #: telemetry stays out of :meth:`result_options` (and thus out of cache
     #: keys), out of cached payloads and out of deterministic output.
     telemetry: bool = False
+    #: A serialised :class:`repro.reliability.faults.FaultPlan`
+    #: (``FaultPlan.to_dict()``) armed inside every worker for the duration
+    #: of each item — the chaos-testing transport.  Arming is per item, so
+    #: ``nth``/``times`` triggers count an item's own calls regardless of
+    #: which worker process it lands on.  Operational only: fault plans stay
+    #: out of :meth:`result_options` and therefore out of cache keys.
+    fault_plan: Optional[Dict[str, object]] = None
 
     def result_options(self) -> Dict[str, object]:
         """The result-relevant subset, canonical for cache keying."""
@@ -248,8 +258,39 @@ def _solve_payload(payload: Dict[str, object]) -> Dict[str, object]:
       item fields.  Like sweep families, a trace is one sequential session,
       so it runs with exactly the configured backend.
     """
-    with obs_span("batch-item", label=str(payload["label"])) as item_span:
-        if payload.get("telemetry"):
+    plan = (
+        None
+        if payload.get("faults") is None
+        else FaultPlan.from_dict(payload["faults"])
+    )
+    with obs_span("batch-item", label=str(payload["label"])) as item_span, armed(plan):
+        label = str(payload["label"])
+        injected: Optional[BaseException] = None
+        try:
+            # Chaos sites: ``executor.worker`` with an ``exit`` action kills
+            # this worker process mid-item (→ BrokenProcessPool recovery in
+            # run_iter); ``item.timeout`` with a ``sleep`` action stalls the
+            # item past its per-item timeout.  A raising action becomes a
+            # terminal item error, same as any other solver breakdown.
+            maybe_fail("executor.worker", label=label)
+            maybe_fail("item.timeout", label=label)
+        except (FaultInjected, NumericalError) as error:
+            injected = error
+        if injected is not None:
+            base = {
+                "label": payload["label"],
+                "key": payload["key"],
+                "budgets": {},
+                "buffer_capacities": {},
+                "relaxed_budgets": {},
+                "relaxed_capacities": {},
+                "objective_value": None,
+                "backend_used": None,
+                "error": f"{type(injected).__name__}: {injected}",
+                "stats": {},
+                "status": STATUS_ERROR,
+            }
+        elif payload.get("telemetry"):
             with obs.capture() as captured:
                 base = _solve_item(payload)
             base["telemetry"] = captured.as_dict()
@@ -350,6 +391,33 @@ def _solve_item(payload: Dict[str, object]) -> Dict[str, object]:
     return _run_with_backend_fallback(base, options, solve)
 
 
+#: Transient failures worth retrying on the *same* backend before falling
+#: back to the next one — numerical blow-ups and injected faults, never
+#: infeasibility (a definite answer) or programming errors.
+_RETRYABLE = (NumericalError, FaultInjected, FloatingPointError, ArithmeticError)
+
+#: Per-process circuit breaker over solver backends, shared by every item a
+#: worker solves: a backend that keeps failing stops being attempted for
+#: ``reset_after`` seconds, so a campaign with a systematically broken
+#: backend pays its failure cost once per window instead of once per item.
+_BACKEND_BREAKER: Optional[CircuitBreaker] = None
+
+
+def _backend_breaker() -> CircuitBreaker:
+    global _BACKEND_BREAKER
+    if _BACKEND_BREAKER is None:
+        _BACKEND_BREAKER = CircuitBreaker(failure_threshold=3, reset_after=30.0)
+    return _BACKEND_BREAKER
+
+
+def _count_reliability(name: str) -> None:
+    from repro.obs.metrics import get_registry
+
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter(name).inc()
+
+
 def _run_with_backend_fallback(
     base: Dict[str, object],
     options: Dict[str, object],
@@ -361,28 +429,50 @@ def _run_with_backend_fallback(
     single-configuration and workload payload shapes: infeasibility
     (including the validation screens' :class:`~repro.exceptions.
     InfeasibleModelError`) is a definite answer that ends the item
-    immediately, any other failure moves on to the next fallback backend,
-    and exhausting the chain yields a terminal error status.  ``solve``
-    returns the result fields merged into ``base`` on success.
+    immediately; a *transient* failure (:data:`_RETRYABLE`) is retried once
+    on the same backend, any other failure moves on to the next fallback
+    backend, and exhausting the chain yields a terminal error status.  A
+    backend whose circuit is open (see :func:`_backend_breaker`) is skipped
+    outright.  ``solve`` returns the result fields merged into ``base`` on
+    success.
     """
+    import numpy as np
+
     attempts = [options["backend"]] + [
         backend
         for backend in options["fallback_backends"]
         if backend != options["backend"]
     ]
+    breaker = _backend_breaker()
+    policy = RetryPolicy(attempts=2)
+    retryable = _RETRYABLE + (np.linalg.LinAlgError,)
     last_error: Optional[str] = None
-    for backend in attempts:
+    for position, backend in enumerate(attempts):
+        if not breaker.allow(backend):
+            last_error = f"{backend}: circuit open after repeated failures"
+            continue
         try:
-            fields = solve(backend)
+            fields = policy.run(
+                lambda: solve(backend),
+                retryable=retryable,
+                on_retry=lambda attempt, error: _count_reliability(
+                    "reliability.retries"
+                ),
+            )
         except InfeasibleProblemError as error:
             # Infeasibility is a definite answer, not a solver failure:
             # trying another backend would only burn time.
             base.update(status=STATUS_INFEASIBLE, error=str(error), backend_used=backend)
+            breaker.record_success(backend)
             break
         except Exception as error:  # noqa: BLE001 - numerical failures trigger fallback
+            breaker.record_failure(backend)
+            if position + 1 < len(attempts):
+                _count_reliability("reliability.fallbacks")
             last_error = f"{backend}: {error}"
             continue
         base.update(status=STATUS_OK, **fields)
+        breaker.record_success(backend)
         break
     else:
         base.update(status=STATUS_ERROR, error=last_error)
@@ -636,6 +726,8 @@ class BatchExecutor:
             }
             if self.config.telemetry:
                 payload["telemetry"] = True
+            if self.config.fault_plan is not None:
+                payload["faults"] = self.config.fault_plan
             if item.trace is not None:
                 payload["trace"] = configuration_dict
             elif item.workload is not None:
@@ -671,6 +763,47 @@ class BatchExecutor:
                 for key, payload, future in futures:
                     try:
                         result_dict = future.result(timeout=self.config.timeout)
+                    except BrokenProcessPool:
+                        # A worker process died mid-item (crash, OOM kill,
+                        # injected ``executor.worker`` exit).  The pool is
+                        # unusable; replace it and give the item one retry on
+                        # the fresh pool — a second death means the payload
+                        # itself kills workers, which becomes a terminal
+                        # per-item error rather than a campaign abort.
+                        self.metrics.counter("batch.worker_crashes").inc()
+                        pool = self._ensure_healthy_pool(pool)
+                        try:
+                            result_dict = pool.submit(
+                                _solve_payload, payload
+                            ).result(timeout=self.config.timeout)
+                        except BrokenProcessPool:
+                            self.metrics.counter("batch.worker_crashes").inc()
+                            pool = self._ensure_healthy_pool(pool)
+                            for index, label in waiters[key]:
+                                yield index, ItemResult(
+                                    label=label,
+                                    key=key,
+                                    status=STATUS_ERROR,
+                                    error=(
+                                        "worker process died while solving "
+                                        "this item (twice); not retried again"
+                                    ),
+                                )
+                            continue
+                        except FutureTimeoutError:
+                            pool_stuck = True
+                            self.metrics.counter("batch.timeouts").inc()
+                            for index, label in waiters[key]:
+                                yield index, ItemResult(
+                                    label=label,
+                                    key=key,
+                                    status=STATUS_TIMEOUT,
+                                    error=(
+                                        f"item exceeded the per-item timeout "
+                                        f"of {self.config.timeout} s"
+                                    ),
+                                )
+                            continue
                     except FutureTimeoutError:
                         if future.cancel():
                             # The item never started (workers were starved by
@@ -704,6 +837,18 @@ class BatchExecutor:
                 if pool_stuck:
                     pool = self._replace_stuck_pool(pool)
                     pool_stuck = False
+        except (KeyboardInterrupt, SystemExit):
+            # Graceful shutdown (Ctrl-C, or SIGTERM converted by
+            # ``graceful_interrupts``): waiting for in-flight items could
+            # take arbitrarily long, so release the pool without waiting and
+            # kill its workers — nothing of this run is reusable, results
+            # already yielded (and cached) stay valid, and no worker process
+            # is left orphaned.
+            pool_stuck = False
+            if self._pool is pool:
+                self._pool = None
+            self._drain_stuck_pool(pool)
+            raise
         finally:
             # The pool persists across runs (see close()); only a pool left
             # with a stuck worker is torn down here, so the next run starts
@@ -712,6 +857,26 @@ class BatchExecutor:
                 if self._pool is pool:
                     self._pool = None
                 self._drain_stuck_pool(pool)
+
+    def _ensure_healthy_pool(self, pool: ProcessPoolExecutor) -> ProcessPoolExecutor:
+        """Replace ``pool`` if it is broken (a worker died); else keep it.
+
+        Safe to call once per failed future: after the first replacement the
+        surviving futures of the dead pool fail fast with
+        :class:`BrokenProcessPool`, find the *current* pool healthy, and only
+        resubmit — no pool churn.
+        """
+        if self._pool is not None and not getattr(self._pool, "_broken", False):
+            return self._pool
+        warnings.warn(
+            "a batch worker process died unexpectedly; recreating the "
+            "process pool and retrying the item once",
+            RuntimeWarning,
+        )
+        if self._pool is pool:
+            self._pool = None
+        self._drain_stuck_pool(pool)
+        return self._ensure_pool()
 
     @staticmethod
     def _drain_stuck_pool(pool: ProcessPoolExecutor) -> None:

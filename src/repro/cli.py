@@ -433,6 +433,7 @@ def _render_solve_stats(stats: dict) -> str:
 
 def _cmd_admit(arguments: argparse.Namespace) -> int:
     from repro.core.admission import AdmissionController, load_trace, replay_trace
+    from repro.exceptions import JournalError, SnapshotError
     from repro.taskgraph.workload import load_workload, mapped_workload_to_dict
 
     allocator = JointAllocator(
@@ -440,6 +441,13 @@ def _cmd_admit(arguments: argparse.Namespace) -> int:
         options=_mode_options(arguments, run_simulation=False),
     )
     telemetry = _CliTelemetry(arguments)
+
+    if arguments.journal and not arguments.trace:
+        print("--journal requires --trace (durable replay)", file=sys.stderr)
+        return EXIT_USAGE
+    if arguments.restore and not arguments.journal:
+        print("--restore requires --journal", file=sys.stderr)
+        return EXIT_USAGE
 
     if arguments.trace:
         if arguments.workload or arguments.candidate:
@@ -449,8 +457,24 @@ def _cmd_admit(arguments: argparse.Namespace) -> int:
             )
             return EXIT_USAGE
         trace = load_trace(arguments.trace)
-        with telemetry.scope():
-            result = replay_trace(trace, allocator=allocator)
+        if arguments.journal:
+            from repro.reliability import graceful_interrupts, replay_trace_durably
+
+            try:
+                with telemetry.scope(), graceful_interrupts():
+                    result = replay_trace_durably(
+                        trace,
+                        arguments.journal,
+                        snapshot_every=arguments.snapshot_every,
+                        allocator=allocator,
+                        resume=arguments.restore,
+                    )
+            except (JournalError, SnapshotError) as error:
+                print(f"error: {error}", file=sys.stderr)
+                return EXIT_USAGE
+        else:
+            with telemetry.scope():
+                result = replay_trace(trace, allocator=allocator)
         print(render_table(result.rows()))
         print(
             f"\ntrace {trace.name!r}: {result.admitted} admitted, "
@@ -619,17 +643,22 @@ def _cmd_batch(arguments: argparse.Namespace) -> int:
         progress = lambda index, result: reporter.update(result)  # noqa: E731
     telemetry_on = bool(arguments.telemetry or arguments.telemetry_log)
     executors: list = []
-    results, summary = run_campaign(
-        spec,
-        workers=arguments.workers,
-        cache_dir=arguments.cache_dir,
-        use_cache=not arguments.no_cache,
-        timeout=arguments.timeout,
-        progress=progress,
-        items=items,
-        telemetry=telemetry_on,
-        executor_out=executors,
-    )
+    # SIGTERM unwinds like Ctrl-C: the worker pool is torn down (no orphan
+    # processes) and the cache / telemetry files stay valid.
+    from repro.reliability import graceful_interrupts
+
+    with graceful_interrupts():
+        results, summary = run_campaign(
+            spec,
+            workers=arguments.workers,
+            cache_dir=arguments.cache_dir,
+            use_cache=not arguments.no_cache,
+            timeout=arguments.timeout,
+            progress=progress,
+            items=items,
+            telemetry=telemetry_on,
+            executor_out=executors,
+        )
     if reporter is not None:
         reporter.close()
     executor = executors[0]
@@ -781,6 +810,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     admit_parser.add_argument(
         "--trace", help="replay an arrival/departure trace JSON instead"
+    )
+    admit_parser.add_argument(
+        "--journal",
+        help="with --trace: append every committed event to this durable, "
+        "checksummed journal file (crash-safe replay)",
+    )
+    admit_parser.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="with --journal: write a session snapshot next to the journal "
+        "after every N events (0 = journal only)",
+    )
+    admit_parser.add_argument(
+        "--restore",
+        action="store_true",
+        help="with --journal: resume a killed replay from the journal (and "
+        "snapshot, if one exists) instead of starting over",
     )
     admit_parser.add_argument(
         "--output", help="write the mapped workload (or trace results) JSON here"

@@ -30,6 +30,7 @@ from repro.core.admission import (
     TraceEvent,
     TraceRecord,
     TraceResult,
+    apply_trace_event,
     load_trace,
     random_trace,
     replay_trace,
@@ -90,6 +91,7 @@ __all__ = [
     "WorkloadSocpFormulation",
     "allocate",
     "allocate_workload",
+    "apply_trace_event",
     "load_trace",
     "random_trace",
     "replay_trace",

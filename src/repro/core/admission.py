@@ -39,9 +39,11 @@ from typing import Dict, List, Mapping, Optional, Tuple, Union
 from repro.exceptions import (
     AllocationError,
     BindingError,
+    FaultInjected,
     InfeasibleModelError,
     InfeasibleProblemError,
     ModelError,
+    NumericalError,
 )
 from repro.obs.metrics import get_registry as _metrics_registry
 from repro.obs.trace import span as obs_span
@@ -57,6 +59,11 @@ FORMAT_VERSION = 1
 STAGE_ADMITTED = "admitted"
 STAGE_LOAD_SCREEN = "load-screen"   #: closed-form combined-load screens
 STAGE_SOLVER = "solver"             #: joint cone program proven infeasible
+#: The solver *failed* (as opposed to proving infeasibility) and kept failing
+#: through the bounded retry and the from-scratch fallback.  The candidate is
+#: rolled back and the running workload keeps its allocation — a structured
+#: outcome, never a crash and never a silently wrong admit.
+STAGE_ERROR = "error"
 
 #: Anytime fast-path verdicts (delivered *before* the exact solve confirms).
 VERDICT_ADMIT = "admit"
@@ -124,6 +131,7 @@ class AdmissionController:
         weights: Optional[ObjectiveWeights] = None,
         name: str = "running",
         workload: Optional[Workload] = None,
+        retry_policy: Optional[object] = None,
     ) -> None:
         """Open a controller over ``platform``, empty or pre-loaded.
 
@@ -136,7 +144,20 @@ class AdmissionController:
         errors of :meth:`Workload.validate`) when the seeded workload is not
         allocatable — a running workload must be feasible to ask admission
         questions against.
+
+        ``retry_policy`` bounds the degradation ladder applied when a joint
+        solve *fails* (a numerical blow-up, not proven infeasibility): the
+        failed solve is retried cold up to the policy's attempts, then falls
+        back to one from-scratch joint solve, and only when that fails too
+        does :meth:`admit` return a :data:`STAGE_ERROR` decision with the
+        running workload untouched.  Defaults to
+        :class:`repro.reliability.retry.RetryPolicy` ``(attempts=2)``.
         """
+        if retry_policy is None:
+            from repro.reliability.retry import RetryPolicy
+
+            retry_policy = RetryPolicy(attempts=2)
+        self.retry_policy = retry_policy
         self.platform = platform
         # Admission decisions are made per event at run time: keep the
         # analytical verification but skip the (slow) self-timed simulation
@@ -356,6 +377,52 @@ class AdmissionController:
             return float("inf")
         return max(capacity, 1.0) / (final_barrier * slack)
 
+    #: Solver failures worth retrying: transient numerical breakdowns (and
+    #: the injected faults that stand in for them under chaos testing).
+    #: Definite verdicts — infeasibility, unboundedness — are *not* here: a
+    #: deterministic answer must never be re-asked.
+    _RETRYABLE = (NumericalError, FaultInjected, FloatingPointError, ArithmeticError)
+
+    def _resilient_allocate(self, session: WorkloadSession) -> MappedWorkload:
+        """``session.allocate()`` hardened by the degradation ladder.
+
+        Retryable solver failures trigger up to ``retry_policy.attempts``
+        tries (the warm state is dropped before each retry — a poisoned warm
+        start is the most likely transient cause), then one from-scratch
+        joint solve of the same workload (fresh formulation, cold start, the
+        backend dispatcher's own dense fallback chain included).  Whatever
+        that raises propagates to the caller, which turns it into a
+        structured outcome.  Ladder steps are counted as
+        ``reliability.retries`` / ``reliability.fallbacks``.
+        """
+        import numpy as np
+
+        from repro.reliability.faults import maybe_fail
+
+        retryable = self._RETRYABLE + (np.linalg.LinAlgError,)
+        registry = _metrics_registry()
+
+        def attempt() -> MappedWorkload:
+            maybe_fail("admission.solve")
+            return session.allocate()
+
+        def on_retry(attempt_number: int, error: BaseException) -> None:
+            # Cold retry: drop the (possibly poisoned) warm state first.
+            session._session.reset()
+            if registry.enabled:
+                registry.counter("reliability.retries").inc()
+
+        try:
+            return self.retry_policy.run(
+                attempt, retryable=retryable, on_retry=on_retry
+            )
+        except retryable:
+            if registry.enabled:
+                registry.counter("reliability.fallbacks").inc()
+            session._session.reset()
+            maybe_fail("admission.solve", label="fallback")
+            return self.allocator.allocate_workload(self.workload)
+
     def _admit(self, name: str, configuration: Configuration) -> AdmissionDecision:
         if self._session is None:
             return self._admit_first(name, configuration)
@@ -369,13 +436,23 @@ class AdmissionController:
             # too — the solver could never change them.
             return AdmissionDecision(name, False, STAGE_LOAD_SCREEN, reason=str(error))
         try:
-            mapped = self._session.allocate()
+            mapped = self._resilient_allocate(self._session)
         except (InfeasibleProblemError, AllocationError) as error:
             self._session.remove_application(name)
             return AdmissionDecision(name, False, STAGE_SOLVER, reason=str(error))
+        except Exception as error:  # noqa: BLE001 - ladder exhausted
+            # The solver failed (it did not prove anything) and the retry and
+            # fallback rungs failed too: a structured error verdict, with the
+            # candidate rolled back and the running allocation untouched.
+            self._session.remove_application(name)
+            return AdmissionDecision(
+                name,
+                False,
+                STAGE_ERROR,
+                reason=f"{type(error).__name__}: {error}",
+            )
         except BaseException:
-            # Any other failure (numerical breakdown, unboundedness, a bug) is
-            # not an admission verdict and propagates — but never with the
+            # KeyboardInterrupt / SystemExit propagate — but never with the
             # candidate left inside the running workload.
             self._session.remove_application(name)
             raise
@@ -399,10 +476,18 @@ class AdmissionController:
                 # Keep one aggregate across empty-platform gaps: the new
                 # session continues the predecessor's statistics.
                 session._adopt_stats(self._stats)
-            mapped = session.allocate()
+            mapped = self._resilient_allocate(session)
         except (InfeasibleProblemError, AllocationError) as error:
             self.workload.remove_application(name)
             return AdmissionDecision(name, False, STAGE_SOLVER, reason=str(error))
+        except Exception as error:  # noqa: BLE001 - ladder exhausted
+            self.workload.remove_application(name)
+            return AdmissionDecision(
+                name,
+                False,
+                STAGE_ERROR,
+                reason=f"{type(error).__name__}: {error}",
+            )
         except BaseException:
             # Non-verdict failures propagate, with the workload restored.
             self.workload.remove_application(name)
@@ -428,12 +513,34 @@ class AdmissionController:
                 self.mapped = None
             else:
                 self._session.remove_application(name)
-                self.mapped = self._session.allocate()
+                self.mapped = self._resilient_allocate(self._session)
         registry = _metrics_registry()
         if registry.enabled:
             registry.counter("admission.departures").inc()
             registry.gauge("admission.running").set(len(self.workload))
         return self.mapped
+
+    @classmethod
+    def restore(
+        cls,
+        snapshot: Optional[object],
+        journal: object,
+        allocator: Optional[JointAllocator] = None,
+    ) -> Tuple["AdmissionController", List["TraceRecord"]]:
+        """Rebuild a controller from a session snapshot plus its journal.
+
+        ``snapshot`` is a :class:`repro.reliability.snapshot.SessionSnapshot`
+        or a path to one (``None`` replays the whole journal from scratch);
+        ``journal`` is a path to — or the read contents of — the run's
+        durable journal.  Only journal events *after* the snapshot's sequence
+        number are re-solved; the restored controller's committed workload
+        matches the uninterrupted run within 1e-6.  Returns the controller
+        together with the full per-event record timeline (recorded outcomes
+        for snapshot-covered events, recomputed ones for the replayed tail).
+        """
+        from repro.reliability.snapshot import restore_controller
+
+        return restore_controller(journal, snapshot, allocator=allocator)
 
     def _record_decision(self, decision: AdmissionDecision, seconds: float) -> None:
         """Publish one admission verdict to the metrics registry."""
@@ -529,6 +636,7 @@ STATUS_ADMITTED = "admitted"
 STATUS_REJECTED = "rejected"
 STATUS_DEPARTED = "departed"
 STATUS_IGNORED = "ignored"   #: departure of an application that is not running
+STATUS_ERROR = "error"       #: arrival ending in a :data:`STAGE_ERROR` decision
 
 
 @dataclass
@@ -573,6 +681,68 @@ class TraceResult:
         ]
 
 
+def apply_trace_event(
+    controller: AdmissionController, index: int, event: TraceEvent
+) -> TraceRecord:
+    """Apply one trace event to a controller and record its outcome.
+
+    The single definition of the event-to-record mapping, shared by
+    :func:`replay_trace` and the durable replay of
+    :mod:`repro.reliability.snapshot` — both paths must produce identical
+    records for the kill-and-restore equivalence contract to be checkable.
+    A departure of an application that is not running is recorded as
+    ``ignored`` rather than raising — traces may legitimately contain
+    departures of applications that were rejected on arrival.
+    """
+    if event.action == ACTION_ARRIVE:
+        decision = controller.admit(event.application, event.configuration)
+        if decision.admitted:
+            status, stage = STATUS_ADMITTED, None
+        elif decision.stage == STAGE_ERROR:
+            status, stage = STATUS_ERROR, decision.stage
+        else:
+            status, stage = STATUS_REJECTED, decision.stage
+        return TraceRecord(
+            index=index,
+            action=event.action,
+            application=event.application,
+            status=status,
+            stage=stage,
+            reason=decision.reason,
+            verdict=decision.verdict,
+            verdict_stage=decision.verdict_stage,
+            objective_value=(
+                None
+                if controller.mapped is None
+                else controller.mapped.objective_value
+            ),
+            running=controller.running,
+        )
+    if event.application not in controller.running:
+        return TraceRecord(
+            index=index,
+            action=event.action,
+            application=event.application,
+            status=STATUS_IGNORED,
+            reason="application is not running",
+            objective_value=(
+                None
+                if controller.mapped is None
+                else controller.mapped.objective_value
+            ),
+            running=controller.running,
+        )
+    mapped = controller.depart(event.application)
+    return TraceRecord(
+        index=index,
+        action=event.action,
+        application=event.application,
+        status=STATUS_DEPARTED,
+        objective_value=None if mapped is None else mapped.objective_value,
+        running=controller.running,
+    )
+
+
 def replay_trace(
     trace: AdmissionTrace,
     allocator: Optional[JointAllocator] = None,
@@ -590,55 +760,7 @@ def replay_trace(
     controller = controller or AdmissionController(trace.platform, allocator=allocator)
     records: List[TraceRecord] = []
     for index, event in enumerate(trace.events):
-        if event.action == ACTION_ARRIVE:
-            decision = controller.admit(event.application, event.configuration)
-            records.append(
-                TraceRecord(
-                    index=index,
-                    action=event.action,
-                    application=event.application,
-                    status=STATUS_ADMITTED if decision.admitted else STATUS_REJECTED,
-                    stage=None if decision.admitted else decision.stage,
-                    reason=decision.reason,
-                    verdict=decision.verdict,
-                    verdict_stage=decision.verdict_stage,
-                    objective_value=(
-                        None
-                        if controller.mapped is None
-                        else controller.mapped.objective_value
-                    ),
-                    running=controller.running,
-                )
-            )
-            continue
-        if event.application not in controller.running:
-            records.append(
-                TraceRecord(
-                    index=index,
-                    action=event.action,
-                    application=event.application,
-                    status=STATUS_IGNORED,
-                    reason="application is not running",
-                    objective_value=(
-                        None
-                        if controller.mapped is None
-                        else controller.mapped.objective_value
-                    ),
-                    running=controller.running,
-                )
-            )
-            continue
-        mapped = controller.depart(event.application)
-        records.append(
-            TraceRecord(
-                index=index,
-                action=event.action,
-                application=event.application,
-                status=STATUS_DEPARTED,
-                objective_value=None if mapped is None else mapped.objective_value,
-                running=controller.running,
-            )
-        )
+        records.append(apply_trace_event(controller, index, event))
     stats = controller.session_stats
     return TraceResult(
         trace=trace,

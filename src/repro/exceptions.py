@@ -73,3 +73,33 @@ class SimulationError(ReproError):
 
 class AllocationError(ReproError):
     """A mapped configuration could not be produced or failed verification."""
+
+
+class ReliabilityError(ReproError):
+    """Base class for failures of the durability layer (journal, snapshot)."""
+
+
+class JournalError(ReliabilityError):
+    """An admission journal is unreadable, corrupt or inconsistent.
+
+    Raised for checksum mismatches on *complete* records, sequence-number
+    gaps and replay divergence.  A truncated final record (a crash mid-append)
+    is *not* an error — the reader drops it and reports the journal as
+    truncated, because losing the very last in-flight record is exactly the
+    failure mode a write-ahead log is specified to tolerate.
+    """
+
+
+class SnapshotError(ReliabilityError):
+    """A session snapshot cannot be applied (wrong platform, newer than the
+    journal tail, or an unsupported format version)."""
+
+
+class FaultInjected(ReproError):
+    """An error raised on purpose by an armed fault-injection site.
+
+    Only ever raised while a :class:`repro.reliability.faults.FaultPlan` is
+    armed (i.e. inside chaos tests); production code paths treat it like any
+    other unexpected failure, which is the point — the handling ladder under
+    test is the real one.
+    """

@@ -1,0 +1,57 @@
+"""Crash safety: durable journal, snapshot/restore, fault injection, retry.
+
+Lazy (PEP 562) exports: ``repro.reliability.faults`` and ``.retry`` are
+dependency-free leaves imported from hot paths (solver, cache, executor),
+so importing this package must not drag in the journal/snapshot layer —
+which imports ``repro.core.admission`` and everything under it.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+_EXPORTS = {
+    # faults
+    "FaultPlan": "repro.reliability.faults",
+    "FaultSpec": "repro.reliability.faults",
+    "active_plan": "repro.reliability.faults",
+    "armed": "repro.reliability.faults",
+    "install": "repro.reliability.faults",
+    "maybe_fail": "repro.reliability.faults",
+    "uninstall": "repro.reliability.faults",
+    # retry
+    "CircuitBreaker": "repro.reliability.retry",
+    "RetryPolicy": "repro.reliability.retry",
+    "graceful_interrupts": "repro.reliability.retry",
+    # journal
+    "JOURNAL_SCHEMA_VERSION": "repro.reliability.journal",
+    "AdmissionJournal": "repro.reliability.journal",
+    "JournalContents": "repro.reliability.journal",
+    "JournalEntry": "repro.reliability.journal",
+    "platform_fingerprint": "repro.reliability.journal",
+    "read_journal": "repro.reliability.journal",
+    # snapshot / restore
+    "SNAPSHOT_FORMAT_VERSION": "repro.reliability.snapshot",
+    "SessionSnapshot": "repro.reliability.snapshot",
+    "default_snapshot_path": "repro.reliability.snapshot",
+    "load_snapshot": "repro.reliability.snapshot",
+    "replay_trace_durably": "repro.reliability.snapshot",
+    "restore_controller": "repro.reliability.snapshot",
+    "save_snapshot": "repro.reliability.snapshot",
+    "snapshot_controller": "repro.reliability.snapshot",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> List[str]:
+    return sorted(set(globals()) | set(__all__))

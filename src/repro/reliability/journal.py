@@ -1,0 +1,345 @@
+"""Durable admission journal: a checksummed, append-only write-ahead log.
+
+One admission run writes one journal file.  Each line is a self-contained
+JSON record with a CRC-32 checksum over its canonical JSON form (the
+record without its ``crc`` field, serialised with sorted keys and no
+whitespace — :func:`repro.batch.cache.canonical_json`):
+
+* ``seq 0`` — the ``open`` record: schema version, trace name, the full
+  platform document and its fingerprint (so a journal alone identifies —
+  and can rebuild — the platform it was recorded against);
+* ``seq 1..N`` — one ``event`` record per *committed* trace event: the
+  :class:`~repro.core.admission.TraceEvent` (arrival configurations
+  serialised inline) plus the structured outcome the controller produced
+  (status, stage, objective, running set, anytime verdict).
+
+Appends reuse the ``O_APPEND`` single-``os.write`` pattern of
+:class:`repro.obs.export.JsonlSink`: every record is exactly one line
+written atomically, so a crash never interleaves partial records — it can
+only truncate the *final* line.  The reader therefore tolerates an
+unparseable final line (reported via :attr:`JournalContents.truncated`,
+the record is dropped) while rejecting everything else: a checksum
+mismatch on a complete record, a sequence gap, or garbage in the middle of
+the file all raise :class:`~repro.exceptions.JournalError` — those are
+corruption, not crash artefacts.
+
+Records are written *after* the controller commits a decision, so the
+journal only ever contains decisions that actually happened; a crash
+between commit and append loses at most the one in-flight event, which the
+event-boundary recovery contract allows.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Union
+
+from repro.batch.cache import canonical_json
+from repro.core.admission import TraceEvent, TraceRecord
+from repro.exceptions import JournalError
+from repro.reliability.faults import maybe_fail
+from repro.taskgraph.platform import Platform
+
+__all__ = [
+    "JOURNAL_SCHEMA_VERSION",
+    "AdmissionJournal",
+    "JournalContents",
+    "JournalEntry",
+    "platform_fingerprint",
+    "read_journal",
+]
+
+JOURNAL_SCHEMA_VERSION = 1
+
+KIND_OPEN = "open"
+KIND_EVENT = "event"
+
+
+def platform_fingerprint(platform: Platform) -> str:
+    """A stable SHA-256 identity of a platform's canonical document."""
+    from repro.taskgraph import serialization
+
+    document = canonical_json(serialization.platform_to_dict(platform))
+    return hashlib.sha256(document.encode("utf-8")).hexdigest()
+
+
+def _checksum(record: Mapping[str, object]) -> int:
+    """CRC-32 over the record's canonical JSON, ``crc`` field excluded."""
+    body = {key: value for key, value in record.items() if key != "crc"}
+    return zlib.crc32(canonical_json(body).encode("utf-8"))
+
+
+def _event_to_dict(event: TraceEvent) -> Dict[str, object]:
+    from repro.taskgraph import serialization
+
+    data: Dict[str, object] = {
+        "action": event.action,
+        "application": event.application,
+    }
+    if event.configuration is not None:
+        data["configuration"] = serialization.configuration_to_dict(
+            event.configuration
+        )
+    return data
+
+
+def _event_from_dict(data: Mapping[str, object]) -> TraceEvent:
+    from repro.taskgraph import serialization
+
+    configuration = None
+    if data.get("configuration") is not None:
+        configuration = serialization.configuration_from_dict(
+            data["configuration"]
+        )
+    return TraceEvent(
+        str(data["action"]), str(data["application"]), configuration
+    )
+
+
+@dataclass
+class JournalEntry:
+    """One committed event as read back from the journal."""
+
+    seq: int
+    event: TraceEvent
+    outcome: Dict[str, object]
+
+    def record(self) -> TraceRecord:
+        """The recorded outcome as a :class:`TraceRecord` (index = seq - 1)."""
+        outcome = self.outcome
+        return TraceRecord(
+            index=int(outcome.get("index", self.seq - 1)),
+            action=self.event.action,
+            application=self.event.application,
+            status=str(outcome["status"]),
+            stage=None if outcome.get("stage") is None else str(outcome["stage"]),
+            reason=None if outcome.get("reason") is None else str(outcome["reason"]),
+            objective_value=(
+                None
+                if outcome.get("objective_value") is None
+                else float(outcome["objective_value"])
+            ),
+            running=[str(name) for name in outcome.get("running", [])],
+            verdict=(
+                None if outcome.get("verdict") is None else str(outcome["verdict"])
+            ),
+            verdict_stage=(
+                None
+                if outcome.get("verdict_stage") is None
+                else str(outcome["verdict_stage"])
+            ),
+        )
+
+
+@dataclass
+class JournalContents:
+    """Everything a well-formed (possibly truncated) journal file holds."""
+
+    path: Path
+    name: str = "journal"
+    platform_data: Optional[Dict[str, object]] = None
+    fingerprint: Optional[str] = None
+    entries: List[JournalEntry] = field(default_factory=list)
+    truncated: bool = False     #: final line dropped as a torn write
+
+    @property
+    def last_seq(self) -> int:
+        """The last committed sequence number (0 = header only or empty)."""
+        return self.entries[-1].seq if self.entries else 0
+
+    def platform(self) -> Platform:
+        from repro.taskgraph import serialization
+
+        if self.platform_data is None:
+            raise JournalError(
+                f"journal {self.path} has no open record to rebuild a platform from"
+            )
+        return serialization.platform_from_dict(self.platform_data)
+
+
+def _parse_line(line: str, where: str) -> Dict[str, object]:
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise JournalError(f"{where}: unparseable record: {error}") from None
+    if not isinstance(record, dict):
+        raise JournalError(f"{where}: record is not a JSON object")
+    schema = record.get("schema")
+    if schema != JOURNAL_SCHEMA_VERSION:
+        raise JournalError(
+            f"{where}: unsupported journal schema {schema!r} "
+            f"(supported: {JOURNAL_SCHEMA_VERSION})"
+        )
+    crc = record.get("crc")
+    if not isinstance(crc, int):
+        raise JournalError(f"{where}: record has no integer 'crc'")
+    if crc != _checksum(record):
+        raise JournalError(
+            f"{where}: checksum mismatch (stored {crc}, "
+            f"computed {_checksum(record)}) — the record is corrupt"
+        )
+    return record
+
+
+def read_journal(path: Union[str, Path]) -> JournalContents:
+    """Parse a journal file, tolerating only a torn final line.
+
+    An empty or missing file reads as an empty journal.  Any malformed or
+    checksum-mismatched record — except an unparseable *final* line, the
+    signature of a crash mid-append — raises
+    :class:`~repro.exceptions.JournalError`.
+    """
+    path = Path(path)
+    contents = JournalContents(path=path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        return contents
+    lines = [line for line in text.split("\n") if line.strip()]
+    for position, line in enumerate(lines):
+        where = f"{path}:{position + 1}"
+        final = position == len(lines) - 1
+        try:
+            record = _parse_line(line, where)
+        except JournalError as error:
+            if final and "unparseable record" in str(error):
+                # A torn final line is the crash artefact the WAL contract
+                # tolerates: the in-flight record is dropped, everything
+                # before it stands.
+                contents.truncated = True
+                break
+            raise
+        seq = record.get("seq")
+        kind = record.get("kind")
+        if kind == KIND_OPEN:
+            if position != 0 or seq != 0:
+                raise JournalError(f"{where}: misplaced open record")
+            contents.name = str(record.get("name", "journal"))
+            platform_data = record.get("platform")
+            contents.platform_data = (
+                dict(platform_data) if isinstance(platform_data, dict) else None
+            )
+            fingerprint = record.get("fingerprint")
+            contents.fingerprint = (
+                None if fingerprint is None else str(fingerprint)
+            )
+            continue
+        if kind != KIND_EVENT:
+            raise JournalError(f"{where}: unknown record kind {kind!r}")
+        if position == 0:
+            raise JournalError(f"{where}: journal does not start with an open record")
+        expected = contents.last_seq + 1
+        if seq != expected:
+            raise JournalError(
+                f"{where}: sequence gap (expected seq {expected}, found {seq!r})"
+            )
+        try:
+            event = _event_from_dict(record["event"])
+            outcome = dict(record["outcome"])
+        except (KeyError, TypeError) as error:
+            raise JournalError(f"{where}: malformed event record: {error}") from None
+        contents.entries.append(JournalEntry(seq=int(seq), event=event, outcome=outcome))
+    return contents
+
+
+class AdmissionJournal:
+    """Appender for one admission run's write-ahead log.
+
+    ``open()`` creates the file (writing the seq-0 ``open`` record) or
+    resumes an existing one — validating that it belongs to the same
+    platform and positioning the sequence counter at its tail.  Appends are
+    one atomic ``os.write`` per record on an ``O_APPEND`` descriptor,
+    guarded by a per-process lock.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._fd: Optional[int] = None
+        self._lock = threading.Lock()
+        self._seq = 0
+
+    # -- lifecycle ----------------------------------------------------------
+    def open(self, platform: Platform, name: str = "journal") -> "AdmissionJournal":
+        """Create the journal for ``platform``, or resume an existing one."""
+        fingerprint = platform_fingerprint(platform)
+        if self.path.exists() and self.path.stat().st_size > 0:
+            contents = read_journal(self.path)
+            if contents.fingerprint != fingerprint:
+                raise JournalError(
+                    f"journal {self.path} was recorded against a different "
+                    f"platform (fingerprint {contents.fingerprint!r}, "
+                    f"expected {fingerprint!r})"
+                )
+            self._seq = contents.last_seq
+            return self
+        from repro.taskgraph import serialization
+
+        self._seq = 0
+        self._append(
+            {
+                "schema": JOURNAL_SCHEMA_VERSION,
+                "seq": 0,
+                "kind": KIND_OPEN,
+                "name": name,
+                "platform": serialization.platform_to_dict(platform),
+                "fingerprint": fingerprint,
+            }
+        )
+        return self
+
+    @property
+    def seq(self) -> int:
+        """The sequence number of the last appended event record."""
+        return self._seq
+
+    # -- appends ------------------------------------------------------------
+    def append_event(self, event: TraceEvent, record: TraceRecord) -> int:
+        """Journal one committed event and its outcome; returns its seq."""
+        seq = self._seq + 1
+        self._append(
+            {
+                "schema": JOURNAL_SCHEMA_VERSION,
+                "seq": seq,
+                "kind": KIND_EVENT,
+                "event": _event_to_dict(event),
+                "outcome": record.as_dict(),
+            }
+        )
+        self._seq = seq
+        return seq
+
+    def _append(self, record: Dict[str, object]) -> None:
+        record["crc"] = _checksum(record)
+        line = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+        with self._lock:
+            try:
+                maybe_fail("journal.write", label=str(record.get("seq")))
+                if self._fd is None:
+                    self._fd = os.open(
+                        str(self.path),
+                        os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+                        0o644,
+                    )
+                os.write(self._fd, line)
+            except OSError as error:
+                raise JournalError(
+                    f"journal append to {self.path} failed: {error}"
+                ) from error
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fd is not None:
+                os.close(self._fd)
+                self._fd = None
+
+    def __enter__(self) -> "AdmissionJournal":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

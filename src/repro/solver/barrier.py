@@ -95,6 +95,7 @@ import numpy as np
 
 from repro.obs.metrics import get_registry as _metrics_registry
 from repro.obs.trace import span as obs_span
+from repro.reliability.faults import maybe_fail as _maybe_fail
 from repro.solver.problem import (
     BlockStructure,
     CompiledCone,
@@ -2299,6 +2300,10 @@ class BarrierSolver:
             direction: Optional[np.ndarray] = None
             if workspace is not None:
                 try:
+                    # Chaos site: an armed ``newton.linalg`` fault raises the
+                    # same LinAlgError a failed block factorisation would, so
+                    # the dense-fallback path below is exercisable on demand.
+                    _maybe_fail("newton.linalg")
                     grad, direction = workspace.direction(z, t_barrier * c)
                 except np.linalg.LinAlgError:
                     self._structured_fallbacks = (

@@ -69,6 +69,8 @@ except Exception:  # pragma: no cover
 from repro.exceptions import NumericalError
 from repro.obs import metrics
 from repro.obs.trace import span as obs_span
+from repro.reliability.faults import active_plan as _active_fault_plan
+from repro.reliability.faults import maybe_fail as _maybe_fail
 from repro.solver.parametric import ParametricProblem, SessionStats, SolveSession
 from repro.solver.problem import (
     CompiledCone,
@@ -502,6 +504,12 @@ class _LocalTeam:
 def _worker_loop(connection, blocks, options) -> None:  # pragma: no cover - child process
     """Entry point of one persistent worker process (fixed block affinity)."""
     try:
+        options = dict(options)
+        fault_plan = options.pop("fault_plan", None)
+        if fault_plan is not None:
+            from repro.reliability.faults import FaultPlan, install
+
+            install(FaultPlan.from_dict(fault_plan))
         workers = [_BlockWorker(block, options) for block in blocks]
         while True:
             message = connection.recv()
@@ -509,6 +517,11 @@ def _worker_loop(connection, blocks, options) -> None:  # pragma: no cover - chi
             if command == "stop":
                 break
             try:
+                # Chaos site: ``decomposed.worker`` with ``exit`` kills this
+                # team member mid-coordination (→ DecompositionError in the
+                # parent → team-rebuild retry, then joint fallback); raising
+                # actions are forwarded as a worker error below.
+                _maybe_fail("decomposed.worker", label=str(command))
                 if command == "prime":
                     shares, seeds = message[1], message[2]
                     payload = [
@@ -1054,96 +1067,20 @@ def solve_decomposed(
 
     use_processes = opts.fanout == "process" and int(opts.workers) > 1
     if use_processes:
-        team = _ProcessTeam(blocks, block_options, int(opts.workers))
-    else:
-        team = _LocalTeam(blocks, block_options, int(opts.workers))
+        # Process workers arm the parent's fault plan (chaos tests inject
+        # crashes into team members); the plan rides the per-block options.
+        parent_plan = _active_fault_plan()
+        if parent_plan is not None:
+            block_options["fault_plan"] = parent_plan.to_dict()
 
-    coordinator = _Coordinator(
-        problem, decomposition, team, opts, barrier_options
-    )
-    stats: Dict[str, object] = {
-        "decomposed_blocks": len(blocks),
-        "decomposed_workers": int(team.size),
-        "decomposed_fanout": team.kind,
-        "decomposed_coupling_rows": int(decomposition.capacities.size),
-        "decomposed_fallback": None,
-    }
+    def make_team():
+        if use_processes:
+            return _ProcessTeam(blocks, block_options, int(opts.workers))
+        return _LocalTeam(blocks, block_options, int(opts.workers))
 
-    metrics.counter("decomposed.solves").inc()
-    polish_solution: Optional[Solution] = None
-    polish_time = 0.0
-    try:
-        try:
-            with obs_span(
-                "decomposed", blocks=len(blocks), workers=int(team.size)
-            ):
-                reports, usage = coordinator.prime(x0)
-                coordinator._last_reports = reports
-                fits = bool(np.all(usage < decomposition.capacities))
-                if fits:
-                    # The coupling is inactive at the standalone optima: their
-                    # union is the joint optimum and no coordination is needed.
-                    coordinator.coordination_skipped = True
-                else:
-                    reports, usage = coordinator.fit(reports, usage)
-                    coordinator._last_reports = reports
-                    reports = coordinator.coordinate(reports, usage)
-            collected = coordinator._timed(team.collect)
-            merged = SessionStats(compiles=0)
-            x = np.zeros(problem.num_variables)
-            for block in blocks:
-                vector, session_stats = collected[block.index]
-                if vector is None:
-                    raise DecompositionError(
-                        f"block {block.index} finished without a point"
-                    )
-                x[block.start:block.stop] = vector
-                merged.merge(SessionStats(**session_stats))
-            if opts.polish and not coordinator.coordination_skipped:
-                # Lock the coordinated point to the joint optimum: one
-                # warm-started joint solve (phase I skipped off the strictly
-                # feasible assembled point, ladder restarted a few rungs
-                # below the coordinated one).
-                polish_options = dict(barrier_options)
-                if coordinator.final_barrier is not None:
-                    increase = float(
-                        polish_options.get("barrier_increase", 25.0)
-                    )
-                    polish_options.setdefault(
-                        "warm_initial_barrier",
-                        max(1.0, coordinator.final_barrier / increase**2),
-                    )
-                polish_started = perf_counter()
-                with obs_span("decomposed-polish"):
-                    polish_solution = _joint_barrier_solve(
-                        problem, x, polish_options
-                    )
-                polish_time = perf_counter() - polish_started
-                if not polish_solution.is_optimal:
-                    raise DecompositionError(
-                        f"joint polish ended with status "
-                        f"{polish_solution.status.value}"
-                    )
-        except _BlockInfeasible as exc:
-            stats["phase1_time"] = coordinator.parallel_time
-            return Solution(
-                status=SolverStatus.INFEASIBLE,
-                backend="decomposed",
-                message=(
-                    f"application block {exc.index} is infeasible even with "
-                    f"the full shared capacities to itself"
-                ),
-                stats=stats,
-            )
-        except _ProvenInfeasible as exc:
-            stats["phase1_time"] = coordinator.parallel_time
-            return Solution(
-                status=SolverStatus.INFEASIBLE,
-                backend="decomposed",
-                message=str(exc),
-                stats=stats,
-            )
-    except NumericalError as exc:
+    def fallback_solution(
+        stats: Dict[str, object], exc: NumericalError
+    ) -> Solution:
         metrics.counter("decomposed.fallbacks").inc()
         if not opts.fallback:
             stats["decomposed_fallback"] = str(exc)
@@ -1159,8 +1096,110 @@ def solve_decomposed(
         solution.stats["decomposed_fallback"] = str(exc)
         solution.backend = "decomposed"
         return solution
-    finally:
-        team.close()
+
+    metrics.counter("decomposed.solves").inc()
+    # A dead worker process (DecompositionError) loses its blocks' warm
+    # sessions, so the coordination cannot be resumed — but it *can* be
+    # restarted: one retry with a freshly spawned team absorbs a transient
+    # crash before degrading to the joint solve.
+    team_attempts = 2 if use_processes else 1
+    for team_attempt in range(team_attempts):
+        team = make_team()
+        coordinator = _Coordinator(
+            problem, decomposition, team, opts, barrier_options
+        )
+        stats: Dict[str, object] = {
+            "decomposed_blocks": len(blocks),
+            "decomposed_workers": int(team.size),
+            "decomposed_fanout": team.kind,
+            "decomposed_coupling_rows": int(decomposition.capacities.size),
+            "decomposed_fallback": None,
+        }
+        polish_solution: Optional[Solution] = None
+        polish_time = 0.0
+        try:
+            try:
+                with obs_span(
+                    "decomposed", blocks=len(blocks), workers=int(team.size)
+                ):
+                    reports, usage = coordinator.prime(x0)
+                    coordinator._last_reports = reports
+                    fits = bool(np.all(usage < decomposition.capacities))
+                    if fits:
+                        # The coupling is inactive at the standalone optima:
+                        # their union is the joint optimum and no coordination
+                        # is needed.
+                        coordinator.coordination_skipped = True
+                    else:
+                        reports, usage = coordinator.fit(reports, usage)
+                        coordinator._last_reports = reports
+                        reports = coordinator.coordinate(reports, usage)
+                collected = coordinator._timed(team.collect)
+                merged = SessionStats(compiles=0)
+                x = np.zeros(problem.num_variables)
+                for block in blocks:
+                    vector, session_stats = collected[block.index]
+                    if vector is None:
+                        raise DecompositionError(
+                            f"block {block.index} finished without a point"
+                        )
+                    x[block.start:block.stop] = vector
+                    merged.merge(SessionStats(**session_stats))
+                if opts.polish and not coordinator.coordination_skipped:
+                    # Lock the coordinated point to the joint optimum: one
+                    # warm-started joint solve (phase I skipped off the
+                    # strictly feasible assembled point, ladder restarted a
+                    # few rungs below the coordinated one).
+                    polish_options = dict(barrier_options)
+                    if coordinator.final_barrier is not None:
+                        increase = float(
+                            polish_options.get("barrier_increase", 25.0)
+                        )
+                        polish_options.setdefault(
+                            "warm_initial_barrier",
+                            max(1.0, coordinator.final_barrier / increase**2),
+                        )
+                    polish_started = perf_counter()
+                    with obs_span("decomposed-polish"):
+                        polish_solution = _joint_barrier_solve(
+                            problem, x, polish_options
+                        )
+                    polish_time = perf_counter() - polish_started
+                    if not polish_solution.is_optimal:
+                        raise DecompositionError(
+                            f"joint polish ended with status "
+                            f"{polish_solution.status.value}"
+                        )
+            except _BlockInfeasible as exc:
+                stats["phase1_time"] = coordinator.parallel_time
+                return Solution(
+                    status=SolverStatus.INFEASIBLE,
+                    backend="decomposed",
+                    message=(
+                        f"application block {exc.index} is infeasible even "
+                        f"with the full shared capacities to itself"
+                    ),
+                    stats=stats,
+                )
+            except _ProvenInfeasible as exc:
+                stats["phase1_time"] = coordinator.parallel_time
+                return Solution(
+                    status=SolverStatus.INFEASIBLE,
+                    backend="decomposed",
+                    message=str(exc),
+                    stats=stats,
+                )
+        except DecompositionError as exc:
+            if team_attempt + 1 < team_attempts:
+                metrics.counter("decomposed.retries").inc()
+                metrics.counter("reliability.retries").inc()
+                continue
+            return fallback_solution(stats, exc)
+        except NumericalError as exc:
+            return fallback_solution(stats, exc)
+        finally:
+            team.close()
+        break
 
     total_time = perf_counter() - started
     stats.update(

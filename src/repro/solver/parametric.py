@@ -334,6 +334,64 @@ class SolveSession:
         self._interior_vector = None
         self._last_final_barrier = None
 
+    # -- durable state ------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """The session's warm state as a JSON-serialisable document.
+
+        Vectors are keyed by *variable name*, not position, so the state
+        survives being re-applied to a freshly compiled instance of the same
+        problem (compilation order is deterministic, but names are the
+        contract) — the form :mod:`repro.reliability.snapshot` persists.
+        """
+        compiled = self.parametric.compiled
+
+        def by_name(vector: Optional[np.ndarray]) -> Optional[Dict[str, float]]:
+            if vector is None:
+                return None
+            return {
+                var.name: float(value)
+                for var, value in zip(compiled.variables, vector)
+            }
+
+        return {
+            "warm": by_name(self._warm_vector),
+            "interior": by_name(self._interior_vector),
+            "last_final_barrier": self._last_final_barrier,
+            "warm_rungs_back": self.warm_rungs_back,
+        }
+
+    def load_state(self, state: Mapping[str, object]) -> None:
+        """Re-install a :meth:`state_dict` document onto this session.
+
+        Name-keyed vectors that do not cover every compiled variable are
+        dropped (same contract as :meth:`seed`): a partial warm point is
+        worse than the heuristic start.
+        """
+        compiled = self.parametric.compiled
+
+        def to_vector(mapping: object) -> Optional[np.ndarray]:
+            if not isinstance(mapping, Mapping):
+                return None
+            try:
+                return np.array(
+                    [float(mapping[var.name]) for var in compiled.variables]
+                )
+            except KeyError:
+                return None
+
+        warm = to_vector(state.get("warm"))
+        if warm is not None:
+            self._warm_vector = warm
+        interior = to_vector(state.get("interior"))
+        if interior is not None:
+            self._interior_vector = interior
+        barrier = state.get("last_final_barrier")
+        if barrier is not None:
+            self._last_final_barrier = float(barrier)
+        rungs_back = state.get("warm_rungs_back")
+        if rungs_back is not None:
+            self.warm_rungs_back = int(rungs_back)
+
     # -- solving ------------------------------------------------------------
     def solve(
         self,

@@ -373,9 +373,47 @@ class TestAdmissionController:
                 workload=workload,
             )
 
-    def test_non_verdict_solver_failure_rolls_back_the_candidate(self, monkeypatch):
-        """A numerical failure is not an admission verdict: it propagates, but
-        never with the candidate left inside the running workload."""
+    def test_solver_failure_degrades_to_a_structured_error_verdict(self, monkeypatch):
+        """A persistent numerical failure is not an admission verdict and not a
+        crash either: the degradation ladder (retry, from-scratch fallback)
+        runs out and the event ends in a structured ``error`` decision with
+        the candidate rolled back out of the running workload."""
+        from repro.core.admission import STAGE_ERROR
+        from repro.core.allocator import JointAllocator as AllocatorClass
+        from repro.core.allocator import WorkloadSession
+        from repro.exceptions import NumericalError
+
+        video = chain_configuration(stages=2)
+        controller = AdmissionController(
+            video.platform, allocator=JointAllocator(options=options())
+        )
+        assert controller.admit("video", video).admitted
+
+        session_allocate = WorkloadSession.allocate
+        workload_allocate = AllocatorClass.allocate_workload
+
+        def exploding(self, *args, **kwargs):
+            raise NumericalError("synthetic solver breakdown")
+
+        # Break the incremental path, its retry, and the from-scratch
+        # fallback alike so the whole ladder is exhausted.
+        monkeypatch.setattr(WorkloadSession, "allocate", exploding)
+        monkeypatch.setattr(AllocatorClass, "allocate_workload", exploding)
+        decision = controller.admit(
+            "audio", chain_configuration(stages=2, period=20.0)
+        )
+        assert not decision.admitted
+        assert decision.stage == STAGE_ERROR
+        assert "synthetic solver breakdown" in (decision.reason or "")
+        monkeypatch.setattr(WorkloadSession, "allocate", session_allocate)
+        monkeypatch.setattr(AllocatorClass, "allocate_workload", workload_allocate)
+        assert controller.running == ["video"]
+        # The controller still works after the failure.
+        assert controller.admit("audio", chain_configuration(stages=2, period=20.0)).admitted
+
+    def test_transient_solver_failure_is_retried_and_admits(self, monkeypatch):
+        """One numerical blow-up is absorbed by the retry rung of the ladder:
+        the second attempt succeeds and the candidate is admitted normally."""
         from repro.core.allocator import WorkloadSession
         from repro.exceptions import NumericalError
 
@@ -386,17 +424,21 @@ class TestAdmissionController:
         assert controller.admit("video", video).admitted
 
         original = WorkloadSession.allocate
+        calls = {"n": 0}
 
-        def exploding_allocate(self, *args, **kwargs):
-            raise NumericalError("synthetic solver breakdown")
+        def flaky_allocate(self, *args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise NumericalError("transient blow-up")
+            return original(self, *args, **kwargs)
 
-        monkeypatch.setattr(WorkloadSession, "allocate", exploding_allocate)
-        with pytest.raises(NumericalError):
-            controller.admit("audio", chain_configuration(stages=2, period=20.0))
-        monkeypatch.setattr(WorkloadSession, "allocate", original)
-        assert controller.running == ["video"]
-        # The controller still works after the failure.
-        assert controller.admit("audio", chain_configuration(stages=2, period=20.0)).admitted
+        monkeypatch.setattr(WorkloadSession, "allocate", flaky_allocate)
+        decision = controller.admit(
+            "audio", chain_configuration(stages=2, period=20.0)
+        )
+        assert decision.admitted
+        assert calls["n"] >= 2
+        assert sorted(controller.running) == ["audio", "video"]
 
     def test_depart_unknown_application_raises(self):
         video = chain_configuration(stages=2)

@@ -118,7 +118,7 @@ class TestResultCache:
         assert cache.get(key) is None
         cache.put(key, {"status": "ok", "budgets": {"wa": 18.0}})
         assert cache.get(key) == {"status": "ok", "budgets": {"wa": 18.0}}
-        assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1}
+        assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1, "evictions": 0}
         assert len(cache) == 1
 
     def test_entries_are_sharded_json_files(self, tmp_path):
@@ -129,20 +129,38 @@ class TestResultCache:
         assert path.is_file()
         assert json.loads(path.read_text())["status"] == "ok"
 
-    def test_corrupt_entry_is_a_miss(self, tmp_path):
+    def test_corrupt_entry_is_a_miss_and_is_evicted(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")
         key = cache_key(config_dict(), OPTIONS)
         cache.put(key, {"status": "ok"})
-        (tmp_path / "cache" / key[:2] / f"{key}.json").write_text("{not json")
+        path = tmp_path / "cache" / key[:2] / f"{key}.json"
+        path.write_text("{not json")
         assert cache.get(key) is None
+        assert not path.exists()
+        assert cache.stats()["evictions"] == 1
+        # The slot is reusable: a fresh put hits again.
+        cache.put(key, {"status": "ok"})
+        assert cache.get(key) == {"status": "ok"}
 
-    def test_non_object_entry_is_a_miss(self, tmp_path):
+    def test_truncated_entry_is_a_miss_and_is_evicted(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = cache_key(config_dict(), OPTIONS)
+        cache.put(key, {"status": "ok", "budgets": {"wa": 18.0}})
+        path = tmp_path / "cache" / key[:2] / f"{key}.json"
+        complete = path.read_text()
+        path.write_text(complete[: len(complete) // 2])
+        assert cache.get(key) is None
+        assert not path.exists()
+        assert cache.stats()["evictions"] == 1
+
+    def test_non_object_entry_is_a_miss_and_is_evicted(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")
         key = cache_key(config_dict(), OPTIONS)
         path = tmp_path / "cache" / key[:2] / f"{key}.json"
         path.parent.mkdir(parents=True)
         path.write_text("[1, 2, 3]")
         assert cache.get(key) is None
+        assert not path.exists()
 
     def test_clear_removes_entries(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")
@@ -166,4 +184,4 @@ class TestNullCache:
         cache.put("abc", {"status": "ok"})
         assert cache.get("abc") is None
         assert len(cache) == 0
-        assert cache.stats() == {"hits": 0, "misses": 0, "stores": 0}
+        assert cache.stats() == {"hits": 0, "misses": 0, "stores": 0, "evictions": 0}

@@ -358,6 +358,98 @@ class TestTimeoutPoolRecovery:
         assert elapsed < 30.0, f"run took {elapsed:.1f} s behind a stuck worker"
 
 
+class TestChaos:
+    """Seeded fault plans against the executor: structured outcomes only."""
+
+    def _items(self):
+        return [
+            CampaignItem(label="boom", configuration=chain_configuration(stages=2)),
+            CampaignItem(label="a", configuration=chain_configuration(stages=3)),
+            CampaignItem(label="b", configuration=chain_configuration(stages=4)),
+        ]
+
+    def test_injected_worker_crash_is_contained(self):
+        """A payload that kills its worker (twice — the plan is re-armed per
+        attempt) becomes one error item; the pool is recreated and every
+        other item still solves."""
+        import multiprocessing
+
+        if multiprocessing.get_start_method() != "fork":
+            pytest.skip("worker-crash injection relies on fork workers")
+        from repro.reliability import FaultPlan
+
+        plan = FaultPlan(seed=1).arm("executor.worker", "exit", match="boom")
+        executor = BatchExecutor(
+            config=ExecutorConfig(
+                workers=2, chunk_size=1, fault_plan=plan.to_dict()
+            )
+        )
+        try:
+            with pytest.warns(RuntimeWarning, match="recreating the process pool"):
+                results = executor.run(self._items())
+        finally:
+            executor.close()
+        assert [result.label for result in results] == ["boom", "a", "b"]
+        assert results[0].status == STATUS_ERROR
+        assert "died while solving this item (twice)" in results[0].error
+        assert all(result.status == STATUS_OK for result in results[1:])
+        assert executor.metrics.counter("batch.worker_crashes").value >= 2
+
+    def test_injected_inline_fault_is_an_item_error(self):
+        """In inline mode a raising fault at the worker site is a terminal
+        item error, never a campaign abort."""
+        from repro.reliability import FaultPlan
+
+        plan = FaultPlan(seed=2).arm(
+            "executor.worker", "numerical-error", match="boom"
+        )
+        results = BatchExecutor(
+            config=ExecutorConfig(workers=1, fault_plan=plan.to_dict())
+        ).run(self._items())
+        assert [result.status for result in results] == [
+            STATUS_ERROR,
+            STATUS_OK,
+            STATUS_OK,
+        ]
+        assert "NumericalError" in results[0].error
+
+    def test_injected_faults_are_never_cached(self, tmp_path):
+        from repro.reliability import FaultPlan
+
+        cache = ResultCache(tmp_path / "cache")
+        plan = FaultPlan(seed=3).arm(
+            "executor.worker", "numerical-error", match="boom"
+        )
+        BatchExecutor(
+            config=ExecutorConfig(workers=1, fault_plan=plan.to_dict()),
+            cache=cache,
+        ).run(self._items())
+        # Only the two healthy items were stored; a rerun without the plan
+        # re-solves the faulted item and gets a clean result.
+        assert len(cache) == 2
+        results = BatchExecutor(
+            config=ExecutorConfig(workers=1), cache=cache
+        ).run(self._items())
+        assert all(result.status == STATUS_OK for result in results)
+
+    def test_interrupt_mid_run_drains_the_pool(self):
+        """A KeyboardInterrupt between yielded results must shut the pool
+        down (no orphaned workers) and propagate."""
+        import multiprocessing
+
+        if multiprocessing.get_start_method() != "fork":
+            pytest.skip("pool-teardown check relies on fork workers")
+        executor = BatchExecutor(config=ExecutorConfig(workers=2, chunk_size=1))
+        iterator = executor.run_iter(self._items())
+        next(iterator)
+        pool = executor._pool
+        assert pool is not None
+        with pytest.raises(KeyboardInterrupt):
+            iterator.throw(KeyboardInterrupt)
+        assert executor._pool is None
+        executor.close()
+
+
 class TestItemResult:
     def test_round_trip(self):
         result = ItemResult(

@@ -1,0 +1,248 @@
+"""Tests of the durable admission journal and session snapshots.
+
+The WAL contract under test:
+
+* every record is one checksummed line; the reader tolerates exactly one
+  crash artefact — an unparseable *final* line (dropped, flagged) — and
+  rejects everything else (checksum mismatch, sequence gap, garbage mid-file)
+  as corruption;
+* a journal resumes only onto the platform it was recorded against;
+* a snapshot restores only against its own journal (platform fingerprint
+  match, snapshot not newer than the journal tail).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import AllocatorOptions, JointAllocator, random_trace, replay_trace
+from repro.exceptions import JournalError, SnapshotError
+from repro.reliability import (
+    AdmissionJournal,
+    SessionSnapshot,
+    default_snapshot_path,
+    load_snapshot,
+    platform_fingerprint,
+    read_journal,
+    replay_trace_durably,
+    restore_controller,
+    save_snapshot,
+    snapshot_controller,
+)
+
+
+def options() -> AllocatorOptions:
+    return AllocatorOptions(verify=False, run_simulation=False)
+
+
+def allocator() -> JointAllocator:
+    return JointAllocator(options=options())
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return random_trace(event_count=6, seed=7, task_count=3, processor_count=3)
+
+
+@pytest.fixture(scope="module")
+def baseline(trace):
+    return replay_trace(trace, allocator=allocator())
+
+
+def durable_run(trace, tmp_path, snapshot_every=0):
+    journal_path = tmp_path / "run.journal"
+    result = replay_trace_durably(
+        trace, journal_path, snapshot_every=snapshot_every, allocator=allocator()
+    )
+    return journal_path, result
+
+
+class TestJournalReading:
+    def test_missing_and_empty_files_read_as_empty_journals(self, tmp_path):
+        missing = read_journal(tmp_path / "nope.journal")
+        assert missing.entries == []
+        assert missing.last_seq == 0
+        assert not missing.truncated
+        empty = tmp_path / "empty.journal"
+        empty.write_text("")
+        assert read_journal(empty).entries == []
+
+    def test_roundtrip_records_every_committed_event(self, trace, baseline, tmp_path):
+        journal_path, result = durable_run(trace, tmp_path)
+        contents = read_journal(journal_path)
+        assert len(contents.entries) == len(trace.events)
+        assert contents.fingerprint == platform_fingerprint(trace.platform)
+        assert not contents.truncated
+        # The recorded outcomes are the replay's outcomes, bit for bit.
+        for entry, record in zip(contents.entries, baseline.records):
+            stored = entry.record()
+            assert stored.status == record.status
+            assert stored.stage == record.stage
+            if record.objective_value is None:
+                assert stored.objective_value is None
+            else:
+                assert stored.objective_value == pytest.approx(
+                    record.objective_value, abs=1e-6
+                )
+
+    def test_truncated_final_record_is_dropped_not_fatal(self, trace, tmp_path):
+        journal_path, _ = durable_run(trace, tmp_path)
+        text = journal_path.read_text()
+        # Tear the final line mid-record, as a crash mid-append would.
+        journal_path.write_text(text[: len(text) - 25])
+        contents = read_journal(journal_path)
+        assert contents.truncated
+        assert len(contents.entries) == len(trace.events) - 1
+        assert contents.last_seq == len(trace.events) - 1
+
+    def test_checksum_corrupted_middle_record_is_rejected(self, trace, tmp_path):
+        journal_path, _ = durable_run(trace, tmp_path)
+        lines = journal_path.read_text().splitlines()
+        record = json.loads(lines[2])
+        record["outcome"]["status"] = "admitted"
+        record["outcome"]["objective_value"] = 0.0
+        lines[2] = json.dumps(record, sort_keys=True)  # stale crc
+        journal_path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError, match="checksum mismatch"):
+            read_journal(journal_path)
+
+    def test_garbage_middle_line_is_rejected(self, trace, tmp_path):
+        journal_path, _ = durable_run(trace, tmp_path)
+        lines = journal_path.read_text().splitlines()
+        lines[1] = "{this is not json"
+        journal_path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError, match="unparseable record"):
+            read_journal(journal_path)
+
+    def test_sequence_gap_is_rejected(self, trace, tmp_path):
+        journal_path, _ = durable_run(trace, tmp_path)
+        lines = journal_path.read_text().splitlines()
+        del lines[2]  # drop event seq 2: seq 1 is then followed by seq 3
+        journal_path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError, match="sequence gap"):
+            read_journal(journal_path)
+
+    def test_reopening_against_a_different_platform_is_rejected(
+        self, trace, tmp_path
+    ):
+        journal_path, _ = durable_run(trace, tmp_path)
+        other = random_trace(event_count=2, seed=11, task_count=2, processor_count=2)
+        with pytest.raises(JournalError, match="different.*platform"):
+            AdmissionJournal(journal_path).open(other.platform)
+
+    def test_journal_alone_rebuilds_its_platform(self, trace, tmp_path):
+        journal_path, _ = durable_run(trace, tmp_path)
+        contents = read_journal(journal_path)
+        rebuilt = contents.platform()
+        assert platform_fingerprint(rebuilt) == contents.fingerprint
+
+
+class TestSnapshots:
+    def test_snapshot_roundtrips_through_disk(self, trace, tmp_path):
+        journal_path, _ = durable_run(trace, tmp_path, snapshot_every=2)
+        snapshot = load_snapshot(default_snapshot_path(journal_path))
+        assert snapshot.journal_seq > 0
+        assert snapshot.fingerprint == platform_fingerprint(trace.platform)
+        again = tmp_path / "copy.snapshot"
+        save_snapshot(snapshot, again)
+        assert load_snapshot(again).to_dict() == snapshot.to_dict()
+
+    def test_unreadable_snapshot_is_a_snapshot_error(self, tmp_path):
+        bad = tmp_path / "bad.snapshot"
+        bad.write_text("{torn")
+        with pytest.raises(SnapshotError, match="cannot read snapshot"):
+            load_snapshot(bad)
+
+    def test_newer_format_version_is_rejected(self):
+        with pytest.raises(SnapshotError, match="newer than supported"):
+            SessionSnapshot.from_dict(
+                {"format_version": 999, "journal_seq": 0, "fingerprint": "x"}
+            )
+
+    def test_snapshot_newer_than_journal_tail_is_rejected(self, trace, tmp_path):
+        journal_path, _ = durable_run(trace, tmp_path, snapshot_every=2)
+        contents = read_journal(journal_path)
+        snapshot = load_snapshot(default_snapshot_path(journal_path))
+        snapshot.journal_seq = contents.last_seq + 5
+        with pytest.raises(SnapshotError, match="newer than the journal tail"):
+            restore_controller(contents, snapshot, allocator=allocator())
+
+    def test_restore_onto_changed_platform_is_rejected(self, trace, tmp_path):
+        journal_path, _ = durable_run(trace, tmp_path, snapshot_every=2)
+        snapshot = load_snapshot(default_snapshot_path(journal_path))
+        other = random_trace(event_count=3, seed=11, task_count=2, processor_count=2)
+        other_journal = tmp_path / "other.journal"
+        replay_trace_durably(other, other_journal, allocator=allocator())
+        with pytest.raises(SnapshotError, match="different platform"):
+            restore_controller(
+                read_journal(other_journal), snapshot, allocator=allocator()
+            )
+
+    def test_replay_divergence_is_detected(self, trace, tmp_path):
+        journal_path, _ = durable_run(trace, tmp_path)
+        lines = journal_path.read_text().splitlines()
+        # Forge the final outcome (with a valid checksum) so the re-solved
+        # status cannot match the recorded one.
+        import zlib
+
+        record = json.loads(lines[-1])
+        record["outcome"]["status"] = (
+            "rejected" if record["outcome"]["status"] != "rejected" else "admitted"
+        )
+        del record["crc"]
+        body = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        record["crc"] = zlib.crc32(body.encode("utf-8"))
+        lines[-1] = json.dumps(record, sort_keys=True)
+        journal_path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError, match="replay diverged"):
+            restore_controller(read_journal(journal_path), allocator=allocator())
+
+    def test_snapshot_of_an_empty_controller(self, trace, tmp_path):
+        from repro.core import AdmissionController
+
+        controller = AdmissionController(trace.platform, allocator=allocator())
+        snapshot = snapshot_controller(controller, journal_seq=0)
+        assert snapshot.workload_data is None
+        path = tmp_path / "empty.snapshot"
+        save_snapshot(snapshot, path)
+        assert load_snapshot(path).workload_data is None
+
+
+class TestDurableReplay:
+    def test_durable_replay_matches_plain_replay(self, trace, baseline, tmp_path):
+        _, result = durable_run(trace, tmp_path, snapshot_every=2)
+        assert [r.status for r in result.records] == [
+            r.status for r in baseline.records
+        ]
+        for ours, theirs in zip(result.records, baseline.records):
+            if theirs.objective_value is not None:
+                assert ours.objective_value == pytest.approx(
+                    theirs.objective_value, abs=1e-6
+                )
+
+    def test_resume_of_a_complete_run_recomputes_nothing(
+        self, trace, baseline, tmp_path
+    ):
+        journal_path, _ = durable_run(trace, tmp_path, snapshot_every=2)
+        result = replay_trace_durably(
+            trace,
+            journal_path,
+            snapshot_every=2,
+            allocator=allocator(),
+            resume=True,
+        )
+        assert [r.status for r in result.records] == [
+            r.status for r in baseline.records
+        ]
+
+    def test_resume_with_the_wrong_trace_platform_is_rejected(
+        self, trace, tmp_path
+    ):
+        journal_path, _ = durable_run(trace, tmp_path)
+        other = random_trace(event_count=3, seed=11, task_count=2, processor_count=2)
+        with pytest.raises(JournalError, match="different.*platform"):
+            replay_trace_durably(
+                other, journal_path, allocator=allocator(), resume=True
+            )
