@@ -270,11 +270,13 @@ def _solve_payload(payload: Dict[str, object]) -> Dict[str, object]:
             # Chaos sites: ``executor.worker`` with an ``exit`` action kills
             # this worker process mid-item (→ BrokenProcessPool recovery in
             # run_iter); ``item.timeout`` with a ``sleep`` action stalls the
-            # item past its per-item timeout.  A raising action becomes a
-            # terminal item error, same as any other solver breakdown.
+            # item past its per-item timeout.  Any raising action (injected
+            # fault, numerical blow-up, linalg failure, OSError, …) becomes
+            # a terminal item error, same as any other solver breakdown —
+            # never a campaign abort.
             maybe_fail("executor.worker", label=label)
             maybe_fail("item.timeout", label=label)
-        except (FaultInjected, NumericalError) as error:
+        except Exception as error:  # noqa: BLE001 - see comment above
             injected = error
         if injected is not None:
             base = {

@@ -16,12 +16,20 @@ whitespace — :func:`repro.batch.cache.canonical_json`):
 Appends reuse the ``O_APPEND`` single-``os.write`` pattern of
 :class:`repro.obs.export.JsonlSink`: every record is exactly one line
 written atomically, so a crash never interleaves partial records — it can
-only truncate the *final* line.  The reader therefore tolerates an
-unparseable final line (reported via :attr:`JournalContents.truncated`,
-the record is dropped) while rejecting everything else: a checksum
-mismatch on a complete record, a sequence gap, or garbage in the middle of
-the file all raise :class:`~repro.exceptions.JournalError` — those are
-corruption, not crash artefacts.
+only truncate the *final* line.  Against *process* death every append is
+durable as written; against power loss or an OS crash, durability is
+guaranteed at the explicit :meth:`AdmissionJournal.sync` barriers (the
+durable replay syncs before publishing each snapshot and on close) —
+construct the journal with ``fsync=True`` to pay one ``fsync`` per record
+and make every append a power-loss barrier.  The reader tolerates an
+unparseable final line (reported via
+:attr:`JournalContents.truncated`, the record is dropped) while rejecting
+everything else: a checksum mismatch on a complete record, a sequence gap,
+or garbage in the middle of the file all raise
+:class:`~repro.exceptions.JournalError` — those are corruption, not crash
+artefacts.  Resuming a journal whose final line is torn repairs the file
+first (truncate to the last valid record), so the resumed run's appends
+start on a fresh line instead of concatenating onto the garbage.
 
 Records are written *after* the controller commits a decision, so the
 journal only ever contains decisions that actually happened; a crash
@@ -38,7 +46,7 @@ import threading
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Union
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.batch.cache import canonical_json
 from repro.core.admission import TraceEvent, TraceRecord
@@ -147,6 +155,11 @@ class JournalContents:
     fingerprint: Optional[str] = None
     entries: List[JournalEntry] = field(default_factory=list)
     truncated: bool = False     #: final line dropped as a torn write
+    #: Byte offset just past the last valid record (newline included): the
+    #: length the file must be truncated to before appending when
+    #: :attr:`truncated` is set, so a resumed run never concatenates its
+    #: first record onto the torn tail.
+    valid_bytes: int = 0
 
     @property
     def last_seq(self) -> int:
@@ -201,8 +214,17 @@ def read_journal(path: Union[str, Path]) -> JournalContents:
         text = path.read_text(encoding="utf-8")
     except FileNotFoundError:
         return contents
-    lines = [line for line in text.split("\n") if line.strip()]
-    for position, line in enumerate(lines):
+    segments = text.split("\n")
+    lines: List[Tuple[str, int]] = []   #: (line, byte offset past its newline)
+    offset = 0
+    for position, segment in enumerate(segments):
+        end = offset + len(segment.encode("utf-8"))
+        if position < len(segments) - 1:
+            end += 1    # the "\n" consumed by split
+        if segment.strip():
+            lines.append((segment, end))
+        offset = end
+    for position, (line, end) in enumerate(lines):
         where = f"{path}:{position + 1}"
         final = position == len(lines) - 1
         try:
@@ -229,6 +251,7 @@ def read_journal(path: Union[str, Path]) -> JournalContents:
             contents.fingerprint = (
                 None if fingerprint is None else str(fingerprint)
             )
+            contents.valid_bytes = end
             continue
         if kind != KIND_EVENT:
             raise JournalError(f"{where}: unknown record kind {kind!r}")
@@ -245,6 +268,7 @@ def read_journal(path: Union[str, Path]) -> JournalContents:
         except (KeyError, TypeError) as error:
             raise JournalError(f"{where}: malformed event record: {error}") from None
         contents.entries.append(JournalEntry(seq=int(seq), event=event, outcome=outcome))
+        contents.valid_bytes = end
     return contents
 
 
@@ -258,8 +282,9 @@ class AdmissionJournal:
     guarded by a per-process lock.
     """
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    def __init__(self, path: Union[str, Path], fsync: bool = False) -> None:
         self.path = Path(path)
+        self._fsync = fsync
         self._fd: Optional[int] = None
         self._lock = threading.Lock()
         self._seq = 0
@@ -270,14 +295,19 @@ class AdmissionJournal:
         fingerprint = platform_fingerprint(platform)
         if self.path.exists() and self.path.stat().st_size > 0:
             contents = read_journal(self.path)
-            if contents.fingerprint != fingerprint:
-                raise JournalError(
-                    f"journal {self.path} was recorded against a different "
-                    f"platform (fingerprint {contents.fingerprint!r}, "
-                    f"expected {fingerprint!r})"
-                )
-            self._seq = contents.last_seq
-            return self
+            self._repair(contents)
+            if contents.platform_data is not None or contents.entries:
+                if contents.fingerprint != fingerprint:
+                    raise JournalError(
+                        f"journal {self.path} was recorded against a different "
+                        f"platform (fingerprint {contents.fingerprint!r}, "
+                        f"expected {fingerprint!r})"
+                    )
+                self._seq = contents.last_seq
+                return self
+            # The file held nothing but a torn first line (a crash mid-way
+            # through the open record): the repair emptied it, so fall
+            # through and start the journal afresh.
         from repro.taskgraph import serialization
 
         self._seq = 0
@@ -292,6 +322,29 @@ class AdmissionJournal:
             }
         )
         return self
+
+    def _repair(self, contents: JournalContents) -> None:
+        """Physically drop a torn final line before the first resumed append.
+
+        ``O_APPEND`` writes land at the end of the file as it is on disk, so
+        a torn tail left in place would have the first resumed record
+        concatenated onto the garbage — destroying that record and making
+        every later :func:`read_journal` fail mid-file.  Truncating to the
+        end of the last valid record (and newline-terminating a tail whose
+        record survived but whose newline did not) keeps the resumed file a
+        well-formed one-record-per-line log.
+        """
+        if contents.truncated:
+            os.truncate(self.path, contents.valid_bytes)
+        size = self.path.stat().st_size
+        if size == 0:
+            return
+        with self.path.open("rb") as handle:
+            handle.seek(size - 1)
+            terminated = handle.read(1) == b"\n"
+        if not terminated:
+            with self.path.open("ab") as handle:
+                handle.write(b"\n")
 
     @property
     def seq(self) -> int:
@@ -327,14 +380,36 @@ class AdmissionJournal:
                         0o644,
                     )
                 os.write(self._fd, line)
+                if self._fsync:
+                    os.fsync(self._fd)
             except OSError as error:
                 raise JournalError(
                     f"journal append to {self.path} failed: {error}"
                 ) from error
 
+    def sync(self) -> None:
+        """``fsync`` everything appended so far (a power-loss barrier).
+
+        :func:`~repro.reliability.snapshot.replay_trace_durably` calls this
+        before publishing each snapshot, so a snapshot on disk never
+        references a journal sequence number that is not itself durable.
+        """
+        with self._lock:
+            if self._fd is not None:
+                try:
+                    os.fsync(self._fd)
+                except OSError as error:
+                    raise JournalError(
+                        f"journal sync of {self.path} failed: {error}"
+                    ) from error
+
     def close(self) -> None:
         with self._lock:
             if self._fd is not None:
+                try:
+                    os.fsync(self._fd)
+                except OSError:
+                    pass    # best effort: close() runs on unwind paths too
                 os.close(self._fd)
                 self._fd = None
 

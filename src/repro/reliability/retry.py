@@ -114,7 +114,14 @@ class CircuitBreaker:
         self._state: Dict[str, Tuple[int, float]] = {}
 
     def allow(self, key: str) -> bool:
-        """Whether a call under ``key`` should be attempted right now."""
+        """Whether a call under ``key`` should be attempted right now.
+
+        A try-acquire, not a pure query: in the half-open window the one
+        probe is *consumed* by the caller who asks (its
+        :meth:`record_success`/:meth:`record_failure` outcome then decides
+        the circuit's fate).  Status checks that will not be followed by a
+        real call must use :meth:`is_open` instead.
+        """
         with self._lock:
             state = self._state.get(key)
             if state is None:
@@ -138,8 +145,21 @@ class CircuitBreaker:
             self._state[key] = (failures + 1, self._clock())
 
     def is_open(self, key: str) -> bool:
-        """Whether the circuit for ``key`` is currently open (calls blocked)."""
-        return not self.allow(key)
+        """Whether the circuit for ``key`` is currently open (calls blocked).
+
+        A pure query: unlike :meth:`allow` it never consumes the half-open
+        probe, so any number of status checks leave the breaker's state
+        untouched.  In the half-open window it reports the circuit as not
+        open (a call would be allowed).
+        """
+        with self._lock:
+            state = self._state.get(key)
+            if state is None:
+                return False
+            failures, last_failure = state
+            if failures < self.failure_threshold:
+                return False
+            return self._clock() - last_failure < self.reset_after
 
 
 @contextmanager

@@ -160,6 +160,11 @@ def save_snapshot(snapshot: SessionSnapshot, path: Union[str, Path]) -> None:
     try:
         with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
             json.dump(snapshot.to_dict(), handle, sort_keys=True, indent=2)
+            # fsync before the rename: os.replace is atomic in the
+            # namespace, but without the sync a power loss could publish
+            # the new name over empty (unflushed) content.
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(temp_name, path)
     except BaseException:
         try:
@@ -294,6 +299,7 @@ def replay_trace_durably(
     snapshot_every: int = 0,
     allocator: Optional[JointAllocator] = None,
     resume: bool = False,
+    fsync: bool = False,
 ) -> TraceResult:
     """Replay a trace with a durable journal and periodic snapshots.
 
@@ -307,7 +313,16 @@ def replay_trace_durably(
     snapshot + journal (events already journalled are *not* re-asked; their
     recorded outcomes fill the timeline) and the replay continues with the
     first un-journalled trace event.  The returned result matches an
-    uninterrupted replay within 1e-6.
+    uninterrupted replay within 1e-6.  Without ``resume``, a journal that
+    already holds committed events is refused (:class:`~repro.exceptions.
+    JournalError`) — appending a second copy of the trace would make a
+    later restore double-apply every event.
+
+    Every append is durable against process death; against power loss the
+    journal is ``fsync``-ed before each snapshot is published and on close,
+    so at most the events since the last barrier are lost.  ``fsync=True``
+    hardens every single append into a power-loss barrier (one ``fsync``
+    per event).
     """
     if snapshot_path is None:
         snapshot_path = default_snapshot_path(journal_path)
@@ -336,9 +351,19 @@ def replay_trace_durably(
                 f"{trace.name!r} only has {len(trace.events)} — wrong trace?"
             )
     else:
+        existing = read_journal(journal_path)
+        if existing.entries:
+            # Appending a fresh replay onto an old journal would duplicate
+            # every event, and a later restore would double-apply them.
+            raise JournalError(
+                f"journal {journal_path} already holds "
+                f"{len(existing.entries)} committed events; resume it "
+                f"(resume=True / --restore) to continue, or remove the "
+                f"file to start over"
+            )
         controller = AdmissionController(trace.platform, allocator=allocator)
 
-    with AdmissionJournal(journal_path).open(
+    with AdmissionJournal(journal_path, fsync=fsync).open(
         trace.platform, name=trace.name
     ) as journal:
         for index in range(done, len(trace.events)):
@@ -351,6 +376,9 @@ def replay_trace_durably(
             records.append(record)
             journal.append_event(event, record)
             if snapshot_every > 0 and (index + 1) % snapshot_every == 0:
+                # Power-loss barrier before publishing: a snapshot on disk
+                # must never reference a journal seq that is not durable.
+                journal.sync()
                 save_snapshot(
                     snapshot_controller(controller, journal.seq), snapshot_path
                 )

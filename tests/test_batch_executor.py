@@ -395,6 +395,49 @@ class TestChaos:
         assert all(result.status == STATUS_OK for result in results[1:])
         assert executor.metrics.counter("batch.worker_crashes").value >= 2
 
+    @pytest.mark.parametrize("action", ["oserror", "linalg-error", "raise"])
+    def test_any_raising_action_at_a_chaos_site_is_an_item_error(self, action):
+        """Every raising action the framework supports — not just the two
+        solver-shaped ones — must fail the one item, never the campaign."""
+        from repro.reliability import FaultPlan
+
+        plan = FaultPlan(seed=7).arm("executor.worker", action, match="boom")
+        results = BatchExecutor(
+            config=ExecutorConfig(workers=1, fault_plan=plan.to_dict())
+        ).run(self._items())
+        assert [result.status for result in results] == [
+            STATUS_ERROR,
+            STATUS_OK,
+            STATUS_OK,
+        ]
+        assert results[0].error
+
+    def test_raising_action_in_pool_mode_does_not_abort_the_campaign(self):
+        """An armed oserror in a pool worker propagates as a per-item error
+        result, not an exception out of run()."""
+        import multiprocessing
+
+        if multiprocessing.get_start_method() != "fork":
+            pytest.skip("fault-plan transport test relies on fork workers")
+        from repro.reliability import FaultPlan
+
+        plan = FaultPlan(seed=8).arm("executor.worker", "oserror", match="boom")
+        executor = BatchExecutor(
+            config=ExecutorConfig(
+                workers=2, chunk_size=1, fault_plan=plan.to_dict()
+            )
+        )
+        try:
+            results = executor.run(self._items())
+        finally:
+            executor.close()
+        assert [result.status for result in results] == [
+            STATUS_ERROR,
+            STATUS_OK,
+            STATUS_OK,
+        ]
+        assert "OSError" in results[0].error
+
     def test_injected_inline_fault_is_an_item_error(self):
         """In inline mode a raising fault at the worker site is a terminal
         item error, never a campaign abort."""

@@ -186,6 +186,24 @@ class TestCircuitBreaker:
         assert not breaker.allow("barrier")
         assert breaker.allow("scipy")
 
+    def test_is_open_is_a_pure_query(self):
+        """Status checks must not consume the half-open probe."""
+        now = {"t": 0.0}
+        breaker = CircuitBreaker(
+            failure_threshold=2, reset_after=10.0, clock=lambda: now["t"]
+        )
+        breaker.record_failure("barrier")
+        breaker.record_failure("barrier")
+        assert breaker.is_open("barrier")
+        now["t"] = 11.0
+        # Half-open: any number of status checks leave the probe available.
+        for _ in range(5):
+            assert not breaker.is_open("barrier")
+        assert breaker.allow("barrier")
+        breaker.record_failure("barrier")
+        assert breaker.is_open("barrier")
+        assert not breaker.allow("barrier")
+
 
 class TestGracefulInterrupts:
     def test_sigterm_becomes_keyboard_interrupt(self):

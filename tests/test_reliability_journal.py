@@ -139,6 +139,64 @@ class TestJournalReading:
         assert platform_fingerprint(rebuilt) == contents.fingerprint
 
 
+class TestTornTailRepair:
+    """Resuming onto a torn final line must repair the file, not append to it."""
+
+    def test_open_truncates_a_torn_tail_before_appending(self, trace, tmp_path):
+        journal_path, _ = durable_run(trace, tmp_path)
+        text = journal_path.read_text()
+        journal_path.write_text(text[: len(text) - 25])  # tear the final line
+        torn = read_journal(journal_path)
+        assert torn.truncated
+        with AdmissionJournal(journal_path).open(trace.platform) as journal:
+            assert journal.seq == torn.last_seq
+        repaired = read_journal(journal_path)
+        assert not repaired.truncated
+        assert repaired.last_seq == torn.last_seq
+
+    def test_open_newline_terminates_a_tail_missing_its_newline(
+        self, trace, tmp_path
+    ):
+        # The final record survived intact but its newline did not: without a
+        # repair the next O_APPEND write would concatenate onto it.
+        journal_path, _ = durable_run(trace, tmp_path)
+        text = journal_path.read_text()
+        journal_path.write_text(text.rstrip("\n"))
+        with AdmissionJournal(journal_path).open(trace.platform):
+            pass
+        contents = read_journal(journal_path)
+        assert not contents.truncated
+        assert len(contents.entries) == len(trace.events)
+
+    def test_open_recovers_a_journal_torn_inside_its_header(self, trace, tmp_path):
+        journal_path = tmp_path / "torn.journal"
+        journal_path.write_text('{"half of an open record')
+        with AdmissionJournal(journal_path).open(trace.platform) as journal:
+            assert journal.seq == 0
+        contents = read_journal(journal_path)
+        assert contents.fingerprint == platform_fingerprint(trace.platform)
+        assert contents.entries == []
+
+    def test_resume_after_a_torn_append_resolves_the_lost_event(
+        self, trace, baseline, tmp_path
+    ):
+        """The review scenario: kill mid-append, resume, journal stays valid."""
+        journal_path, _ = durable_run(trace, tmp_path)
+        text = journal_path.read_text()
+        journal_path.write_text(text[: len(text) - 25])
+        result = replay_trace_durably(
+            trace, journal_path, allocator=allocator(), resume=True
+        )
+        assert [r.status for r in result.records] == [
+            r.status for r in baseline.records
+        ]
+        # The resumed append landed on a fresh line: the journal re-reads
+        # cleanly and holds every event exactly once.
+        contents = read_journal(journal_path)
+        assert not contents.truncated
+        assert len(contents.entries) == len(trace.events)
+
+
 class TestSnapshots:
     def test_snapshot_roundtrips_through_disk(self, trace, tmp_path):
         journal_path, _ = durable_run(trace, tmp_path, snapshot_every=2)
@@ -246,3 +304,23 @@ class TestDurableReplay:
             replay_trace_durably(
                 other, journal_path, allocator=allocator(), resume=True
             )
+
+    def test_fsync_per_append_changes_nothing_but_durability(
+        self, trace, baseline, tmp_path
+    ):
+        result = replay_trace_durably(
+            trace, tmp_path / "sync.journal", allocator=allocator(), fsync=True
+        )
+        assert [r.status for r in result.records] == [
+            r.status for r in baseline.records
+        ]
+
+    def test_rerun_without_resume_onto_an_existing_journal_is_refused(
+        self, trace, tmp_path
+    ):
+        """resume=False must never append a second copy of the trace."""
+        journal_path, _ = durable_run(trace, tmp_path)
+        before = journal_path.read_text()
+        with pytest.raises(JournalError, match="already holds"):
+            replay_trace_durably(trace, journal_path, allocator=allocator())
+        assert journal_path.read_text() == before
