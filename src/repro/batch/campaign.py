@@ -68,7 +68,9 @@ from repro.taskgraph.workload import (
 )
 from repro.taskgraph.generators import (
     chain_configuration,
+    csdf_chain_configuration,
     fork_join_configuration,
+    heterogeneous_random_configuration,
     multi_job_configuration,
     producer_consumer_configuration,
     random_dag_configuration,
@@ -85,6 +87,8 @@ GENERATORS = {
     "ring": ring_configuration,
     "random_dag": random_dag_configuration,
     "multi_job": multi_job_configuration,
+    "csdf_chain": csdf_chain_configuration,
+    "heterogeneous_random": heterogeneous_random_configuration,
 }
 
 

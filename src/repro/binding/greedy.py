@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.exceptions import BindingError
+from repro.exceptions import BindingError, ModelError
 from repro.taskgraph.buffer import Buffer
 from repro.taskgraph.configuration import Configuration
 from repro.taskgraph.graph import TaskGraph
@@ -57,8 +57,20 @@ class BindingResult:
 def _minimum_budget_demand(
     task: Task, graph: TaskGraph, platform: Platform, processor_name: str, granularity: float
 ) -> float:
+    """Throughput-implied minimum budget of ``task`` on one *candidate* processor.
+
+    Uses the type/speed-resolved effective cycles on that processor, so a
+    fast or well-matched processor type advertises a smaller demand and the
+    greedy pass can exploit heterogeneity.  Raises
+    :class:`~repro.exceptions.ModelError` when the task has no cycle cost
+    for the processor's type (the caller skips such candidates).
+    """
     processor = platform.processor(processor_name)
-    minimum = processor.replenishment_interval * task.wcet / graph.period
+    minimum = (
+        processor.replenishment_interval
+        * graph.period_cycles(task.name, processor)
+        / graph.period
+    )
     if task.min_budget is not None:
         minimum = max(minimum, task.min_budget)
     return minimum + granularity
@@ -93,19 +105,28 @@ def bind_greedy(configuration: Configuration) -> BindingResult:
     # Bind tasks: largest minimum demand first, to the least-loaded processor.
     all_tasks = sorted(
         configuration.all_tasks(),
-        key=lambda pair: pair[1].wcet / pair[0].period,
+        key=lambda pair: pair[1].iteration_cycles / pair[0].period,
         reverse=True,
     )
     for graph, task in all_tasks:
         best_name: Optional[str] = None
         best_load = float("inf")
         for processor_name, processor in platform.processors.items():
-            needed = _minimum_budget_demand(task, graph, platform, processor_name, granularity)
+            try:
+                needed = _minimum_budget_demand(
+                    task, graph, platform, processor_name, granularity
+                )
+            except ModelError:
+                continue  # no cycle cost for this processor type
             load = (demand[processor_name] + needed) / processor.replenishment_interval
             if load < best_load - 1e-12:
                 best_load = load
                 best_name = processor_name
-        assert best_name is not None
+        if best_name is None:
+            raise BindingError(
+                f"task {task.name!r} cannot be bound anywhere: no processor "
+                f"type matches its cycle-cost table"
+            )
         if best_load > 1.0 + 1e-9:
             raise BindingError(
                 f"task {task.name!r} cannot be bound anywhere: every processor would "
@@ -161,6 +182,8 @@ def bind_greedy(configuration: Configuration) -> BindingResult:
                     capacity_weight=buffer.capacity_weight,
                     min_capacity=buffer.min_capacity,
                     max_capacity=buffer.max_capacity,
+                    production_rates=buffer.production_rates,
+                    consumption_rates=buffer.consumption_rates,
                 )
             )
         new_graphs.append(new_graph)

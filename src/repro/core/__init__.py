@@ -64,7 +64,13 @@ from repro.core.rounding import (
     round_capacity,
     rounding_overhead,
 )
-from repro.core.tradeoff import TradeoffCurve, TradeoffExplorer, TradeoffPoint
+from repro.core.tradeoff import (
+    DvfsPoint,
+    DvfsSweep,
+    TradeoffCurve,
+    TradeoffExplorer,
+    TradeoffPoint,
+)
 from repro.core.validation import VerificationReport, verify_mapping
 
 __all__ = [
@@ -73,6 +79,8 @@ __all__ = [
     "AdmissionTrace",
     "AllocationSession",
     "AllocatorOptions",
+    "DvfsPoint",
+    "DvfsSweep",
     "FormulationBlock",
     "FormulationVariables",
     "JointAllocator",

@@ -55,6 +55,7 @@ from repro.solver.problem import ConeProgram, bounds_collapse
 from repro.solver.result import Solution
 from repro.taskgraph.configuration import Configuration
 from repro.taskgraph.platform import Platform
+from repro.taskgraph.task import effective_cycles
 from repro.taskgraph.workload import Workload
 
 
@@ -88,7 +89,7 @@ def effective_budget_bounds(
     """
     processor = configuration.platform.processor(task.processor)
     rho = processor.replenishment_interval
-    lower = rho * task.wcet / graph.period
+    lower = rho * graph.period_cycles(task.name, processor) / graph.period
     if task.min_budget is not None:
         lower = max(lower, task.min_budget)
     upper = processor.allocatable_capacity - configuration.granularity
@@ -139,11 +140,33 @@ def sufficient_capacity_bound(configuration: Configuration, graph) -> float:
     capping capacities at this value (plus the initial tokens) never cuts
     off the optimum while keeping the feasible region bounded.
     """
+    if not graph.is_cyclo_static:
+        total = 0.0
+        for task in graph.tasks:
+            processor = configuration.platform.processor(task.processor)
+            total += processor.replenishment_interval + graph.period
+        return math.ceil(total / graph.period) + 1.0
+    # Cyclo-static graphs: every unrolled copy contributes one actor pair to
+    # a simple cycle, and the per-task copies together execute at most
+    # q(w)·ΣP phases per period — the v2 durations still sum to at most µ at
+    # the budget lower bound, while each copy adds one ̺(p) latency term.
+    # Scale by the largest per-iteration token batch so the (tokens/T)-scaled
+    # space queues still dominate every cycle.
+    repetitions = graph.repetitions()
     total = 0.0
     for task in graph.tasks:
         processor = configuration.platform.processor(task.processor)
-        total += processor.replenishment_interval + graph.period
-    return math.ceil(total / graph.period) + 1.0
+        copies = repetitions[task.name] * task.phase_count
+        total += copies * processor.replenishment_interval + graph.period
+    base = math.ceil(total / graph.period) + 1.0
+    iteration_factor = max(
+        (
+            repetitions[buffer.source] * buffer.total_production
+            for buffer in graph.buffers
+        ),
+        default=1,
+    )
+    return base * iteration_factor
 
 
 class FormulationBlock:
@@ -210,7 +233,8 @@ class FormulationBlock:
                 lam = program.add_variable(
                     f"lambda[{self.qualify(task.name)}]",
                     lower=1.0 / max(upper, 1e-12),
-                    upper=graph.period / (rho * task.wcet),
+                    upper=graph.period
+                    / (rho * graph.period_cycles(task.name, processor)),
                 )
                 self.variables.budgets[task.name] = beta
                 self.variables.reciprocals[task.name] = lam
@@ -257,6 +281,10 @@ class FormulationBlock:
         graph = self.configuration.task_graph(graph_name)
         buffer = graph.buffer(queue.buffer)
         capacity = self.variables.capacities[buffer.name]
+        if queue.token_offset is not None:
+            return AffineExpression(
+                {capacity: queue.token_scale}, float(queue.token_offset)
+            )
         return AffineExpression({capacity: 1.0}, -float(buffer.initial_tokens))
 
     def add_precedence_constraints(self, program: ConeProgram) -> None:
@@ -279,10 +307,13 @@ class FormulationBlock:
                         s_target, rhs, name=f"e1[{self.qualify(queue.name)}]"
                     )
                 else:
-                    # Constraint (7): s_j ≥ s_i + ̺·χ·λ − δ(e)·µ
+                    # Constraint (7): s_j ≥ s_i + ̺·χ·λ − δ(e)·µ, with χ the
+                    # effective (type/speed/phase-resolved) cycle count of
+                    # the source copy — exactly task.wcet for plain models.
                     lam = self.variables.reciprocals[task.name]
                     tokens = self._queue_token_expression(graph_name, queue)
-                    rhs = s_source + lam * (rho * task.wcet) - tokens * period
+                    chi = effective_cycles(task, processor, queue.source_phase)
+                    rhs = s_source + lam * (rho * chi) - tokens * period
                     program.add_greater_equal(
                         s_target, rhs, name=f"e2[{self.qualify(queue.name)}]"
                     )

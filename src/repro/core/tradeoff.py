@@ -15,10 +15,15 @@ aggregate in :attr:`TradeoffCurve.solver_stats`.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.exceptions import InfeasibleProblemError, ModelError
+from repro.exceptions import (
+    InfeasibleModelError,
+    InfeasibleProblemError,
+    ModelError,
+)
 from repro.core.allocator import AllocatorOptions, JointAllocator
 from repro.core.objective import ObjectiveWeights
 from repro.taskgraph.configuration import Configuration, MappedConfiguration
@@ -115,6 +120,40 @@ class TradeoffCurve:
                 row[f"capacity[{buffer_name}]"] = capacity
             rows.append(row)
         return rows
+
+
+@dataclass
+class DvfsPoint:
+    """One point of a DVFS sweep: a speed assignment and the resulting mapping."""
+
+    speeds: Dict[str, float]
+    feasible: bool
+    budgets: Dict[str, float] = field(default_factory=dict)
+    relaxed_budgets: Dict[str, float] = field(default_factory=dict)
+    capacities: Dict[str, int] = field(default_factory=dict)
+    objective_value: Optional[float] = None
+
+    @property
+    def total_budget(self) -> float:
+        return sum(self.budgets.values())
+
+
+@dataclass
+class DvfsSweep:
+    """The full cartesian DVFS sweep of a configuration."""
+
+    configuration_name: str
+    points: List[DvfsPoint] = field(default_factory=list)
+
+    def feasible_points(self) -> List[DvfsPoint]:
+        return [point for point in self.points if point.feasible]
+
+    def best(self) -> Optional[DvfsPoint]:
+        """The feasible point with the lowest objective value, if any."""
+        feasible = self.feasible_points()
+        if not feasible:
+            return None
+        return min(feasible, key=lambda point: point.objective_value)
 
 
 class TradeoffExplorer:
@@ -262,6 +301,65 @@ class TradeoffExplorer:
             )
         curve.solver_stats = session.stats.as_dict()
         return curve
+
+    def sweep_dvfs(
+        self,
+        configuration: Configuration,
+        processors: Optional[Iterable[str]] = None,
+    ) -> DvfsSweep:
+        """Solve the joint problem at every discrete DVFS operating point.
+
+        The cartesian product of the ``dvfs_levels`` of the swept processors
+        (default: every processor that declares levels) is enumerated in
+        deterministic order.  Unlike the capacity sweeps, a speed change
+        alters the *coefficients* of the throughput constraints, which the
+        parametric warm-start layer cannot express — so each point rebuilds
+        the configuration via :meth:`~repro.taskgraph.platform.Platform.
+        with_speeds` and solves it from scratch.  Operating points whose
+        load screen or cone program is infeasible become infeasible sweep
+        points rather than errors.
+        """
+        platform = configuration.platform
+        if processors is None:
+            names = [p.name for p in platform if p.dvfs_levels is not None]
+        else:
+            names = list(processors)
+            for name in names:
+                if platform.processor(name).dvfs_levels is None:
+                    raise ModelError(
+                        f"processor {name!r} declares no DVFS levels to sweep"
+                    )
+        if not names:
+            raise ModelError(
+                f"configuration {configuration.name!r} has no processor with "
+                f"DVFS levels; nothing to sweep"
+            )
+        axes = [platform.processor(name).dvfs_levels for name in names]
+        sweep = DvfsSweep(configuration_name=configuration.name)
+        for combination in itertools.product(*axes):
+            speeds = dict(zip(names, combination))
+            clocked = Configuration(
+                platform=platform.with_speeds(speeds),
+                task_graphs=configuration.task_graphs,
+                granularity=configuration.granularity,
+                name=configuration.name,
+            )
+            try:
+                mapped = self.allocator.allocate(clocked)
+            except (InfeasibleModelError, InfeasibleProblemError):
+                sweep.points.append(DvfsPoint(speeds=speeds, feasible=False))
+                continue
+            sweep.points.append(
+                DvfsPoint(
+                    speeds=speeds,
+                    feasible=True,
+                    budgets=dict(mapped.budgets),
+                    relaxed_budgets=dict(mapped.relaxed_budgets),
+                    capacities=dict(mapped.buffer_capacities),
+                    objective_value=mapped.objective_value,
+                )
+            )
+        return sweep
 
     def minimal_capacity_for_budget(
         self,

@@ -96,7 +96,12 @@ def verify_mapping(
                 f"(minimum period {report.minimum_periods[graph.name]:.6g})"
             )
             continue
-        if run_simulation and not meets_period(
+        # Queues lowered from true CSDF buffers can carry fractional token
+        # counts (the affine capacity linearisation); the MCR/potential
+        # analyses above handle them, but the self-timed simulation indexes
+        # firings by integer token counts and is skipped for such graphs.
+        simulatable = all(q.has_integral_tokens for q in srdf.queues)
+        if run_simulation and simulatable and not meets_period(
             srdf, graph.period, iterations=simulate_iterations
         ):
             report.add_issue(

@@ -36,18 +36,28 @@ class Actor:
 
 @dataclass(frozen=True)
 class Queue:
-    """A token queue (edge) of an SRDF graph with ``δ(e)`` initial tokens."""
+    """A token queue (edge) of an SRDF graph with ``δ(e)`` initial tokens.
+
+    ``tokens`` is integral for directly-constructed graphs; queues lowered
+    from cyclo-static buffers may carry fractional counts (the affine
+    capacity linearisation), which the MCR/potential analyses handle
+    unchanged while the integer-indexed self-timed simulation skips them.
+    """
 
     name: str
     source: str
     target: str
-    tokens: int
+    tokens: float
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ModelError("queue name must be non-empty")
         if self.tokens < 0:
             raise ModelError(f"queue {self.name!r} has a negative token count")
+
+    @property
+    def has_integral_tokens(self) -> bool:
+        return float(self.tokens).is_integer()
 
     @property
     def is_self_loop(self) -> bool:

@@ -38,7 +38,7 @@ class CycleRatio:
     """Ratio of one directed cycle: total firing duration over total tokens."""
 
     duration: float
-    tokens: int
+    tokens: float
     queues: Tuple[Queue, ...]
 
     @property
@@ -141,11 +141,18 @@ def _has_positive_duration_cycle(graph: SRDFGraph) -> bool:
 def _upper_bound_period(graph: SRDFGraph) -> float:
     """A period that is always feasible for a deadlock-free graph.
 
-    The sum of all firing durations is an upper bound on the MCR because every
-    simple cycle carries at least one token and its duration is at most the
-    total duration.
+    Every simple cycle's duration is at most the total duration, and its
+    token count is at least the smallest positive token count of any queue
+    (deadlock-freedom puts at least one such queue on every cycle).  For
+    integer-token graphs that smallest count is ≥ 1 and the bound is the
+    classic total duration; queues lowered from true CSDF buffers can carry
+    fractional token counts below one, which scale the bound up.
     """
     total = sum(actor.firing_duration for actor in graph.actors)
+    positive = [queue.tokens for queue in graph.queues if queue.tokens > 0]
+    smallest = min(positive) if positive else 1.0
+    if smallest < 1.0:
+        total /= smallest
     return max(total, 1e-12)
 
 

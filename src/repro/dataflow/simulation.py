@@ -91,6 +91,13 @@ def simulate(graph: SRDFGraph, iterations: int = 50) -> SimulationTrace:
     """
     if iterations < 1:
         raise SimulationError("iterations must be at least 1")
+    fractional = [q.name for q in graph.queues if not q.has_integral_tokens]
+    if fractional:
+        raise SimulationError(
+            f"graph {graph.name!r} has fractional token counts on "
+            f"{fractional}; the self-timed simulation needs integral tokens "
+            f"(use the MCR/potential analyses instead)"
+        )
     if not graph.is_deadlock_free():
         raise SimulationError(
             f"graph {graph.name!r} deadlocks: a cycle without initial tokens exists"
@@ -117,7 +124,7 @@ def simulate(graph: SRDFGraph, iterations: int = 50) -> SimulationTrace:
         for actor_name in actor_order:
             value = 0.0
             for queue in inputs[actor_name]:
-                needed_firing = k - queue.tokens
+                needed_firing = k - int(queue.tokens)
                 if needed_firing >= 1:
                     producer_finish = (
                         start[queue.source][needed_firing - 1] + durations[queue.source]

@@ -10,7 +10,13 @@ from repro.taskgraph.buffer import Buffer
 from repro.taskgraph.builder import ConfigurationBuilder
 from repro.taskgraph.configuration import Configuration, MappedConfiguration
 from repro.taskgraph.graph import TaskGraph
-from repro.taskgraph.platform import Memory, Platform, Processor, homogeneous_platform
+from repro.taskgraph.platform import (
+    Memory,
+    Platform,
+    Processor,
+    heterogeneous_platform,
+    homogeneous_platform,
+)
 from repro.taskgraph.task import Task
 from repro.taskgraph.workload import (
     Application,
@@ -41,6 +47,7 @@ __all__ = [
     "TaskGraph",
     "Workload",
     "generators",
+    "heterogeneous_platform",
     "homogeneous_platform",
     "load_workload",
     "random_workload",

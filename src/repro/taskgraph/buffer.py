@@ -10,9 +10,39 @@ budget/buffer computation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence, Tuple
 
 from repro.exceptions import ModelError
+
+
+def _normalize_rates(
+    buffer_name: str, which: str, rates: Optional[Sequence[int]]
+) -> Optional[Tuple[int, ...]]:
+    if rates is None:
+        return None
+    normalized = []
+    for index, rate in enumerate(rates):
+        value = int(rate)
+        if value != rate:
+            raise ModelError(
+                f"buffer {buffer_name!r}: {which} rate {rate!r} at phase "
+                f"{index} must be an integer"
+            )
+        if value < 0:
+            raise ModelError(
+                f"buffer {buffer_name!r}: {which} rate at phase {index} "
+                f"must be non-negative, got {rate!r}"
+            )
+        normalized.append(value)
+    if not normalized:
+        raise ModelError(
+            f"buffer {buffer_name!r}: {which} rates must be non-empty when given"
+        )
+    if sum(normalized) == 0:
+        raise ModelError(
+            f"buffer {buffer_name!r}: {which} rates must not all be zero"
+        )
+    return tuple(normalized)
 
 
 @dataclass(frozen=True)
@@ -38,6 +68,11 @@ class Buffer:
     min_capacity, max_capacity:
         Optional bounds on the computed capacity ``γ(b)`` in containers.  The
         capacity always has to be at least ``max(initial_tokens, 1)``.
+    production_rates, consumption_rates:
+        Optional cyclo-static token rates: containers produced per source
+        phase / consumed per target phase.  The length must match the
+        adjacent task's phase count (validated at the graph level).  ``None``
+        means one container per firing — the paper's single-rate model.
     """
 
     name: str
@@ -49,10 +84,22 @@ class Buffer:
     capacity_weight: float = 1.0
     min_capacity: Optional[int] = None
     max_capacity: Optional[int] = None
+    production_rates: Optional[Tuple[int, ...]] = None
+    consumption_rates: Optional[Tuple[int, ...]] = None
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ModelError("buffer name must be non-empty")
+        object.__setattr__(
+            self,
+            "production_rates",
+            _normalize_rates(self.name, "production", self.production_rates),
+        )
+        object.__setattr__(
+            self,
+            "consumption_rates",
+            _normalize_rates(self.name, "consumption", self.consumption_rates),
+        )
         if not self.source or not self.target:
             raise ModelError(
                 f"buffer {self.name!r} must connect two tasks (source and target)"
@@ -90,9 +137,31 @@ class Buffer:
             )
 
     @property
+    def is_multi_rate(self) -> bool:
+        """Whether any declared rate profile differs from one-per-firing."""
+        return any(
+            rates is not None and (len(rates) > 1 or rates[0] != 1)
+            for rates in (self.production_rates, self.consumption_rates)
+        )
+
+    @property
+    def total_production(self) -> int:
+        """Containers produced per full source phase cycle (1 if single-rate)."""
+        return sum(self.production_rates) if self.production_rates else 1
+
+    @property
+    def total_consumption(self) -> int:
+        """Containers consumed per full target phase cycle (1 if single-rate)."""
+        return sum(self.consumption_rates) if self.consumption_rates else 1
+
+    @property
     def smallest_feasible_capacity(self) -> int:
         """Smallest capacity that can hold the initial tokens and one transfer."""
         lower = max(1, self.initial_tokens)
+        if self.production_rates is not None:
+            lower = max(lower, max(self.production_rates))
+        if self.consumption_rates is not None:
+            lower = max(lower, max(self.consumption_rates))
         if self.min_capacity is not None:
             lower = max(lower, self.min_capacity)
         return lower
@@ -119,4 +188,6 @@ class Buffer:
             capacity_weight=self.capacity_weight,
             min_capacity=min_capacity,
             max_capacity=max_capacity,
+            production_rates=self.production_rates,
+            consumption_rates=self.consumption_rates,
         )

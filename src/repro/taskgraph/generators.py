@@ -15,6 +15,10 @@ and the scalability benchmarks:
   scalability studies (seeded, deterministic).
 * :func:`multi_job_configuration` — several independent jobs sharing the same
   processors, the multi-job scenario motivating the paper's introduction.
+* :func:`csdf_chain_configuration` — a pipeline of cyclo-static tasks with
+  per-phase execution times and token rates.
+* :func:`heterogeneous_random_configuration` — seeded random DAGs on a
+  big/little platform with per-type cycle costs (and optional DVFS levels).
 """
 
 from __future__ import annotations
@@ -26,7 +30,7 @@ from repro.exceptions import ModelError
 from repro.taskgraph.buffer import Buffer
 from repro.taskgraph.configuration import Configuration
 from repro.taskgraph.graph import TaskGraph
-from repro.taskgraph.platform import homogeneous_platform
+from repro.taskgraph.platform import heterogeneous_platform, homogeneous_platform
 from repro.taskgraph.task import Task
 
 #: Parameter values of the paper's experiments (all in Mcycles).
@@ -357,4 +361,163 @@ def multi_job_configuration(
         task_graphs=graphs,
         granularity=granularity,
         name=f"multi-job-{job_count}x{stages_per_job}",
+    )
+
+
+def csdf_chain_configuration(
+    stages: int = 3,
+    phases_per_task: int = 2,
+    replenishment_interval: float = PAPER_REPLENISHMENT_INTERVAL,
+    wcet: float = PAPER_WCET,
+    period: float = PAPER_PERIOD,
+    max_capacity: Optional[int] = None,
+    granularity: float = 1.0,
+    budget_weight: float = 1.0,
+    capacity_weight: float = 1e-3,
+) -> Configuration:
+    """A pipeline of cyclo-static tasks, each cycling through several phases.
+
+    The phase execution times of every task sum to ``wcet`` (so the per-
+    iteration processor load matches :func:`chain_configuration`) but are
+    skewed towards the later phases, and every phase produces/consumes one
+    token, which makes each task fire ``phases_per_task`` times per graph
+    iteration.
+    """
+    if stages < 2:
+        raise ModelError("a chain needs at least two stages")
+    if phases_per_task < 1:
+        raise ModelError("tasks need at least one phase")
+    platform = homogeneous_platform(
+        processor_count=stages,
+        replenishment_interval=replenishment_interval,
+    )
+    graph = TaskGraph(name=f"csdf-chain{stages}", period=period)
+    names = [f"w{chr(ord('a') + i)}" if i < 26 else f"w{i}" for i in range(stages)]
+    weight_total = phases_per_task * (phases_per_task + 1) / 2
+    phases = tuple(wcet * (j + 1) / weight_total for j in range(phases_per_task))
+    unit_rates = (1,) * phases_per_task
+    for i, task_name in enumerate(names):
+        graph.add_task(
+            Task(
+                name=task_name,
+                wcet=0.0,  # derived from the phases
+                phases=phases,
+                processor=f"p{i + 1}",
+                budget_weight=budget_weight,
+            )
+        )
+    for i in range(stages - 1):
+        graph.add_buffer(
+            Buffer(
+                name=f"b{names[i][1:]}{names[i + 1][1:]}",
+                source=names[i],
+                target=names[i + 1],
+                memory="m1",
+                capacity_weight=capacity_weight,
+                max_capacity=max_capacity,
+                production_rates=unit_rates,
+                consumption_rates=unit_rates,
+            )
+        )
+    return Configuration(
+        platform=platform,
+        task_graphs=[graph],
+        granularity=granularity,
+        name=f"csdf-chain-{stages}x{phases_per_task}",
+    )
+
+
+def heterogeneous_random_configuration(
+    task_count: int = 6,
+    seed: int = 0,
+    big_count: int = 2,
+    little_count: int = 2,
+    big_speed: float = 2.0,
+    dvfs_levels: Optional[Sequence[float]] = None,
+    edge_probability: float = 0.2,
+    replenishment_interval: float = PAPER_REPLENISHMENT_INTERVAL,
+    period: float = PAPER_PERIOD,
+    cycle_range: Sequence[float] = (0.5, 2.0),
+    max_capacity: Optional[int] = None,
+    granularity: float = 1.0,
+    capacity_weight: float = 1e-3,
+) -> Configuration:
+    """A seeded random DAG bound round-robin onto a big/little platform.
+
+    The "big" processors run at ``big_speed`` (optionally with discrete DVFS
+    levels, which must include ``big_speed``); every task carries a
+    ``cycles_by_type`` table whose "little" entry is 20–60 % more expensive
+    than the "big" entry, modelling an ISA/micro-architecture mismatch on top
+    of the clock-speed difference.
+    """
+    if task_count < 2:
+        raise ModelError("random DAGs need at least two tasks")
+    if big_count < 1 or little_count < 1:
+        raise ModelError("the big/little platform needs at least one of each type")
+    rng = random.Random(seed)
+    platform = heterogeneous_platform(
+        {
+            "big": {
+                "count": big_count,
+                "speed": big_speed,
+                "dvfs_levels": tuple(dvfs_levels) if dvfs_levels is not None else None,
+            },
+            "little": {"count": little_count},
+        },
+        replenishment_interval=replenishment_interval,
+    )
+    processor_names = list(platform.processors)
+    processor_count = len(processor_names)
+    graph = TaskGraph(name=f"hetero{task_count}", period=period)
+
+    # Keep the load screen feasible even on a unit-speed "little" processor:
+    # the worst effective cycle count of a task is its "little" entry, which
+    # is at most 1.6x the drawn base cost.
+    per_processor = -(-task_count // processor_count)  # ceil division
+    max_total_wcet = period * (1.0 - 0.05) - per_processor * granularity * period / replenishment_interval
+    wcet_cap = max(1e-3, max_total_wcet / per_processor / 1.6)
+
+    low, high = float(cycle_range[0]), float(cycle_range[1])
+    for i in range(task_count):
+        base = min(rng.uniform(low, high), wcet_cap, period / 1.6)
+        little_factor = rng.uniform(1.2, 1.6)
+        graph.add_task(
+            Task(
+                name=f"t{i}",
+                wcet=base,
+                processor=processor_names[i % processor_count],
+                cycles_by_type={"big": base, "little": base * little_factor},
+            )
+        )
+    edge_id = 0
+    for i in range(task_count - 1):
+        graph.add_buffer(
+            Buffer(
+                name=f"e{edge_id}",
+                source=f"t{i}",
+                target=f"t{i + 1}",
+                memory="m1",
+                capacity_weight=capacity_weight,
+                max_capacity=max_capacity,
+            )
+        )
+        edge_id += 1
+        for j in range(i + 2, task_count):
+            if rng.random() < edge_probability:
+                graph.add_buffer(
+                    Buffer(
+                        name=f"e{edge_id}",
+                        source=f"t{i}",
+                        target=f"t{j}",
+                        memory="m1",
+                        capacity_weight=capacity_weight,
+                        max_capacity=max_capacity,
+                    )
+                )
+                edge_id += 1
+    return Configuration(
+        platform=platform,
+        task_graphs=[graph],
+        granularity=granularity,
+        name=f"hetero-{task_count}-{seed}",
     )

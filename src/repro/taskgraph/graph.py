@@ -8,6 +8,8 @@ task must complete one execution every ``µ(T)`` time units.
 
 from __future__ import annotations
 
+from fractions import Fraction
+from math import gcd
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 import networkx as nx
@@ -49,6 +51,7 @@ class TaskGraph:
         self.period = float(period)
         self._tasks: Dict[str, Task] = {}
         self._buffers: Dict[str, Buffer] = {}
+        self._repetitions: Optional[Dict[str, int]] = None
         for task in tasks:
             self.add_task(task)
         for buffer in buffers:
@@ -61,6 +64,7 @@ class TaskGraph:
                 f"task graph {self.name!r} already contains a task named {task.name!r}"
             )
         self._tasks[task.name] = task
+        self._repetitions = None
         return task
 
     def add_buffer(self, buffer: Buffer) -> Buffer:
@@ -75,6 +79,7 @@ class TaskGraph:
                     f"not part of task graph {self.name!r}"
                 )
         self._buffers[buffer.name] = buffer
+        self._repetitions = None
         return buffer
 
     # -- lookup ---------------------------------------------------------------
@@ -178,6 +183,111 @@ class TaskGraph:
         graph.add_nodes_from(self._tasks)
         graph.add_edges_from(pair_counts.keys())
         return bool(nx.cycle_basis(graph))
+
+    # -- cyclo-static structure ---------------------------------------------------
+    @property
+    def is_cyclo_static(self) -> bool:
+        """Whether any task has multiple phases or any buffer non-unit rates.
+
+        Single-phase, one-token-per-firing graphs — including ones built
+        through the CSDF fields with trivial values — take the legacy
+        single-rate lowering path unchanged.
+        """
+        if any(task.phase_count > 1 for task in self._tasks.values()):
+            return True
+        return any(buffer.is_multi_rate for buffer in self._buffers.values())
+
+    def repetitions(self) -> Dict[str, int]:
+        """The repetition vector ``q``: phase-cycle iterations per task per graph
+        iteration.
+
+        Solved from the balance equations
+        ``q(src) * Σ production = q(dst) * Σ consumption`` per buffer, with
+        exact :class:`~fractions.Fraction` arithmetic, normalised to the
+        smallest positive integers per weakly-connected component.  For a
+        single-rate graph every entry is 1.  Raises :class:`ModelError` when
+        the rates are inconsistent (the graph has no periodic schedule).
+
+        The throughput period ``µ(T)`` is interpreted *per graph iteration*:
+        task ``w`` completes ``q(w)`` full phase cycles (``q(w) * P(w)``
+        firings) every ``µ`` time units.  For single-rate graphs this is
+        exactly the paper's "one execution per period".
+        """
+        if self._repetitions is not None:
+            return dict(self._repetitions)
+        ratios: Dict[str, Optional[Fraction]] = {name: None for name in self._tasks}
+        for root in self._tasks:
+            if ratios[root] is not None:
+                continue
+            ratios[root] = Fraction(1)
+            frontier = [root]
+            while frontier:
+                current = frontier.pop()
+                for buffer in self._buffers.values():
+                    if current not in (buffer.source, buffer.target):
+                        continue
+                    produced = buffer.total_production
+                    consumed = buffer.total_consumption
+                    src_ratio = ratios[buffer.source]
+                    dst_ratio = ratios[buffer.target]
+                    if src_ratio is not None and dst_ratio is not None:
+                        if src_ratio * produced != dst_ratio * consumed:
+                            raise ModelError(
+                                f"task graph {self.name!r}: inconsistent "
+                                f"cyclo-static rates on buffer "
+                                f"{buffer.name!r} ({buffer.source!r} -> "
+                                f"{buffer.target!r}); no repetition vector "
+                                f"exists"
+                            )
+                        continue
+                    if src_ratio is not None:
+                        ratios[buffer.target] = src_ratio * produced / consumed
+                        frontier.append(buffer.target)
+                    elif dst_ratio is not None:
+                        ratios[buffer.source] = dst_ratio * consumed / produced
+                        frontier.append(buffer.source)
+        # Normalise each weakly-connected component to smallest integers.
+        components: List[List[str]] = []
+        if self._tasks:
+            undirected = nx.Graph()
+            undirected.add_nodes_from(self._tasks)
+            for buffer in self._buffers.values():
+                undirected.add_edge(buffer.source, buffer.target)
+            components = [sorted(c) for c in nx.connected_components(undirected)]
+        repetitions: Dict[str, int] = {}
+        for component in components:
+            fractions = [ratios[name] for name in component]
+            denominator_lcm = 1
+            for fraction in fractions:
+                denominator_lcm = (
+                    denominator_lcm
+                    * fraction.denominator
+                    // gcd(denominator_lcm, fraction.denominator)
+                )
+            integers = [
+                int(fraction * denominator_lcm) for fraction in fractions
+            ]
+            common = 0
+            for value in integers:
+                common = gcd(common, value)
+            for name, value in zip(component, integers):
+                repetitions[name] = value // common
+        self._repetitions = {name: repetitions[name] for name in self._tasks}
+        return dict(self._repetitions)
+
+    def period_cycles(self, task_name: str, processor: object) -> float:
+        """Effective execution time a task needs per throughput period.
+
+        One full set of firings per period: ``q(w)`` phase cycles for a
+        cyclo-static graph, a single ``wcet`` otherwise — resolved against
+        the processor's type/speed.  For a plain task on a unit-speed
+        processor this returns exactly ``task.wcet``.
+        """
+        from repro.taskgraph.task import effective_iteration_cycles
+
+        task = self.task(task_name)
+        reps = self.repetitions()[task_name] if self.is_cyclo_static else 1
+        return effective_iteration_cycles(task, processor, reps)
 
     def processors_used(self) -> Tuple[str, ...]:
         """Sorted names of the processors this graph's tasks are bound to."""

@@ -3,6 +3,20 @@
 The on-disk format is a plain nested dictionary so that configurations can be
 stored next to experiment results, diffed, and re-loaded without the library.
 Round-tripping is covered by property-based tests.
+
+Schema versioning
+-----------------
+
+Version 1 is the pre-generalisation schema: single-phase tasks, unit token
+rates, untyped unit-speed processors.  Version 2 adds the optional
+``phases`` / ``cycles_by_type`` task fields, ``production_rates`` /
+``consumption_rates`` buffer fields and ``proc_type`` / ``speed`` /
+``dvfs_levels`` processor fields.  Writers emit the new keys *only when the
+value differs from the default* and stamp ``format_version: 1`` whenever the
+model is expressible in the old schema — so a legacy configuration
+serialises byte-identically to the pre-refactor code (batch cache keys hash
+this dictionary, and old campaign cache entries must still hit).  Readers
+accept both versions; missing keys load as the defaults.
 """
 
 from __future__ import annotations
@@ -18,12 +32,13 @@ from repro.taskgraph.graph import TaskGraph
 from repro.taskgraph.platform import Memory, Platform, Processor
 from repro.taskgraph.task import Task
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+LEGACY_FORMAT_VERSION = 1
 
 
 # -- to dict -----------------------------------------------------------------
 def task_to_dict(task: Task) -> Dict[str, object]:
-    return {
+    data: Dict[str, object] = {
         "name": task.name,
         "wcet": task.wcet,
         "processor": task.processor,
@@ -31,10 +46,15 @@ def task_to_dict(task: Task) -> Dict[str, object]:
         "min_budget": task.min_budget,
         "max_budget": task.max_budget,
     }
+    if task.phases is not None:
+        data["phases"] = list(task.phases)
+    if task.cycles_by_type is not None:
+        data["cycles_by_type"] = {t: c for t, c in task.cycles_by_type}
+    return data
 
 
 def buffer_to_dict(buffer: Buffer) -> Dict[str, object]:
-    return {
+    data: Dict[str, object] = {
         "name": buffer.name,
         "source": buffer.source,
         "target": buffer.target,
@@ -45,6 +65,11 @@ def buffer_to_dict(buffer: Buffer) -> Dict[str, object]:
         "min_capacity": buffer.min_capacity,
         "max_capacity": buffer.max_capacity,
     }
+    if buffer.production_rates is not None:
+        data["production_rates"] = list(buffer.production_rates)
+    if buffer.consumption_rates is not None:
+        data["consumption_rates"] = list(buffer.consumption_rates)
+    return data
 
 
 def task_graph_to_dict(graph: TaskGraph) -> Dict[str, object]:
@@ -56,16 +81,26 @@ def task_graph_to_dict(graph: TaskGraph) -> Dict[str, object]:
     }
 
 
+def _processor_to_dict(processor: Processor) -> Dict[str, object]:
+    data: Dict[str, object] = {
+        "name": processor.name,
+        "replenishment_interval": processor.replenishment_interval,
+        "scheduling_overhead": processor.scheduling_overhead,
+    }
+    if processor.proc_type != "generic":
+        data["proc_type"] = processor.proc_type
+    if processor.speed != 1.0:
+        data["speed"] = processor.speed
+    if processor.dvfs_levels is not None:
+        data["dvfs_levels"] = list(processor.dvfs_levels)
+    return data
+
+
 def platform_to_dict(platform: Platform) -> Dict[str, object]:
     return {
         "name": platform.name,
         "processors": [
-            {
-                "name": p.name,
-                "replenishment_interval": p.replenishment_interval,
-                "scheduling_overhead": p.scheduling_overhead,
-            }
-            for p in platform.processors.values()
+            _processor_to_dict(p) for p in platform.processors.values()
         ],
         "memories": [
             {"name": m.name, "capacity": m.capacity} for m in platform.memories.values()
@@ -73,9 +108,43 @@ def platform_to_dict(platform: Platform) -> Dict[str, object]:
     }
 
 
+def _processor_is_extended(processor: Processor) -> bool:
+    return (
+        processor.proc_type != "generic"
+        or processor.speed != 1.0
+        or processor.dvfs_levels is not None
+    )
+
+
+def uses_extended_model(configuration: Configuration) -> bool:
+    """Whether a configuration needs the version-2 schema to round-trip."""
+    if any(
+        _processor_is_extended(p)
+        for p in configuration.platform.processors.values()
+    ):
+        return True
+    for graph in configuration.task_graphs:
+        if any(
+            task.phases is not None or task.cycles_by_type is not None
+            for task in graph.tasks
+        ):
+            return True
+        if any(
+            buffer.production_rates is not None
+            or buffer.consumption_rates is not None
+            for buffer in graph.buffers
+        ):
+            return True
+    return False
+
+
+def _format_version_for(configuration: Configuration) -> int:
+    return FORMAT_VERSION if uses_extended_model(configuration) else LEGACY_FORMAT_VERSION
+
+
 def configuration_to_dict(configuration: Configuration) -> Dict[str, object]:
     return {
-        "format_version": FORMAT_VERSION,
+        "format_version": _format_version_for(configuration),
         "name": configuration.name,
         "granularity": configuration.granularity,
         "platform": platform_to_dict(configuration.platform),
@@ -86,12 +155,14 @@ def configuration_to_dict(configuration: Configuration) -> Dict[str, object]:
 def mapped_configuration_to_dict(mapped: MappedConfiguration) -> Dict[str, object]:
     data = mapped.as_dict()
     data["configuration"] = configuration_to_dict(mapped.configuration)
-    data["format_version"] = FORMAT_VERSION
+    data["format_version"] = _format_version_for(mapped.configuration)
     return data
 
 
 # -- from dict -------------------------------------------------------------------
 def task_from_dict(data: Dict[str, object]) -> Task:
+    phases = data.get("phases")
+    cycles_by_type = data.get("cycles_by_type")
     return Task(
         name=str(data["name"]),
         wcet=float(data["wcet"]),
@@ -99,10 +170,18 @@ def task_from_dict(data: Dict[str, object]) -> Task:
         budget_weight=float(data.get("budget_weight", 1.0)),
         min_budget=_optional_float(data.get("min_budget")),
         max_budget=_optional_float(data.get("max_budget")),
+        phases=tuple(float(p) for p in phases) if phases is not None else None,
+        cycles_by_type=(
+            {str(t): float(c) for t, c in dict(cycles_by_type).items()}
+            if cycles_by_type is not None
+            else None
+        ),
     )
 
 
 def buffer_from_dict(data: Dict[str, object]) -> Buffer:
+    production_rates = data.get("production_rates")
+    consumption_rates = data.get("consumption_rates")
     return Buffer(
         name=str(data["name"]),
         source=str(data["source"]),
@@ -113,6 +192,16 @@ def buffer_from_dict(data: Dict[str, object]) -> Buffer:
         capacity_weight=float(data.get("capacity_weight", 1.0)),
         min_capacity=_optional_int(data.get("min_capacity")),
         max_capacity=_optional_int(data.get("max_capacity")),
+        production_rates=(
+            tuple(int(r) for r in production_rates)
+            if production_rates is not None
+            else None
+        ),
+        consumption_rates=(
+            tuple(int(r) for r in consumption_rates)
+            if consumption_rates is not None
+            else None
+        ),
     )
 
 
@@ -126,14 +215,23 @@ def task_graph_from_dict(data: Dict[str, object]) -> TaskGraph:
 
 
 def platform_from_dict(data: Dict[str, object]) -> Platform:
-    processors = [
-        Processor(
-            name=str(p["name"]),
-            replenishment_interval=float(p["replenishment_interval"]),
-            scheduling_overhead=float(p.get("scheduling_overhead", 0.0)),
+    processors = []
+    for p in data.get("processors", []):
+        dvfs_levels = p.get("dvfs_levels")
+        processors.append(
+            Processor(
+                name=str(p["name"]),
+                replenishment_interval=float(p["replenishment_interval"]),
+                scheduling_overhead=float(p.get("scheduling_overhead", 0.0)),
+                proc_type=str(p.get("proc_type", "generic")),
+                speed=float(p.get("speed", 1.0)),
+                dvfs_levels=(
+                    tuple(float(level) for level in dvfs_levels)
+                    if dvfs_levels is not None
+                    else None
+                ),
+            )
         )
-        for p in data.get("processors", [])
-    ]
     memories = [
         Memory(name=str(m["name"]), capacity=_optional_float(m.get("capacity")))
         for m in data.get("memories", [])
@@ -142,7 +240,7 @@ def platform_from_dict(data: Dict[str, object]) -> Platform:
 
 
 def configuration_from_dict(data: Dict[str, object]) -> Configuration:
-    version = int(data.get("format_version", FORMAT_VERSION))
+    version = int(data.get("format_version", LEGACY_FORMAT_VERSION))
     if version > FORMAT_VERSION:
         raise ModelError(
             f"configuration format version {version} is newer than supported "

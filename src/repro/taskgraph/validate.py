@@ -32,6 +32,29 @@ def validate_task_graph(graph: TaskGraph, platform: Platform) -> None:
     """Validate one task graph against a platform."""
     if not graph.tasks:
         raise GraphStructureError(f"task graph {graph.name!r} contains no tasks")
+    if graph.is_cyclo_static:
+        for buffer in graph.buffers:
+            source = graph.task(buffer.source)
+            target = graph.task(buffer.target)
+            if (
+                buffer.production_rates is not None
+                and len(buffer.production_rates) != source.phase_count
+            ):
+                raise ModelError(
+                    f"buffer {buffer.name!r}: production rates have "
+                    f"{len(buffer.production_rates)} entries but task "
+                    f"{source.name!r} has {source.phase_count} phase(s)"
+                )
+            if (
+                buffer.consumption_rates is not None
+                and len(buffer.consumption_rates) != target.phase_count
+            ):
+                raise ModelError(
+                    f"buffer {buffer.name!r}: consumption rates have "
+                    f"{len(buffer.consumption_rates)} entries but task "
+                    f"{target.name!r} has {target.phase_count} phase(s)"
+                )
+        graph.repetitions()  # raises ModelError on inconsistent rates
     for task in graph.tasks:
         if not platform.has_processor(task.processor):
             raise BindingError(
@@ -39,9 +62,13 @@ def validate_task_graph(graph: TaskGraph, platform: Platform) -> None:
                 f"processor {task.processor!r}"
             )
         processor = platform.processor(task.processor)
-        if task.wcet > graph.period:
-            raise ModelError(
-                f"task {task.name!r}: worst-case execution time {task.wcet} exceeds "
+        effective_total = graph.period_cycles(task.name, processor)
+        if effective_total > graph.period:
+            # A genuine infeasibility of the operating point (not a malformed
+            # model): a DVFS down-clock can push a task past the period, and
+            # sweeps treat this as an infeasible point rather than an error.
+            raise InfeasibleModelError(
+                f"task {task.name!r}: worst-case execution time {effective_total} exceeds "
                 f"the throughput period {graph.period}; even a full budget cannot "
                 f"satisfy the requirement"
             )
@@ -106,7 +133,9 @@ def processor_load_lower_bound(
                 if task.processor != processor_name:
                     continue
                 minimum_budget = (
-                    processor.replenishment_interval * task.wcet / graph.period
+                    processor.replenishment_interval
+                    * graph.period_cycles(task.name, processor)
+                    / graph.period
                 )
                 if task.min_budget is not None:
                     minimum_budget = max(minimum_budget, task.min_budget)

@@ -212,6 +212,8 @@ class TestRoundTrip:
             "ring",
             "random_dag",
             "multi_job",
+            "csdf_chain",
+            "heterogeneous_random",
         }
 
     def test_entry_to_dict_preserves_fields(self):

@@ -16,6 +16,7 @@ from repro.taskgraph import (
     Processor,
     Task,
     TaskGraph,
+    heterogeneous_platform,
 )
 from repro.taskgraph.generators import multi_job_configuration, producer_consumer_configuration
 
@@ -109,4 +110,78 @@ class TestBindGreedy:
         graph = TaskGraph("job", period=10.0)
         config = Configuration(platform=platform, task_graphs=[graph])
         with pytest.raises(BindingError):
+            bind_greedy(config)
+
+
+def _speed_mismatch_configuration(big_speed: float) -> Configuration:
+    """Three tasks, one fast "big" and one slow "little" processor.
+
+    At ``big_speed == 1.0`` the platform degenerates to two identical
+    processors; at ``big_speed == 2.0`` the heavy task's effective demand
+    halves on ``big1`` and the greedy pass packs the work differently.
+    """
+    platform = heterogeneous_platform(
+        {"big": {"count": 1, "speed": big_speed}, "little": {"count": 1}},
+        replenishment_interval=40.0,
+    )
+    graph = TaskGraph("job", period=10.0)
+    graph.add_task(Task("heavy", wcet=4.0, processor="big1"))
+    graph.add_task(Task("medium", wcet=3.0, processor="big1"))
+    graph.add_task(Task("light", wcet=1.0, processor="big1"))
+    config = Configuration(platform=platform, task_graphs=[graph])
+    return config
+
+
+class TestHeterogeneousBinding:
+    def test_speed_changes_the_greedy_assignment(self):
+        uniform = bind_greedy(_speed_mismatch_configuration(big_speed=1.0))
+        scaled = bind_greedy(_speed_mismatch_configuration(big_speed=2.0))
+        # Identical speeds: the heavy task fills big1 and the rest shares
+        # little1.  A speed-2 big1 advertises half the demand, so the greedy
+        # pass packs the light task next to the heavy one instead.
+        assert uniform.task_bindings == {
+            "heavy": "big1",
+            "medium": "little1",
+            "light": "little1",
+        }
+        assert scaled.task_bindings == {
+            "heavy": "big1",
+            "medium": "little1",
+            "light": "big1",
+        }
+        assert uniform.task_bindings != scaled.task_bindings
+
+    def test_scaled_demand_uses_effective_cycles(self):
+        scaled = bind_greedy(_speed_mismatch_configuration(big_speed=2.0))
+        # heavy: 40·(4/2)/10 + 1 = 9; light: 40·(1/2)/10 + 1 = 3 on big1.
+        assert scaled.processor_load["big1"] == pytest.approx(12.0 / 40.0)
+        # medium: 40·3/10 + 1 = 13 on the unit-speed little1.
+        assert scaled.processor_load["little1"] == pytest.approx(13.0 / 40.0)
+
+    def test_cycle_table_restricts_candidate_processors(self):
+        platform = heterogeneous_platform(
+            {"dsp": {"count": 1}, "risc": {"count": 1}},
+            replenishment_interval=40.0,
+        )
+        graph = TaskGraph("job", period=10.0)
+        # Only a DSP implementation exists, so the task must land on dsp1
+        # even though risc1 is just as idle.
+        graph.add_task(
+            Task("filter", wcet=2.0, processor="risc1", cycles_by_type={"dsp": 2.0})
+        )
+        graph.add_task(Task("control", wcet=2.0, processor="risc1"))
+        config = Configuration(platform=platform, task_graphs=[graph])
+        result = bind_greedy(config)
+        assert result.task_bindings["filter"] == "dsp1"
+
+    def test_no_matching_type_is_a_binding_error(self):
+        platform = heterogeneous_platform(
+            {"risc": {"count": 2}}, replenishment_interval=40.0
+        )
+        graph = TaskGraph("job", period=10.0)
+        graph.add_task(
+            Task("filter", wcet=2.0, processor="risc1", cycles_by_type={"dsp": 2.0})
+        )
+        config = Configuration(platform=platform, task_graphs=[graph])
+        with pytest.raises(BindingError, match="no processor"):
             bind_greedy(config)

@@ -6,7 +6,12 @@ import pytest
 
 from repro.core import AllocatorOptions, TradeoffExplorer
 from repro.baselines.budget_minimization import producer_consumer_minimum_budget
-from repro.taskgraph.generators import chain_configuration, producer_consumer_configuration
+from repro.exceptions import ModelError
+from repro.taskgraph.generators import (
+    chain_configuration,
+    heterogeneous_random_configuration,
+    producer_consumer_configuration,
+)
 
 
 @pytest.fixture(scope="module")
@@ -112,3 +117,67 @@ class TestChainTopology:
             assert point.relaxed_budgets["wa"] == pytest.approx(
                 point.relaxed_budgets["wc"], rel=1e-2, abs=1e-2
             )
+
+
+class TestDvfsSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        explorer = TradeoffExplorer(
+            allocator_options=AllocatorOptions(run_simulation=False)
+        )
+        config = heterogeneous_random_configuration(
+            task_count=4, seed=0, dvfs_levels=(1.0, 2.0)
+        )
+        return explorer.sweep_dvfs(config)
+
+    def test_enumerates_the_cartesian_product(self, sweep):
+        assert len(sweep.points) == 4  # two big processors with two levels each
+        assignments = {tuple(sorted(point.speeds.items())) for point in sweep.points}
+        assert len(assignments) == 4
+        assert all(set(point.speeds) == {"big1", "big2"} for point in sweep.points)
+
+    def test_slower_clocks_never_need_less_budget(self, sweep):
+        by_speeds = {
+            tuple(sorted(point.speeds.items())): point
+            for point in sweep.feasible_points()
+        }
+        fast = by_speeds[(("big1", 2.0), ("big2", 2.0))]
+        slow = by_speeds.get((("big1", 1.0), ("big2", 1.0)))
+        if slow is not None:
+            assert slow.total_budget >= fast.total_budget - 1e-9
+
+    def test_best_is_the_lowest_objective(self, sweep):
+        best = sweep.best()
+        assert best is not None
+        assert all(
+            best.objective_value <= point.objective_value + 1e-12
+            for point in sweep.feasible_points()
+        )
+
+    def test_infeasible_operating_points_become_points(self):
+        # Tasks sized for the speed-2 big processors: forcing every clock
+        # down must yield infeasible sweep points, not errors.
+        explorer = TradeoffExplorer(
+            allocator_options=AllocatorOptions(run_simulation=False)
+        )
+        config = heterogeneous_random_configuration(
+            task_count=4,
+            seed=0,
+            little_count=1,
+            cycle_range=(8.0, 8.0),
+            dvfs_levels=(0.25, 2.0),
+        )
+        sweep = explorer.sweep_dvfs(config)
+        assert len(sweep.points) == 4
+        assert any(not point.feasible for point in sweep.points)
+
+    def test_requires_dvfs_levels(self):
+        explorer = TradeoffExplorer()
+        config = chain_configuration()
+        with pytest.raises(ModelError, match="DVFS"):
+            explorer.sweep_dvfs(config)
+        hetero = heterogeneous_random_configuration(
+            task_count=4, seed=0, dvfs_levels=(1.0, 2.0)
+        )
+        with pytest.raises(ModelError, match="DVFS"):
+            explorer.sweep_dvfs(hetero, processors=["little1"])

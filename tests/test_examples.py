@@ -30,6 +30,7 @@ def test_expected_examples_are_present():
         "three_stage_chain",
         "multi_job_mapping",
         "binding_and_latency",
+        "heterogeneous_csdf",
     } <= names
 
 
@@ -45,3 +46,11 @@ def test_tradeoff_example_reports_the_non_linear_tradeoff(capsys):
     output = capsys.readouterr().out
     assert "Figure 2(a)" in output
     assert "non-linear" in output
+
+
+def test_heterogeneous_csdf_example_covers_both_generalisations(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "heterogeneous_csdf.py"), run_name="__main__")
+    output = capsys.readouterr().out
+    assert "repetition vector" in output
+    assert "DVFS sweep" in output
+    assert "best operating point" in output

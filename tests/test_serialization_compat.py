@@ -1,0 +1,136 @@
+"""Schema-versioning and backward-compatibility of the on-disk model format.
+
+The committed fixture ``tests/fixtures/legacy_configuration_v1.json`` was
+written by the pre-generalisation (version 1) serialiser.  Loading it must
+produce objects equal to freshly built default-valued models, and writing a
+legacy-expressible configuration must reproduce the fixture byte-for-byte —
+the batch result cache hashes this document, so any drift would silently
+invalidate every old campaign cache entry.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.batch.cache import cache_key
+from repro.taskgraph.generators import (
+    chain_configuration,
+    csdf_chain_configuration,
+    heterogeneous_random_configuration,
+)
+from repro.taskgraph.serialization import (
+    FORMAT_VERSION,
+    LEGACY_FORMAT_VERSION,
+    configuration_from_dict,
+    configuration_from_json,
+    configuration_to_dict,
+    configuration_to_json,
+    load_configuration,
+    uses_extended_model,
+)
+
+FIXTURE = Path(__file__).parent / "fixtures" / "legacy_configuration_v1.json"
+
+
+class TestLegacyFixture:
+    def test_loads_to_default_equal_objects(self):
+        loaded = load_configuration(FIXTURE)
+        fresh = chain_configuration(stages=3, max_capacity=8)
+        assert loaded.name == fresh.name
+        assert loaded.granularity == fresh.granularity
+        assert list(loaded.platform.processors.values()) == list(
+            fresh.platform.processors.values()
+        )
+        assert list(loaded.platform.memories.values()) == list(
+            fresh.platform.memories.values()
+        )
+        for loaded_graph, fresh_graph in zip(loaded.task_graphs, fresh.task_graphs):
+            assert list(loaded_graph.tasks) == list(fresh_graph.tasks)
+            assert list(loaded_graph.buffers) == list(fresh_graph.buffers)
+
+    def test_extended_fields_load_as_defaults(self):
+        loaded = load_configuration(FIXTURE)
+        for _, task in loaded.all_tasks():
+            assert task.phases is None
+            assert task.cycles_by_type is None
+        for _, buffer in loaded.all_buffers():
+            assert buffer.production_rates is None
+            assert buffer.consumption_rates is None
+        for processor in loaded.platform:
+            assert processor.proc_type == "generic"
+            assert processor.speed == 1.0
+            assert processor.dvfs_levels is None
+
+    def test_reserialisation_is_byte_identical(self):
+        loaded = load_configuration(FIXTURE)
+        assert configuration_to_json(loaded) == FIXTURE.read_text(encoding="utf-8")
+
+    def test_legacy_configuration_stamps_version_one(self):
+        data = configuration_to_dict(chain_configuration(stages=3, max_capacity=8))
+        assert data["format_version"] == LEGACY_FORMAT_VERSION
+        assert not uses_extended_model(configuration_from_dict(data))
+
+    def test_legacy_cache_key_is_stable(self):
+        # The exact pre-refactor hash of the fixture problem: if this moves,
+        # every cached campaign result for legacy configurations is lost.
+        loaded = load_configuration(FIXTURE)
+        key = cache_key(configuration_to_dict(loaded), {"backend": "auto"})
+        fresh = chain_configuration(stages=3, max_capacity=8)
+        assert key == cache_key(configuration_to_dict(fresh), {"backend": "auto"})
+        data = configuration_to_dict(loaded)
+        for graph_data in data["task_graphs"]:
+            for task_data in graph_data["tasks"]:
+                assert "phases" not in task_data
+                assert "cycles_by_type" not in task_data
+            for buffer_data in graph_data["buffers"]:
+                assert "production_rates" not in buffer_data
+                assert "consumption_rates" not in buffer_data
+        for processor_data in data["platform"]["processors"]:
+            assert "proc_type" not in processor_data
+            assert "speed" not in processor_data
+            assert "dvfs_levels" not in processor_data
+
+
+class TestExtendedSchema:
+    def test_extended_configuration_stamps_version_two(self):
+        data = configuration_to_dict(csdf_chain_configuration())
+        assert data["format_version"] == FORMAT_VERSION
+
+    def test_csdf_round_trip(self):
+        configuration = csdf_chain_configuration(stages=3, phases_per_task=2)
+        restored = configuration_from_json(configuration_to_json(configuration))
+        for (_, original), (_, loaded) in zip(
+            configuration.all_tasks(), restored.all_tasks()
+        ):
+            assert loaded == original
+        for (_, original), (_, loaded) in zip(
+            configuration.all_buffers(), restored.all_buffers()
+        ):
+            assert loaded == original
+
+    def test_heterogeneous_round_trip(self):
+        configuration = heterogeneous_random_configuration(
+            task_count=5, seed=3, dvfs_levels=(1.0, 2.0)
+        )
+        restored = configuration_from_json(configuration_to_json(configuration))
+        assert list(restored.platform.processors.values()) == list(
+            configuration.platform.processors.values()
+        )
+        for (_, original), (_, loaded) in zip(
+            configuration.all_tasks(), restored.all_tasks()
+        ):
+            assert loaded.cycles_by_type == original.cycles_by_type
+
+    def test_missing_version_defaults_to_legacy(self):
+        data = configuration_to_dict(chain_configuration())
+        del data["format_version"]
+        assert configuration_from_dict(data).name == "chain-3"
+
+    def test_future_version_is_rejected(self):
+        data = configuration_to_dict(chain_configuration())
+        data["format_version"] = FORMAT_VERSION + 1
+        with pytest.raises(ModelError, match="newer than supported"):
+            configuration_from_dict(data)

@@ -7,7 +7,9 @@ import pytest
 from repro.exceptions import ModelError
 from repro.taskgraph.generators import (
     chain_configuration,
+    csdf_chain_configuration,
     fork_join_configuration,
+    heterogeneous_random_configuration,
     multi_job_configuration,
     producer_consumer_configuration,
     random_dag_configuration,
@@ -136,3 +138,65 @@ class TestMultiJob:
             multi_job_configuration(job_count=0)
         with pytest.raises(ModelError):
             multi_job_configuration(stages_per_job=1)
+
+
+class TestCsdfChain:
+    def test_validates_and_is_cyclo_static(self):
+        config = csdf_chain_configuration(stages=3, phases_per_task=2)
+        config.validate()
+        graph = config.task_graphs[0]
+        assert graph.is_cyclo_static
+        assert all(task.phase_count == 2 for task in graph.tasks)
+        assert graph.repetitions() == {task.name: 1 for task in graph.tasks}
+
+    def test_phases_sum_to_the_nominal_wcet(self):
+        config = csdf_chain_configuration(wcet=2.0, phases_per_task=3)
+        for _, task in config.all_tasks():
+            assert sum(task.phases) == pytest.approx(2.0)
+
+    def test_single_phase_degenerates_to_plain_chain(self):
+        config = csdf_chain_configuration(phases_per_task=1)
+        assert not config.task_graphs[0].is_cyclo_static
+
+    def test_rejects_invalid_counts(self):
+        with pytest.raises(ModelError):
+            csdf_chain_configuration(stages=1)
+        with pytest.raises(ModelError):
+            csdf_chain_configuration(phases_per_task=0)
+
+
+class TestHeterogeneousRandom:
+    def test_validates_on_the_typed_platform(self):
+        config = heterogeneous_random_configuration(task_count=6, seed=2)
+        config.validate()
+        types = {p.proc_type for p in config.platform}
+        assert types == {"big", "little"}
+        assert config.platform.processor("big1").speed == 2.0
+        assert config.platform.processor("little1").speed == 1.0
+
+    def test_every_task_has_a_cycle_table(self):
+        config = heterogeneous_random_configuration(task_count=6, seed=2)
+        for _, task in config.all_tasks():
+            table = dict(task.cycles_by_type)
+            assert set(table) == {"big", "little"}
+            assert table["little"] > table["big"]
+
+    def test_is_deterministic_per_seed(self):
+        first = heterogeneous_random_configuration(task_count=8, seed=5)
+        second = heterogeneous_random_configuration(task_count=8, seed=5)
+        assert [t for _, t in first.all_tasks()] == [t for _, t in second.all_tasks()]
+        other = heterogeneous_random_configuration(task_count=8, seed=6)
+        assert [t for _, t in first.all_tasks()] != [t for _, t in other.all_tasks()]
+
+    def test_dvfs_levels_are_applied(self):
+        config = heterogeneous_random_configuration(
+            task_count=4, seed=0, dvfs_levels=(1.0, 2.0)
+        )
+        assert config.platform.processor("big1").dvfs_levels == (1.0, 2.0)
+        assert config.platform.processor("little1").dvfs_levels is None
+
+    def test_rejects_tiny_inputs(self):
+        with pytest.raises(ModelError):
+            heterogeneous_random_configuration(task_count=1)
+        with pytest.raises(ModelError):
+            heterogeneous_random_configuration(big_count=0)
